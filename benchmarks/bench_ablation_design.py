@@ -1,0 +1,98 @@
+"""Design-choice ablations beyond the paper's Fig. 8.
+
+Two micro-ablations DESIGN.md calls out:
+
+1. **MRU ordering** in the categorical cache: the paper argues
+   neighbouring layers have similar problems, so recently used entries
+   should be probed first.  We compare lookups/query with and without
+   recency ordering.
+2. **The milestone gate**: what happens if PASK reuses from the very
+   first layer instead of seeding the cache unconditionally before the
+   milestone.
+"""
+
+from conftest import emit
+
+from repro.core.middleware import PaskConfig, PaskMiddleware
+from repro.core.schemes import Scheme
+from repro.gpu import HipRuntime
+from repro.report import format_table
+from repro.serving.experiments import CONV_MODELS
+from repro.serving.metrics import mean
+from repro.sim import Environment
+
+MODELS = ("vgg", "res", "reg", "eff", "ssd", "unet")
+
+
+def run_config(suite, model, config):
+    server = suite.server()
+    program = server._lowered(model, Scheme.PASK, 1)
+    env = Environment()
+    runtime = HipRuntime(env, server.device)
+    middleware = PaskMiddleware(env, runtime, server.library, server.blas,
+                                config)
+    outcome = {}
+
+    def driver():
+        stats = yield from middleware.execute(program)
+        outcome.update(stats)
+
+    process = env.process(driver())
+    env.run(until=process)
+    outcome["total_time"] = env.now
+    return outcome
+
+
+def test_ablation_mru_ordering(benchmark, suite):
+    def experiment():
+        rows = {}
+        for model in MODELS:
+            mru = run_config(suite, model, PaskConfig(cache_mru=True))
+            fifo = run_config(suite, model, PaskConfig(cache_mru=False))
+            rows[model] = {
+                "mru_lookups": mru["cache_stats"].lookups_per_query,
+                "fifo_lookups": fifo["cache_stats"].lookups_per_query,
+                "mru_ms": mru["total_time"] * 1e3,
+                "fifo_ms": fifo["total_time"] * 1e3,
+            }
+        return rows
+
+    result = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    table = [[m, result[m]["mru_lookups"], result[m]["fifo_lookups"],
+              result[m]["mru_ms"], result[m]["fifo_ms"]] for m in MODELS]
+    emit(format_table(["model", "MRU lookups/q", "FIFO lookups/q",
+                       "MRU ms", "FIFO ms"], table,
+                      title="Ablation: recency ordering in the categorical "
+                            "cache"))
+    # On average the MRU ordering needs no more lookups than FIFO.
+    assert (mean(result[m]["mru_lookups"] for m in MODELS)
+            <= mean(result[m]["fifo_lookups"] for m in MODELS) + 1e-9)
+
+
+def test_ablation_milestone_gate(benchmark, suite):
+    def experiment():
+        rows = {}
+        for model in MODELS:
+            gated = run_config(suite, model, PaskConfig())
+            eager = run_config(suite, model,
+                               PaskConfig(reuse_before_milestone=True))
+            rows[model] = {
+                "gated_ms": gated["total_time"] * 1e3,
+                "eager_ms": eager["total_time"] * 1e3,
+                "gated_reused": gated["reused_layers"],
+                "eager_reused": eager["reused_layers"],
+            }
+        return rows
+
+    result = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    table = [[m, result[m]["gated_ms"], result[m]["eager_ms"],
+              result[m]["gated_reused"], result[m]["eager_reused"]]
+             for m in MODELS]
+    emit(format_table(["model", "milestone ms", "eager ms",
+                       "milestone reused", "eager reused"], table,
+                      title="Ablation: milestone gate vs reuse-from-start"))
+    # Eager reuse can only reuse at least as many layers; both configs
+    # must complete every model.
+    for m in MODELS:
+        assert result[m]["eager_reused"] >= result[m]["gated_reused"] - 2
+        assert result[m]["eager_ms"] > 0

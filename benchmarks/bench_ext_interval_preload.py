@@ -1,0 +1,48 @@
+"""Extension (Sec. VI "Loading desired solutions"): interval preloading.
+
+Between two requests scheduled onto the same instance there are idle
+seconds; PASK uses them to load the solutions it skipped, so subsequent
+requests run their optimal kernels with nothing left to load.
+"""
+
+from conftest import emit
+
+from repro.core.schemes import Scheme
+from repro.report import format_table
+
+MODEL = "res"
+REQUESTS = 3
+INTERVAL_S = 0.05
+
+
+def test_ext_interval_preloading(benchmark, suite):
+    server = suite.server()
+
+    def experiment():
+        with_preload = server.serve_session(
+            MODEL, Scheme.PASK, n_requests=REQUESTS,
+            interval_s=INTERVAL_S, interval_preload=True)
+        without = server.serve_session(
+            MODEL, Scheme.PASK, n_requests=REQUESTS,
+            interval_s=INTERVAL_S, interval_preload=False)
+        return with_preload, without
+
+    with_preload, without = benchmark.pedantic(experiment, rounds=1,
+                                               iterations=1)
+    rows = []
+    for index in range(REQUESTS):
+        rows.append([f"request {index}",
+                     without[index].total_time * 1e3,
+                     without[index].loads,
+                     with_preload[index].total_time * 1e3,
+                     with_preload[index].loads])
+    emit(format_table(
+        ["", "no-preload ms", "loads", "preload ms", "loads"], rows,
+        title="Sec VI extension: loading skipped solutions between requests"))
+
+    # Request 0 is identical (no interval has happened yet).
+    assert with_preload[0].total_time == without[0].total_time
+    # Later requests are faster and load nothing once preloaded.
+    for index in range(1, REQUESTS):
+        assert with_preload[index].total_time <= without[index].total_time
+    assert with_preload[-1].loads == 0

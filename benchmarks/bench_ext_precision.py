@@ -1,0 +1,75 @@
+"""Extension (Sec. VI "More factors for kernel specialization").
+
+A low-precision (fp16) model arrives on an instance whose runtime and
+PASK cache are warm with fp32 binaries.  With ``precision_fallback`` the
+middleware runs fp16 layers on the resident fp32 kernels instead of
+loading the absent fp16-specialized ones -- trading arithmetic precision
+cost for loading time, as the paper proposes.
+"""
+
+from conftest import emit
+
+from repro.core.middleware import PaskConfig, PaskMiddleware
+from repro.engine import lower
+from repro.gpu import HipRuntime
+from repro.graph import GraphBuilder
+from repro.report import format_table
+from repro.sim import Environment
+from repro.tensors import DataType
+
+
+def fp_cnn(name, dtype):
+    # Every convolution uses a different kernel configuration, so fp16
+    # binaries cannot be reused across layers -- only the precision
+    # fallback onto the warm fp32 binaries can avoid the loads.
+    layers = [(32, 3, 1, 1), (32, 5, 1, 2), (64, 1, 1, 0), (64, 3, 2, 1),
+              (128, 5, 2, 2)]
+    builder = GraphBuilder(name, dtype=dtype)
+    x = builder.input("x", (1, 16, 64, 64))
+    for i, (channels, kernel, stride, pad) in enumerate(layers):
+        x = builder.conv(x, channels, kernel, stride=stride, pad=pad,
+                         name=f"c{i}")
+        x = builder.relu(x, name=f"r{i}")
+    builder.output(x)
+    return builder.finish()
+
+
+def run_pair(suite, fallback):
+    server = suite.server()
+    fp32_program = lower(fp_cnn("warm32", DataType.FP32), server.library)
+    fp16_program = lower(fp_cnn("cold16", DataType.FP16), server.library)
+    env = Environment()
+    runtime = HipRuntime(env, server.device)
+    config = PaskConfig(precision_fallback=fallback)
+    warm = PaskMiddleware(env, runtime, server.library, server.blas, config)
+    outcome = {}
+
+    def driver():
+        yield from warm.execute(fp32_program)
+        start = env.now
+        # Same process, same cache: the fp16 model cold-starts second.
+        cold = PaskMiddleware(env, runtime, server.library, server.blas,
+                              config, cache=warm.cache)
+        stats = yield from cold.execute(fp16_program)
+        outcome["fp16_time"] = env.now - start
+        outcome["reused"] = stats["reused_layers"]
+
+    process = env.process(driver())
+    env.run(until=process)
+    return outcome
+
+
+def test_ext_precision_fallback(benchmark, suite):
+    def experiment():
+        return {"off": run_pair(suite, fallback=False),
+                "on": run_pair(suite, fallback=True)}
+
+    result = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    rows = [[mode, result[mode]["fp16_time"] * 1e3, result[mode]["reused"]]
+            for mode in ("off", "on")]
+    emit(format_table(["precision fallback", "fp16 cold ms", "reused layers"],
+                      rows,
+                      title="Sec VI extension: high-precision kernel reuse "
+                            "for low-precision layers"))
+    assert result["on"]["reused"] > result["off"]["reused"]
+    assert result["on"]["fp16_time"] < result["off"]["fp16_time"]

@@ -1,0 +1,48 @@
+"""Extension: cold-start impact on serving tail latency.
+
+Replays a bursty Poisson trace against an autoscaled pool with a short
+keep-alive (the preemptive/serverless setting the paper motivates with)
+and compares per-request latency percentiles across schemes.  This goes
+beyond the paper's single-request evaluation to the downstream metric
+operators actually care about.
+"""
+
+from conftest import emit
+
+from repro.core.schemes import Scheme
+from repro.report import format_table
+from repro.serving.cluster import ClusterConfig, ClusterSimulator
+from repro.serving.requests import poisson_trace
+
+MODEL = "reg"
+SCHEMES = (Scheme.BASELINE, Scheme.NNV12, Scheme.PASK, Scheme.IDEAL)
+
+
+def test_ext_serving_tail_latency(benchmark, suite):
+    server = suite.server()
+    trace = poisson_trace(MODEL, rate_hz=25.0, duration_s=4.0, seed=11)
+
+    def experiment():
+        out = {}
+        for scheme in SCHEMES:
+            config = ClusterConfig(scheme=scheme, max_instances=4,
+                                   keep_alive_s=0.4)
+            out[scheme.label] = ClusterSimulator(server, config).run(trace)
+        return out
+
+    result = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    rows = []
+    for label, stats in result.items():
+        rows.append([label, stats.requests, stats.cold_starts,
+                     stats.mean_latency * 1e3,
+                     stats.percentile(0.50) * 1e3,
+                     stats.percentile(0.99) * 1e3])
+    emit(format_table(
+        ["scheme", "requests", "cold starts", "mean ms", "p50 ms", "p99 ms"],
+        rows, title=f"Serving tail latency under a bursty trace ({MODEL!r})"))
+
+    baseline = result["Baseline"]
+    pask = result["PaSK"]
+    assert pask.percentile(0.99) < baseline.percentile(0.99)
+    assert pask.mean_latency < baseline.mean_latency
+    assert result["Ideal"].percentile(0.99) <= pask.percentile(0.99)

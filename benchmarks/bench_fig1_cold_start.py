@@ -1,0 +1,37 @@
+"""Fig. 1: DNN model cold-start (a) overhead and (b) breakdown.
+
+Paper values for reference: average cold/hot slowdowns 23.7x (MI100),
+19.5x (A100) and 31.3x (6900XT); baseline breakdown dominated by code
+loading (65.8%) with GPU execution a small share (8.4%).
+"""
+
+from conftest import emit
+
+from repro.report import format_table
+
+
+def test_fig1a_cold_start_overhead(benchmark, suite):
+    result = benchmark.pedantic(suite.fig1a, rounds=1, iterations=1)
+    models = [m for m in suite.models] + ["average"]
+    rows = [[model] + [result[dev][model] for dev in result]
+            for model in models]
+    emit(format_table(["model"] + list(result), rows,
+                      title="Fig 1(a): cold/hot slowdown per device",
+                      precision=1))
+    for device, per_model in result.items():
+        assert per_model["average"] > 10, device
+    assert (result["6900XT"]["average"] > result["MI100"]["average"]
+            > result["A100"]["average"])
+
+
+def test_fig1b_cold_start_breakdown(benchmark, suite):
+    result = benchmark.pedantic(suite.fig1b, rounds=1, iterations=1)
+    phases = list(next(iter(result.values())))
+    rows = [[model] + [row[p] for p in phases]
+            for model, row in result.items()]
+    emit(format_table(["model"] + phases, rows,
+                      title="Fig 1(b): baseline cold-start breakdown "
+                            "(fractions of total)",
+                      precision=3))
+    assert result["average"]["code_loading"] > 0.55
+    assert result["average"]["gpu_execution"] < 0.15

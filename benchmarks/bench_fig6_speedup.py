@@ -1,0 +1,31 @@
+"""Fig. 6: (a) end-to-end cold-start speedups, (b) GPU utilization.
+
+Paper values for reference: average speedups PaSK 5.62x, NNV12 3.04x,
+Ideal 7.75x; average utilizations NNV12 8.2%, PaSK 25.9%, Ideal 68.5%.
+"""
+
+from conftest import emit
+
+from repro.report import format_table
+
+
+def test_fig6a_speedups(benchmark, suite):
+    result = benchmark.pedantic(suite.fig6a, rounds=1, iterations=1)
+    models = suite.models + ["average"]
+    rows = [[m] + [result[s][m] for s in result] for m in models]
+    emit(format_table(["model"] + list(result), rows,
+                      title="Fig 6(a): cold-start speedup over Baseline"))
+    averages = {s: result[s]["average"] for s in result}
+    assert averages["Ideal"] > averages["PaSK"] > averages["NNV12"] > 1.0
+    assert 3.0 <= averages["PaSK"] <= 7.0
+
+
+def test_fig6b_utilization(benchmark, suite):
+    result = benchmark.pedantic(suite.fig6b, rounds=1, iterations=1)
+    models = suite.models + ["average"]
+    rows = [[m] + [result[s][m] for s in result] for m in models]
+    emit(format_table(["model"] + list(result), rows,
+                      title="Fig 6(b): GPU utilization during cold start",
+                      precision=3))
+    averages = {s: result[s]["average"] for s in result}
+    assert averages["Ideal"] > averages["PaSK"] > averages["NNV12"]

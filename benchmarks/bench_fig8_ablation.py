@@ -1,0 +1,26 @@
+"""Fig. 8: normalized performance of PaSK-I and PaSK-R vs full PaSK.
+
+Paper observations reproduced: both variants never beat PaSK; the gap
+nearly vanishes on the transformer models (a single reusable primitive
+operator); PaSK-R's deficit tracks its extra applicability lookups.
+"""
+
+from conftest import emit
+
+from repro.report import format_table
+from repro.serving.experiments import TRANSFORMER_MODELS
+
+
+def test_fig8_ablation(benchmark, suite):
+    result = benchmark.pedantic(suite.fig8, rounds=1, iterations=1)
+    models = suite.models + ["average"]
+    rows = [[m] + [result[s][m] for s in result] for m in models]
+    emit(format_table(["model"] + list(result), rows,
+                      title="Fig 8: performance normalized to PaSK"))
+    for scheme, per_model in result.items():
+        for model, value in per_model.items():
+            assert value <= 1.0 + 1e-9, (scheme, model)
+    for model in TRANSFORMER_MODELS:
+        assert result["PaSK-I"][model] > 0.95
+    assert result["PaSK-I"]["average"] < 0.85
+    assert result["PaSK-R"]["average"] < 0.85

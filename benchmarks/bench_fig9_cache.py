@@ -1,0 +1,22 @@
+"""Fig. 9: cache hit rate and applicability lookups per query.
+
+Paper values for reference: 69.7% average hit rate; 1.22 lookups/query
+for the categorical cache vs 1.89 for the naive organization.
+Transformers are omitted (single primitive operator), as in the paper.
+"""
+
+from conftest import emit
+
+from repro.report import format_table
+
+
+def test_fig9_cache_statistics(benchmark, suite):
+    result = benchmark.pedantic(suite.fig9, rounds=1, iterations=1)
+    metrics = list(next(iter(result.values())))
+    rows = [[m] + [row[k] for k in metrics] for m, row in result.items()]
+    emit(format_table(["model"] + metrics, rows,
+                      title="Fig 9: categorical cache statistics"))
+    assert 0.50 <= result["average"]["hit_rate"] <= 0.95
+    assert (result["average"]["lookups_categorical"]
+            < result["average"]["lookups_naive"])
+    assert result["eff"]["hit_rate"] > result["alex"]["hit_rate"]

@@ -1,0 +1,53 @@
+"""Robustness: are the paper's shapes stable under cost-model changes?
+
+Sweeps the single most influential calibration constant -- the reactive
+load penalty -- across a wide range and checks that the headline
+ordering (Ideal > PaSK > NNV12 > Baseline) survives everywhere.  The
+absolute speedups move, the conclusions do not.
+"""
+
+import dataclasses
+
+from conftest import emit
+
+from repro.core.schemes import Scheme
+from repro.gpu import MI100
+from repro.report import format_table
+from repro.serving.metrics import mean
+from repro.serving.server import InferenceServer
+
+PENALTIES = (1.0, 1.5, 2.3, 3.0)
+MODELS = ("vgg", "res", "eff", "ssd")
+SCHEMES = (Scheme.NNV12, Scheme.PASK, Scheme.IDEAL)
+
+
+def test_sensitivity_reactive_penalty(benchmark):
+    def experiment():
+        table = {}
+        for penalty in PENALTIES:
+            device = dataclasses.replace(MI100,
+                                         reactive_load_penalty=penalty)
+            server = InferenceServer(device)
+            speedups = {}
+            for scheme in SCHEMES:
+                values = []
+                for model in MODELS:
+                    base = server.serve_cold(model, Scheme.BASELINE)
+                    run = server.serve_cold(model, scheme)
+                    values.append(base.total_time / run.total_time)
+                speedups[scheme.label] = mean(values)
+            table[penalty] = speedups
+        return table
+
+    result = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    rows = [[p] + [result[p][s.label] for s in SCHEMES] for p in PENALTIES]
+    emit(format_table(["reactive penalty"] + [s.label for s in SCHEMES],
+                      rows,
+                      title="Sensitivity: average conv-model speedup vs "
+                            "reactive-load penalty"))
+    for penalty in PENALTIES:
+        speedups = result[penalty]
+        assert speedups["Ideal"] > speedups["PaSK"] > 1.0
+        assert speedups["PaSK"] > speedups["NNV12"] * 0.95
+    # Larger penalties widen PASK's advantage (it avoids reactive loads).
+    assert result[3.0]["PaSK"] > result[1.0]["PaSK"]

@@ -1,0 +1,26 @@
+"""Table II: cold-start speedup with varying inference batch sizes.
+
+Paper values for reference (batch 1 -> 128): NNV12 3.04->1.74x,
+PaSK 5.62->3.10x, Ideal 7.75->6.41x -- all decreasing with batch size.
+"""
+
+from conftest import emit
+
+from repro.report import format_table
+from repro.serving.experiments import DEFAULT_BATCHES
+
+
+def test_table2_batch_size_sweep(benchmark, suite):
+    result = benchmark.pedantic(
+        lambda: suite.table2(batches=DEFAULT_BATCHES),
+        rounds=1, iterations=1)
+    rows = [[scheme] + [per_batch[b] for b in DEFAULT_BATCHES]
+            for scheme, per_batch in result.items()]
+    emit(format_table(["scheme"] + [str(b) for b in DEFAULT_BATCHES], rows,
+                      title="Table II: speedup vs batch size"))
+    for scheme, per_batch in result.items():
+        values = [per_batch[b] for b in DEFAULT_BATCHES]
+        assert values == sorted(values, reverse=True), scheme
+    for batch in DEFAULT_BATCHES:
+        assert (result["Ideal"][batch] > result["PaSK"][batch]
+                > result["NNV12"][batch])

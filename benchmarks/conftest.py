@@ -1,0 +1,22 @@
+"""Shared fixtures for the benchmark harness.
+
+All figure/table benches share one memoized :class:`ExperimentSuite`, so
+a full ``pytest benchmarks/ --benchmark-only`` session simulates each
+(device, model, scheme, batch) combination exactly once.  Run with ``-s``
+to see the regenerated tables/figures inline.
+"""
+
+import pytest
+
+from repro.serving.experiments import ExperimentSuite
+
+
+@pytest.fixture(scope="session")
+def suite():
+    return ExperimentSuite("MI100")
+
+
+def emit(text: str) -> None:
+    """Print a regenerated table/figure (visible with ``pytest -s``)."""
+    print()
+    print(text)

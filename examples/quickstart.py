@@ -1,0 +1,49 @@
+"""Quickstart: cold-start one model under every serving scheme.
+
+Run:  python examples/quickstart.py [model] [device]
+e.g.  python examples/quickstart.py res MI100
+"""
+
+import sys
+
+from repro import InferenceServer, Scheme
+from repro.report import format_table
+
+
+def main(model: str = "res", device: str = "MI100") -> None:
+    server = InferenceServer(device)
+
+    hot = server.serve_hot(model)
+    print(f"Model {model!r} on {device}: hot (successive-iteration) run "
+          f"takes {hot.total_time * 1e3:.2f} ms\n")
+
+    baseline = server.serve_cold(model, Scheme.BASELINE)
+    rows = []
+    for scheme in [Scheme.BASELINE, Scheme.NNV12, Scheme.PASK_I,
+                   Scheme.PASK_R, Scheme.PASK, Scheme.IDEAL]:
+        result = server.serve_cold(model, scheme)
+        rows.append([
+            scheme.label,
+            result.total_time * 1e3,
+            baseline.total_time / result.total_time,
+            result.loads,
+            result.gpu_utilization,
+            result.reused_layers,
+        ])
+    print(format_table(
+        ["scheme", "cold ms", "speedup", "loads", "gpu util", "reused"],
+        rows, title=f"Cold-start comparison for {model!r}"))
+
+    pask = server.serve_cold(model, Scheme.PASK)
+    print(f"\nPaSK details: milestone layer = {pask.milestone}, "
+          f"skipped loads = {pask.skipped_loads}")
+    if pask.cache_stats and pask.cache_stats.queries:
+        print(f"categorical cache: hit rate "
+              f"{pask.cache_stats.hit_rate:.0%}, "
+              f"{pask.cache_stats.lookups_per_query:.2f} lookups/query")
+    print(f"cold/hot slowdown without PASK: "
+          f"{baseline.total_time / hot.total_time:.1f}x")
+
+
+if __name__ == "__main__":
+    main(*(sys.argv[1:3] or []))

@@ -1,0 +1,61 @@
+"""PASK reproduction: proactive and selective kernel loading on (simulated) GPUs.
+
+This package reproduces "PASK: Cold Start Mitigation for Inference with
+Proactive and Selective Kernel Loading on GPUs" (DAC 2025) as a deterministic
+discrete-event simulation of the full inference software stack:
+
+- :mod:`repro.sim` -- discrete-event simulation substrate (processes,
+  channels, simulated clock, event tracing).
+- :mod:`repro.gpu` -- GPU device models and a HIP-like runtime with lazy
+  kernel code-object loading.
+- :mod:`repro.tensors` / :mod:`repro.graph` -- tensor descriptors and an
+  ONNX-like computation-graph representation.
+- :mod:`repro.engine` -- a MIGraphX-like inference engine (lowering,
+  optimization passes, lowered-program serialization, model registry).
+- :mod:`repro.primitive` -- a MIOpen-like DL primitive library (problems,
+  pattern-organized solver ladders, find-db, applicability checking) plus a
+  separate hipBLAS-like GEMM library.
+- :mod:`repro.core` -- PASK itself: interleaved execution, milestone logic,
+  Algorithm 1 selective reuse, the categorical solution cache, and the six
+  evaluated schemes.
+- :mod:`repro.models` -- the twelve DNN models of Table I.
+- :mod:`repro.serving` -- cold/hot serving harness, metrics and the
+  experiment runners behind every figure and table of the paper.
+
+Quickstart::
+
+    from repro import serve_cold, Scheme
+    result = serve_cold("resnet34", scheme=Scheme.PASK)
+    print(result.total_time)
+"""
+
+from repro._version import __version__
+
+__all__ = [
+    "__version__",
+    "Scheme",
+    "InferenceServer",
+    "ServeResult",
+    "serve_cold",
+    "serve_hot",
+]
+
+_LAZY_EXPORTS = {
+    "Scheme": ("repro.core.schemes", "Scheme"),
+    "InferenceServer": ("repro.serving.server", "InferenceServer"),
+    "ServeResult": ("repro.serving.server", "ServeResult"),
+    "serve_cold": ("repro.serving.server", "serve_cold"),
+    "serve_hot": ("repro.serving.server", "serve_hot"),
+}
+
+
+def __getattr__(name):
+    """Lazily resolve the public serving API to avoid heavy import cycles."""
+    try:
+        module_name, attr = _LAZY_EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}") from None
+    import importlib
+
+    module = importlib.import_module(module_name)
+    return getattr(module, attr)

@@ -1,0 +1,237 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+- ``models`` — list the Table I model zoo.
+- ``serve MODEL`` — one cold (or hot) run, with scheme/batch/device knobs.
+- ``experiment NAME`` — regenerate a figure/table (fig1a ... fig9, all).
+- ``session MODEL`` — consecutive requests on one instance, with or
+  without Sec. VI interval preloading.
+- ``cluster MODEL`` — replay a Poisson trace against an autoscaled pool.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.schemes import Scheme
+from repro.models import MODEL_INFO, list_models
+from repro.report import format_table
+from repro.serving.cluster import ClusterConfig, ClusterSimulator
+from repro.serving.experiments import DEFAULT_BATCHES, ExperimentSuite
+from repro.serving.requests import poisson_trace
+from repro.serving.server import InferenceServer
+
+__all__ = ["main", "build_parser"]
+
+_SCHEMES = {s.label.lower(): s for s in Scheme}
+_EXPERIMENTS = ("fig1a", "fig1b", "fig6a", "fig6b", "table2", "fig7",
+                "fig8", "fig9")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PASK (DAC 2025) reproduction: cold-start experiments "
+                    "on a simulated GPU inference stack.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("models", help="list the Table I model zoo")
+
+    serve = sub.add_parser("serve", help="run one cold (or hot) request")
+    serve.add_argument("model", help="model abbreviation (e.g. res)")
+    serve.add_argument("--scheme", default="baseline",
+                       choices=sorted(_SCHEMES),
+                       help="serving scheme (default: baseline)")
+    serve.add_argument("--batch", type=int, default=1)
+    serve.add_argument("--device", default="MI100",
+                       choices=["MI100", "A100", "6900XT"])
+    serve.add_argument("--hot", action="store_true",
+                       help="run a successive-iteration (hot) request")
+    serve.add_argument("--timeline", action="store_true",
+                       help="render an ASCII Gantt of the execution")
+
+    experiment = sub.add_parser("experiment",
+                                help="regenerate a paper figure/table")
+    experiment.add_argument("name", choices=_EXPERIMENTS + ("all",))
+    experiment.add_argument("--device", default="MI100",
+                            choices=["MI100", "A100", "6900XT"])
+
+    session = sub.add_parser("session",
+                             help="consecutive requests on one instance")
+    session.add_argument("model")
+    session.add_argument("--requests", type=int, default=3)
+    session.add_argument("--interval-ms", type=float, default=50.0)
+    session.add_argument("--no-preload", action="store_true",
+                         help="disable Sec. VI interval preloading")
+    session.add_argument("--device", default="MI100",
+                         choices=["MI100", "A100", "6900XT"])
+
+    cluster = sub.add_parser("cluster",
+                             help="replay a Poisson trace on a pool")
+    cluster.add_argument("model")
+    cluster.add_argument("--scheme", default="baseline",
+                         choices=sorted(_SCHEMES))
+    cluster.add_argument("--rate", type=float, default=20.0,
+                         help="requests per second")
+    cluster.add_argument("--duration", type=float, default=4.0)
+    cluster.add_argument("--keep-alive", type=float, default=0.5)
+    cluster.add_argument("--instances", type=int, default=4)
+    cluster.add_argument("--seed", type=int, default=0)
+    cluster.add_argument("--device", default="MI100",
+                         choices=["MI100", "A100", "6900XT"])
+
+    validate = sub.add_parser(
+        "validate", help="check the reproduction's acceptance criteria")
+    validate.add_argument("--device", default="MI100",
+                          choices=["MI100", "A100", "6900XT"])
+    return parser
+
+
+def _cmd_models(out) -> int:
+    rows = []
+    for abbr in list_models():
+        info = MODEL_INFO[abbr]
+        rows.append([abbr, info.full_name, info.model_type,
+                     info.paper_primitive_layers])
+    out(format_table(["abbr", "model", "type", "# primitive layers (paper)"],
+                     rows, title="Table I model zoo"))
+    return 0
+
+
+def _cmd_serve(args, out) -> int:
+    server = InferenceServer(args.device)
+    if args.hot:
+        result = server.serve_hot(args.model, args.batch)
+        out(f"{args.model} hot run on {args.device}: "
+            f"{result.total_time * 1e3:.2f} ms")
+        return 0
+    scheme = _SCHEMES[args.scheme]
+    result = server.serve_cold(args.model, scheme, args.batch)
+    out(f"{args.model} cold start under {scheme.label} on {args.device} "
+        f"(batch {args.batch}): {result.total_time * 1e3:.2f} ms")
+    out(f"  loads: {result.loads}  gpu utilization: "
+        f"{result.gpu_utilization:.1%}")
+    if result.cache_stats and result.cache_stats.queries:
+        out(f"  reuse: {result.reused_layers} layers, hit rate "
+            f"{result.cache_stats.hit_rate:.0%}, "
+            f"{result.cache_stats.lookups_per_query:.2f} lookups/query, "
+            f"milestone layer {result.milestone}")
+    if args.timeline:
+        from repro.report import render_timeline
+        out("")
+        out(render_timeline(result.trace, total_time=result.total_time))
+    return 0
+
+
+def _render_experiment(suite: ExperimentSuite, name: str, out) -> None:
+    if name == "fig1a":
+        data = suite.fig1a()
+        models = suite.models + ["average"]
+        rows = [[m] + [data[d][m] for d in data] for m in models]
+        out(format_table(["model"] + list(data), rows,
+                         title="Fig 1(a): cold/hot slowdown", precision=1))
+        return
+    if name == "table2":
+        data = suite.table2(batches=DEFAULT_BATCHES)
+        rows = [[s] + [data[s][b] for b in DEFAULT_BATCHES] for s in data]
+        out(format_table(["scheme"] + [str(b) for b in DEFAULT_BATCHES],
+                         rows, title="Table II: speedup vs batch size"))
+        return
+    runner = getattr(suite, name)
+    data = runner()
+    if name in ("fig6a", "fig6b", "fig8"):
+        models = suite.models + ["average"]
+        rows = [[m] + [data[s][m] for s in data] for m in models]
+        out(format_table(["model"] + list(data), rows, title=name,
+                         precision=3 if name == "fig6b" else 2))
+        return
+    # fig1b / fig7 / fig9: per-model dicts of metrics.
+    metrics = list(next(iter(data.values())))
+    rows = [[m] + [data[m][k] for k in metrics] for m in data]
+    out(format_table(["model"] + metrics, rows, title=name, precision=3))
+
+
+def _cmd_experiment(args, out) -> int:
+    suite = ExperimentSuite(args.device)
+    names = _EXPERIMENTS if args.name == "all" else (args.name,)
+    for name in names:
+        _render_experiment(suite, name, out)
+        out("")
+    return 0
+
+
+def _cmd_session(args, out) -> int:
+    server = InferenceServer(args.device)
+    results = server.serve_session(
+        args.model, Scheme.PASK, n_requests=args.requests,
+        interval_s=args.interval_ms / 1e3,
+        interval_preload=not args.no_preload)
+    rows = [[f"request {r.metadata['request']}", r.total_time * 1e3,
+             r.loads, r.reused_layers] for r in results]
+    mode = "off" if args.no_preload else "on"
+    out(format_table(["", "latency ms", "loads", "reused"], rows,
+                     title=f"{args.model}: PASK session "
+                           f"(interval preload {mode})"))
+    return 0
+
+
+def _cmd_cluster(args, out) -> int:
+    server = InferenceServer(args.device)
+    scheme = _SCHEMES[args.scheme]
+    trace = poisson_trace(args.model, args.rate, args.duration,
+                          seed=args.seed)
+    config = ClusterConfig(scheme=scheme, max_instances=args.instances,
+                           keep_alive_s=args.keep_alive)
+    stats = ClusterSimulator(server, config).run(trace)
+    out(f"{len(trace)} requests of {args.model!r} under {scheme.label} "
+        f"({args.instances} instances, keep-alive {args.keep_alive}s):")
+    out(f"  cold starts: {stats.cold_starts} "
+        f"({stats.cold_start_fraction:.0%})")
+    out(f"  latency mean {stats.mean_latency * 1e3:.2f} ms, "
+        f"p50 {stats.percentile(0.5) * 1e3:.2f} ms, "
+        f"p99 {stats.percentile(0.99) * 1e3:.2f} ms")
+    return 0
+
+
+def _cmd_validate(args, out) -> int:
+    from repro.serving.validation import validate
+    suite = ExperimentSuite(args.device)
+    outcomes = validate(suite)
+    failures = 0
+    for criterion, passed in outcomes:
+        status = "PASS" if passed else "FAIL"
+        failures += not passed
+        out(f"[{status}] {criterion.name}: {criterion.description}")
+    out("")
+    out(f"{len(outcomes) - failures}/{len(outcomes)} criteria satisfied")
+    return 1 if failures else 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+
+    def out(text: str = "") -> None:
+        print(text)
+
+    if args.command == "models":
+        return _cmd_models(out)
+    if args.command == "serve":
+        return _cmd_serve(args, out)
+    if args.command == "experiment":
+        return _cmd_experiment(args, out)
+    if args.command == "session":
+        return _cmd_session(args, out)
+    if args.command == "cluster":
+        return _cmd_cluster(args, out)
+    if args.command == "validate":
+        return _cmd_validate(args, out)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,38 @@
+"""PASK: proactive and selective kernel loading middleware.
+
+The paper's contribution, built on the substrates:
+
+- :mod:`repro.core.cache` -- the categorical solution cache (Sec. III-C)
+  and the naive exhaustive cache used by the PaSK-R ablation.
+- :mod:`repro.core.milestone` -- the milestone-layer tracker (Sec. III-A).
+- :mod:`repro.core.middleware` -- proactively interleaved execution with
+  parse / load / issue host threads and Algorithm 1 selective reuse
+  (Sec. III-A/B).
+- :mod:`repro.core.schemes` -- the six evaluated serving schemes
+  (Baseline, NNV12, Ideal, PaSK, PaSK-I, PaSK-R) behind one executor
+  interface.
+"""
+
+from repro.core.cache import (
+    CacheStats,
+    CategoricalSolutionCache,
+    LoadedInstance,
+    NaiveSolutionCache,
+)
+from repro.core.milestone import MilestoneTracker
+from repro.core.results import ExecutionResult
+from repro.core.schemes import Scheme, build_executor
+from repro.core.middleware import PaskConfig, PaskMiddleware
+
+__all__ = [
+    "CacheStats",
+    "CategoricalSolutionCache",
+    "ExecutionResult",
+    "LoadedInstance",
+    "MilestoneTracker",
+    "NaiveSolutionCache",
+    "PaskConfig",
+    "PaskMiddleware",
+    "Scheme",
+    "build_executor",
+]

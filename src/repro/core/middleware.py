@@ -1,0 +1,317 @@
+"""PASK's proactively interleaved execution (Sec. III-A, III-B, III-D).
+
+Three host threads -- parser, loader, issuer -- run as simulation
+processes connected by SPSC channels, exactly as in the paper's
+implementation.  The loader applies Algorithm 1 after the milestone:
+use the desired solution if its binary is resident, otherwise query the
+solution cache for a reusable instance, and only load from scratch when
+no substitute exists.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Tuple
+
+from repro.tensors import DataType
+
+from repro.core.cache import (
+    CategoricalSolutionCache,
+    LoadedInstance,
+    NaiveSolutionCache,
+    QueryResult,
+)
+from repro.primitive.problem import PrimitiveKind
+from repro.core.milestone import MilestoneTracker
+from repro.engine.instruction import Instruction, InstrKind
+from repro.engine.program import Program
+from repro.gpu.runtime import HipRuntime
+from repro.primitive.blas import BlasLibrary
+from repro.primitive.library import MIOpenLibrary
+from repro.primitive.perf_model import kernel_time
+from repro.sim.channel import Channel, ChannelClosed
+from repro.sim.core import Environment
+from repro.sim.trace import Phase
+
+__all__ = ["PaskConfig", "PaskMiddleware", "PLAN_DESIRED", "PLAN_REUSE"]
+
+PLAN_DESIRED = "desired"
+PLAN_REUSE = "reuse"
+PLAN_ENGINE = "engine"
+PLAN_BLAS = "blas"
+PLAN_NOOP = "noop"
+
+_ENGINE_KERNEL_EFFICIENCY = 0.60
+_CACHE_OP_OVERHEAD_S = 2e-6
+
+
+def _as_fp32(problem):
+    """The same problem computed in full precision."""
+    return dataclasses.replace(problem, dtype=DataType.FP32)
+
+
+@dataclass(frozen=True)
+class PaskConfig:
+    """Feature switches distinguishing PaSK from its ablations.
+
+    The last two flags implement the Sec. VI extensions: ``manage_blas``
+    applies PASK's proactive loading and reuse to the BLAS library's GEMM
+    kernels ("trivial to extend ... if similar modifications are applied
+    to hipBLAS"), and ``precision_fallback`` lets a low-precision layer
+    run on an already-loaded high-precision binary instead of loading the
+    absent low-precision one.
+    """
+
+    reuse_enabled: bool = True       # False => PaSK-I
+    categorical_cache: bool = True   # False => naive exhaustive cache
+    # The parser races ahead of the loader by design (the milestone logic
+    # depends on it), so the parse->load channel is unbounded by default.
+    load_channel_capacity: Optional[int] = None
+    manage_blas: bool = False        # Sec. VI: extend PASK to hipBLAS
+    precision_fallback: bool = False  # Sec. VI: mixed-precision reuse
+    # Ablation knobs (not paper variants):
+    cache_mru: bool = True            # recency-ordered categorical lists
+    reuse_before_milestone: bool = False  # skip the milestone gate
+
+
+@dataclass
+class _Shared:
+    """State shared between the three threads."""
+
+    reused_layers: int = 0
+    skipped_loads: int = 0
+    issue_errors: List[BaseException] = field(default_factory=list)
+    # Desired solutions whose loads were skipped by reuse: candidates for
+    # loading in the interval between requests (Sec. VI).
+    skipped_desired: List[Tuple[Any, Any]] = field(default_factory=list)
+
+
+class PaskMiddleware:
+    """The PASK middleware bound to one runtime and one program run."""
+
+    def __init__(self, env: Environment, runtime: HipRuntime,
+                 library: MIOpenLibrary, blas: BlasLibrary,
+                 config: Optional[PaskConfig] = None,
+                 cache=None) -> None:
+        self.env = env
+        self.runtime = runtime
+        self.library = library
+        self.blas = blas
+        self.config = config or PaskConfig()
+        # The cache persists for the life of the middleware process; pass
+        # one in to share it across consecutive requests/models.
+        if cache is not None:
+            self.cache = cache
+        else:
+            self.cache = (CategoricalSolutionCache(mru=self.config.cache_mru)
+                          if self.config.categorical_cache
+                          else NaiveSolutionCache())
+        self.tracker: Optional[MilestoneTracker] = None
+        self.shared = _Shared()
+        self._engine_bundle = None
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+    def execute(self, program: Program):
+        """Run ``program`` (generator; drive inside a process).
+
+        Returns a dict of run statistics once the last kernel completes.
+        """
+        env = self.env
+        self.tracker = MilestoneTracker(len(program))
+        self._engine_bundle = program.engine_bundle
+        parse_to_load = Channel(env, self.config.load_channel_capacity,
+                                name="parse->load")
+        load_to_issue = Channel(env, None, name="load->issue")
+
+        parser = env.process(self._parser(program, parse_to_load), "pask-parser")
+        loader = env.process(self._loader(parse_to_load, load_to_issue),
+                             "pask-loader")
+        issuer = env.process(self._issuer(load_to_issue), "pask-issuer")
+        yield env.all_of([parser, loader, issuer])
+        yield from self.runtime.synchronize()
+        if self.shared.issue_errors:
+            raise self.shared.issue_errors[0]
+        return {
+            "milestone": self.tracker.milestone,
+            "reused_layers": self.shared.reused_layers,
+            "skipped_loads": self.shared.skipped_loads,
+            "cache_stats": self.cache.stats,
+            "skipped_desired": list(self.shared.skipped_desired),
+        }
+
+    # ------------------------------------------------------------------
+    # Parser thread
+    # ------------------------------------------------------------------
+    def _parser(self, program: Program, out: Channel):
+        for instr in program.instructions:
+            start = self.env.now
+            yield self.env.timeout(instr.parse_cost_s)
+            self.runtime.trace.record(start, self.env.now, "parser",
+                                      Phase.PARSE, instr.name)
+            self.tracker.record_parsed()
+            yield out.put(instr)
+        out.close()
+
+    # ------------------------------------------------------------------
+    # Loader thread
+    # ------------------------------------------------------------------
+    def _loader(self, inbox: Channel, out: Channel):
+        while True:
+            instr = yield inbox.get()
+            if instr is ChannelClosed:
+                out.close()
+                return
+            plan = yield from self._plan_instruction(instr)
+            yield out.put(plan)
+
+    def _plan_instruction(self, instr: Instruction):
+        """Decide how ``instr`` executes; perform proactive loads."""
+        if instr.kind is InstrKind.NOOP:
+            return (instr, PLAN_NOOP, None)
+        if instr.kind is InstrKind.BLAS_GEMM:
+            if not self.config.manage_blas:
+                # hipBLAS loads internally; stock PASK cannot preload it.
+                return (instr, PLAN_BLAS, None)
+            # Sec. VI extension: PASK hooked into the BLAS library too.
+            desired = self.blas.find_best(instr.problem)
+            plan = yield from self._plan_primitive(instr, desired,
+                                                   instr.problem)
+            return plan
+        if instr.kind is InstrKind.ENGINE_KERNEL:
+            yield from self.runtime.module_load(self._engine_bundle,
+                                                actor="loader")
+            return (instr, PLAN_ENGINE, None)
+
+        desired = self.library.solution_by_name(instr.solution_name)
+        plan = yield from self._plan_primitive(instr, desired, instr.problem)
+        return plan
+
+    def _plan_primitive(self, instr: Instruction, desired, problem):
+        main_co = desired.code_object_for(problem)
+        casts = desired.transform_code_objects(problem)
+
+        gpu_idle = self.runtime.stream.available_at <= self.env.now
+        at_or_past_milestone = (self.tracker.check(instr.index, gpu_idle)
+                                or self.config.reuse_before_milestone)
+
+        if self.runtime.is_loaded(main_co.name):
+            # Desired solution already resident (Algorithm 1 line 3).
+            yield from self._load_all(casts)
+            self._cache_insert(LoadedInstance(desired, problem))
+            return (instr, PLAN_DESIRED, desired)
+
+        if (self.config.reuse_enabled and at_or_past_milestone
+                and len(self.cache)):
+            result = self.cache.get_sub_solution(desired, problem)
+            run_problem = problem
+            if (not result.hit and self.config.precision_fallback
+                    and problem.dtype.is_low_precision):
+                # Sec. VI extension: "one may choose to still use
+                # high-precision data types if the corresponding kernels
+                # are already loaded while the low-precision ones are
+                # not".  Check whether the fp32-equivalent problem's
+                # desired binary is resident; fall back to a cache query
+                # on the fp32 problem otherwise.
+                fp32_problem = _as_fp32(problem)
+                fp32_desired = (self.blas.find_best(fp32_problem)
+                                if fp32_problem.kind is PrimitiveKind.GEMM
+                                else self.library.find_best(fp32_problem))
+                fp32_co = fp32_desired.code_object_for(fp32_problem)
+                if self.runtime.is_loaded(fp32_co.name):
+                    fp32_hit = QueryResult(
+                        LoadedInstance(fp32_desired, fp32_problem),
+                        lookups=1, check_cost_s=fp32_desired.check_cost_s)
+                    self.cache.stats.observe(fp32_hit)
+                    result = fp32_hit
+                else:
+                    result = self.cache.get_sub_solution(fp32_desired,
+                                                         fp32_problem)
+                run_problem = fp32_problem
+            if result.check_cost_s > 0:
+                start = self.env.now
+                yield self.env.timeout(result.check_cost_s)
+                self.runtime.trace.record(start, self.env.now, "loader",
+                                          Phase.CHECK, instr.name,
+                                          lookups=result.lookups)
+            yield from self._bill_overhead()
+            if result.hit:
+                instance = result.instance
+                # The substitute's binary is resident; only layout casts
+                # for the *new* problem may still need loading, which is
+                # far cheaper than loading the desired solution chain.
+                yield from self._load_all(
+                    instance.solution.transform_code_objects(run_problem))
+                self.shared.reused_layers += 1
+                self.shared.skipped_loads += 1
+                self.shared.skipped_desired.append((desired, problem))
+                return (instr, PLAN_REUSE, (instance, run_problem))
+
+        # No substitute: load the desired solution from scratch.
+        yield from self._load_all((main_co,) + casts)
+        self._cache_insert(LoadedInstance(desired, problem))
+        return (instr, PLAN_DESIRED, desired)
+
+    def _load_all(self, code_objects):
+        for code_object in code_objects:
+            yield from self.runtime.module_load(code_object, actor="loader")
+
+    def _cache_insert(self, instance: LoadedInstance):
+        self.cache.insert(instance)
+
+    def _bill_overhead(self):
+        start = self.env.now
+        yield self.env.timeout(_CACHE_OP_OVERHEAD_S)
+        self.runtime.trace.record(start, self.env.now, "loader",
+                                  Phase.OVERHEAD, "cache-op")
+
+    # ------------------------------------------------------------------
+    # Issuer thread
+    # ------------------------------------------------------------------
+    def _issuer(self, inbox: Channel):
+        while True:
+            item = yield inbox.get()
+            if item is ChannelClosed:
+                return
+            instr, plan, payload = item
+            completion = None
+            if plan is PLAN_NOOP:
+                self.tracker.record_executed(instr.index)
+                continue
+            if plan is PLAN_BLAS:
+                completion = yield from self.blas.run_gemm(
+                    self.runtime, instr.problem, actor="issuer",
+                    label=instr.name)
+            elif plan is PLAN_ENGINE:
+                kernel = instr.engine_kernel
+                duration = kernel_time(kernel.flops, kernel.bytes_moved,
+                                       _ENGINE_KERNEL_EFFICIENCY,
+                                       self.runtime.device)
+                completion = yield from self.runtime.launch_kernel(
+                    self._engine_bundle, kernel.name,
+                    duration, actor="issuer", label=instr.name, lazy=False)
+            elif plan is PLAN_DESIRED:
+                completion = yield from self.library.run_solution(
+                    self.runtime, instr.problem, payload, actor="issuer",
+                    label=instr.name, lazy=False)
+            elif plan is PLAN_REUSE:
+                instance, run_problem = payload
+                completion = yield from self.library.run_solution(
+                    self.runtime, run_problem, instance.solution,
+                    tuned_for=instance.tuned_for, actor="issuer",
+                    label=f"{instr.name}/reused", lazy=False)
+            else:  # pragma: no cover - defensive
+                raise RuntimeError(f"unknown plan {plan!r}")
+            if completion is not None:
+                self._watch_completion(completion, instr.index)
+
+    def _watch_completion(self, completion, index: int):
+        tracker = self.tracker
+
+        def watcher():
+            yield completion
+            tracker.record_executed(index)
+
+        self.env.process(watcher(), name=f"watch-{index}")

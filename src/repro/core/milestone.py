@@ -1,0 +1,71 @@
+"""Milestone-layer tracking (Sec. III-A).
+
+The milestone is the layer *m* at which (a) all *n* layers have been
+parsed and (b) every layer up to and including *m* has finished executing
+on the GPU.  Before *m* PASK unconditionally loads missing solutions (the
+loader is the bottleneck and the loads double as cache seeds); after *m*
+it reuses selectively.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = ["MilestoneTracker"]
+
+
+class MilestoneTracker:
+    """Detects the milestone layer from pipeline progress signals."""
+
+    def __init__(self, total_layers: int) -> None:
+        if total_layers <= 0:
+            raise ValueError(f"need at least one layer, got {total_layers}")
+        self.total_layers = total_layers
+        self.parsed = 0
+        self.executed_through = -1        # highest fully executed index
+        self._milestone: Optional[int] = None
+
+    @property
+    def parse_done(self) -> bool:
+        """Whether all layers have been parsed."""
+        return self.parsed >= self.total_layers
+
+    @property
+    def reached(self) -> bool:
+        """Whether the milestone has been passed."""
+        return self._milestone is not None
+
+    @property
+    def milestone(self) -> Optional[int]:
+        """The milestone layer index (None until reached)."""
+        return self._milestone
+
+    def record_parsed(self) -> None:
+        """One more layer parsed."""
+        if self.parsed >= self.total_layers:
+            raise ValueError("parsed more layers than the program has")
+        self.parsed += 1
+
+    def record_executed(self, index: int) -> None:
+        """Layer ``index`` finished executing (indices may arrive in order
+        or be skipped for no-op layers)."""
+        self.executed_through = max(self.executed_through, index)
+
+    def check(self, next_index: int, gpu_idle: bool) -> bool:
+        """Evaluate the milestone condition before handling ``next_index``.
+
+        Returns True (and latches) once all layers are parsed and the
+        pipeline has drained up to the previous layer.  The layer the
+        loader just forwarded (``next_index - 1``) is issued concurrently
+        at the same simulated instant, so the drain condition is checked
+        against ``next_index - 2``: kernel execution is microseconds
+        while loads are milliseconds, so by the time the loader finishes
+        layer *i*'s load, layer *i-1* has long completed.
+        """
+        if self._milestone is not None:
+            return True
+        if (self.parse_done and gpu_idle
+                and self.executed_through >= next_index - 2):
+            self._milestone = max(0, next_index - 1)
+            return True
+        return False

@@ -1,0 +1,44 @@
+"""Inter-request interval preloading (Sec. VI "Loading desired solutions").
+
+PASK selectively skips loading the originally desired solutions; the idle
+interval between two consecutive requests on the same instance is long
+enough to load them in the background.  On the next request those
+binaries are resident, so the layers run their *optimal* solutions with
+no loading and no reuse derating.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+from repro.gpu.loader import load_time
+from repro.gpu.runtime import HipRuntime
+from repro.primitive.problem import Problem
+from repro.primitive.solution import Solution
+from repro.sim.core import Environment
+
+__all__ = ["preload_during_interval"]
+
+
+def preload_during_interval(env: Environment, runtime: HipRuntime,
+                            pending: Iterable[Tuple[Solution, Problem]],
+                            deadline: float):
+    """Load skipped solutions until ``deadline`` (generator).
+
+    Loads are only started if they can finish before the deadline (a new
+    request must never wait on background loading).  Returns the number
+    of code objects loaded.
+    """
+    loaded = 0
+    for solution, problem in pending:
+        code_objects = ((solution.code_object_for(problem),)
+                        + solution.transform_code_objects(problem))
+        for code_object in code_objects:
+            if runtime.is_loaded(code_object.name):
+                continue
+            if env.now + load_time(code_object, runtime.device) > deadline:
+                return loaded
+            yield from runtime.module_load(code_object,
+                                           actor="interval-preloader")
+            loaded += 1
+    return loaded

@@ -1,0 +1,70 @@
+"""Execution results: everything the experiments measure."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.core.cache import CacheStats
+from repro.sim.trace import Phase, TraceRecorder
+
+__all__ = ["ExecutionResult"]
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of serving one inference request under one scheme."""
+
+    scheme: str
+    model: str
+    batch: int
+    total_time: float
+    trace: TraceRecorder
+    loads: int = 0
+    loaded_bytes: int = 0
+    milestone: Optional[int] = None
+    cache_stats: Optional[CacheStats] = None
+    reused_layers: int = 0
+    skipped_loads: int = 0
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def gpu_utilization(self) -> float:
+        """Fraction of the request during which the GPU computed (Fig. 6b)."""
+        return self.trace.utilization("gpu", total_time=self.total_time)
+
+    def phase_fraction(self, phase: Phase) -> float:
+        """Fraction of total time spent in ``phase`` (busy-time based)."""
+        if self.total_time <= 0:
+            return 0.0
+        return self.trace.busy_time(phase=phase) / self.total_time
+
+    def breakdown(self) -> Dict[str, float]:
+        """The Fig. 7-style breakdown: compute / loading / overhead / other.
+
+        Phases overlap under interleaved execution, so each wall-clock
+        instant is attributed exclusively, GPU compute winning first,
+        then loading, then PASK bookkeeping.  'Others' absorbs the
+        remainder (parse, issue, sync, idle waits) so the four fractions
+        sum to 1.
+        """
+        exclusive = self.trace.exclusive_fractions(
+            [Phase.EXEC, Phase.LOAD, Phase.CHECK, Phase.OVERHEAD],
+            total_time=self.total_time)
+        compute = exclusive[Phase.EXEC]
+        loading = exclusive[Phase.LOAD]
+        overhead = exclusive[Phase.CHECK] + exclusive[Phase.OVERHEAD]
+        other = max(0.0, 1.0 - compute - loading - overhead)
+        return {"gpu_compute": compute, "solution_loading": loading,
+                "pask_overhead": overhead, "others": other}
+
+    def speedup_over(self, other: "ExecutionResult") -> float:
+        """How much faster this run is than ``other`` (>1 means faster)."""
+        if self.total_time <= 0:
+            raise ValueError("cannot compute speedup of a zero-time run")
+        return other.total_time / self.total_time
+
+    def __repr__(self) -> str:
+        return (f"<ExecutionResult {self.model}/{self.scheme} "
+                f"batch={self.batch} t={self.total_time * 1e3:.2f}ms "
+                f"loads={self.loads}>")

@@ -1,0 +1,47 @@
+"""Graph-level optimization passes.
+
+The engine applies "a series of hardware-independent graph-level
+optimization passes like dead code elimination and common subexpression
+elimination" (Sec. II-A) before lowering.  The default pipeline is:
+
+1. identity elimination (drop Identity/Dropout pass-throughs),
+2. common subexpression elimination,
+3. dead code elimination,
+4. conv + batchnorm + activation fusion (MIOpen fused epilogues).
+"""
+
+from typing import List
+
+from repro.engine.passes.base import Pass
+from repro.engine.passes.cleanup import IdentityElimination
+from repro.engine.passes.cse import CommonSubexpressionElimination
+from repro.engine.passes.dce import DeadCodeElimination
+from repro.engine.passes.fusion import ConvFusion
+from repro.graph import Graph
+
+__all__ = [
+    "CommonSubexpressionElimination",
+    "ConvFusion",
+    "DeadCodeElimination",
+    "IdentityElimination",
+    "Pass",
+    "default_passes",
+    "run_passes",
+]
+
+
+def default_passes() -> List[Pass]:
+    """The standard optimization pipeline, in application order."""
+    return [
+        IdentityElimination(),
+        CommonSubexpressionElimination(),
+        DeadCodeElimination(),
+        ConvFusion(),
+    ]
+
+
+def run_passes(graph: Graph, passes=None) -> Graph:
+    """Apply ``passes`` (default pipeline if None) left to right."""
+    for opt in (default_passes() if passes is None else passes):
+        graph = opt.run(graph)
+    return graph

@@ -1,0 +1,26 @@
+"""Optimization pass interface."""
+
+from __future__ import annotations
+
+import abc
+
+from repro.graph import Graph
+
+__all__ = ["Pass"]
+
+
+class Pass(abc.ABC):
+    """A graph-to-graph transformation.
+
+    Passes must return a *valid* graph (``rebuild`` re-validates); they
+    may return the input graph unchanged when nothing applies.
+    """
+
+    name: str = "pass"
+
+    @abc.abstractmethod
+    def run(self, graph: Graph) -> Graph:
+        """Apply the transformation."""
+
+    def __repr__(self) -> str:
+        return f"<Pass {self.name}>"

@@ -1,0 +1,39 @@
+"""Identity / Dropout elimination."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.engine.passes.base import Pass
+from repro.graph import Graph, Node
+
+__all__ = ["IdentityElimination"]
+
+_PASS_THROUGH_OPS = frozenset({"Identity", "Dropout"})
+
+
+class IdentityElimination(Pass):
+    """Drop inference-time no-ops, rewiring consumers to their input."""
+
+    name = "identity-elimination"
+
+    def run(self, graph: Graph) -> Graph:
+        """Drop pass-through nodes and rewire their consumers."""
+        rename: Dict[str, str] = {}
+        kept = []
+        changed = False
+        for node in graph.nodes:
+            inputs = tuple(rename.get(t, t) for t in node.inputs)
+            if (node.op in _PASS_THROUGH_OPS
+                    and not any(out in graph.outputs for out in node.outputs)):
+                rename[node.outputs[0]] = inputs[0]
+                changed = True
+                continue
+            if inputs != node.inputs:
+                node = Node(node.name, node.op, inputs, node.outputs,
+                            dict(node.attrs))
+                changed = True
+            kept.append(node)
+        if not changed:
+            return graph
+        return graph.rebuild(kept)

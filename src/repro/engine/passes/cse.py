@@ -1,0 +1,50 @@
+"""Common subexpression elimination."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Tuple
+
+from repro.engine.passes.base import Pass
+from repro.graph import Graph, Node
+
+__all__ = ["CommonSubexpressionElimination"]
+
+
+def _hashable(value: Any) -> Any:
+    if isinstance(value, (list, tuple)):
+        return tuple(_hashable(v) for v in value)
+    if isinstance(value, dict):
+        return tuple(sorted((k, _hashable(v)) for k, v in value.items()))
+    return value
+
+
+class CommonSubexpressionElimination(Pass):
+    """Merge structurally identical nodes operating on identical inputs."""
+
+    name = "common-subexpression-elimination"
+
+    def run(self, graph: Graph) -> Graph:
+        """Merge duplicate nodes, remapping downstream inputs."""
+        rename: Dict[str, str] = {}
+        seen: Dict[Tuple, Node] = {}
+        kept = []
+        changed = False
+        for node in graph.nodes:
+            inputs = tuple(rename.get(t, t) for t in node.inputs)
+            key = (node.op, inputs, _hashable(node.attrs))
+            previous = seen.get(key)
+            if previous is not None and not any(
+                    out in graph.outputs for out in node.outputs):
+                for old, new in zip(node.outputs, previous.outputs):
+                    rename[old] = new
+                changed = True
+                continue
+            if inputs != node.inputs:
+                node = Node(node.name, node.op, inputs, node.outputs,
+                            dict(node.attrs))
+                changed = True
+            seen.setdefault(key, node)
+            kept.append(node)
+        if not changed:
+            return graph
+        return graph.rebuild(kept)

@@ -1,0 +1,29 @@
+"""Dead code elimination."""
+
+from __future__ import annotations
+
+from typing import Set
+
+from repro.engine.passes.base import Pass
+from repro.graph import Graph
+
+__all__ = ["DeadCodeElimination"]
+
+
+class DeadCodeElimination(Pass):
+    """Remove nodes whose results cannot reach any graph output."""
+
+    name = "dead-code-elimination"
+
+    def run(self, graph: Graph) -> Graph:
+        """Drop nodes that cannot reach any graph output."""
+        live: Set[str] = set(graph.outputs)
+        kept = []
+        for node in reversed(graph.nodes):
+            if any(out in live for out in node.outputs):
+                kept.append(node)
+                live.update(node.inputs)
+        kept.reverse()
+        if len(kept) == len(graph.nodes):
+            return graph
+        return graph.rebuild(kept)

@@ -1,0 +1,73 @@
+"""Conv + BatchNorm + activation fusion.
+
+MIOpen executes batch-norm folding and activation epilogues inside the
+convolution kernel; the engine therefore fuses ``Conv -> BatchNorm ->
+<activation>`` chains into one Conv node carrying ``fused_batchnorm`` /
+``fused_activation`` attributes.  Fusion requires the intermediate tensor
+to have a single consumer and not be a graph output.
+"""
+
+from __future__ import annotations
+
+from repro.engine.passes.base import Pass
+from repro.graph import Graph, Node
+
+__all__ = ["ConvFusion", "FUSABLE_ACTIVATIONS"]
+
+FUSABLE_ACTIVATIONS = frozenset({
+    "Relu", "LeakyRelu", "Clip", "Sigmoid", "Tanh", "Silu", "HardSwish",
+    "Elu",
+})
+
+
+class ConvFusion(Pass):
+    """Fuse BatchNorm and activation epilogues into preceding Convs."""
+
+    name = "conv-fusion"
+
+    def run(self, graph: Graph) -> Graph:
+        """Fuse Conv -> BatchNorm -> activation chains in place."""
+        consumed_by = {}
+        for node in graph.nodes:
+            for tensor in node.inputs:
+                consumed_by.setdefault(tensor, []).append(node)
+
+        def sole_consumer(tensor: str):
+            consumers = consumed_by.get(tensor, [])
+            if len(consumers) == 1 and tensor not in graph.outputs:
+                return consumers[0]
+            return None
+
+        fused_away = set()
+        replacements = {}
+        for node in graph.nodes:
+            if node.op != "Conv" or node.name in fused_away:
+                continue
+            attrs = dict(node.attrs)
+            tail = node
+            follower = sole_consumer(tail.outputs[0])
+            if (follower is not None
+                    and follower.op == "BatchNormalization"
+                    and "fused_batchnorm" not in attrs):
+                attrs["fused_batchnorm"] = True
+                fused_away.add(follower.name)
+                tail = follower
+                follower = sole_consumer(tail.outputs[0])
+            if (follower is not None
+                    and follower.op in FUSABLE_ACTIVATIONS
+                    and "fused_activation" not in attrs):
+                attrs["fused_activation"] = follower.op.lower()
+                fused_away.add(follower.name)
+                tail = follower
+            if tail is not node:
+                replacements[node.name] = Node(
+                    node.name, "Conv", node.inputs, tail.outputs, attrs)
+
+        if not replacements:
+            return graph
+        kept = []
+        for node in graph.nodes:
+            if node.name in fused_away:
+                continue
+            kept.append(replacements.get(node.name, node))
+        return graph.rebuild(kept)

@@ -1,0 +1,105 @@
+"""Lowered programs: the engine's serialized execution artifact."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Set, Tuple
+
+from repro.engine.instruction import Instruction, InstrKind
+from repro.gpu.codeobject import CodeObjectFile, KernelSymbol
+from repro.primitive.problem import Problem
+
+__all__ = ["Program"]
+
+
+@dataclass(frozen=True)
+class Program:
+    """An ordered sequence of lowered instructions plus metadata.
+
+    This is the ``.mgx``-file equivalent: the artifact the model registry
+    stores offline and the serving schemes parse, load and execute online.
+    """
+
+    name: str
+    instructions: Tuple[Instruction, ...]
+    batch: int = 1
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.instructions:
+            raise ValueError(f"program {self.name!r} has no instructions")
+        for position, instr in enumerate(self.instructions):
+            if instr.index != position:
+                raise ValueError(
+                    f"instruction {instr.name!r} has index {instr.index}, "
+                    f"expected {position}")
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __iter__(self):
+        return iter(self.instructions)
+
+    def of_kind(self, kind: InstrKind) -> List[Instruction]:
+        """Instructions of one kind, in program order."""
+        return [i for i in self.instructions if i.kind is kind]
+
+    @property
+    def primitive_instructions(self) -> List[Instruction]:
+        """The MIOpen-served instructions (PASK's domain)."""
+        return self.of_kind(InstrKind.MIOPEN_PRIMITIVE)
+
+    @property
+    def distinct_primitive_problems(self) -> Set[Problem]:
+        """Unique primitive problems -- Table I's '# Primitive Layers'
+        counts the distinct convolution problems."""
+        return {i.problem for i in self.primitive_instructions}
+
+    @property
+    def distinct_conv_problems(self) -> Set[Problem]:
+        """Unique convolution problems (the Table I metric)."""
+        from repro.primitive.problem import ConvProblem
+        return {p for p in self.distinct_primitive_problems
+                if isinstance(p, ConvProblem)}
+
+    @property
+    def engine_bundle(self):
+        """The per-model JIT bundle holding all engine kernels.
+
+        The engine compiles its fused elementwise/data-movement kernels
+        into one code object embedded in the lowered model file, so a
+        model pays a single load for all of them.  Returns None when the
+        program has no engine kernels.  Deterministic, so it is recomputed
+        rather than serialized.
+        """
+        names = sorted({i.engine_kernel.name
+                        for i in self.of_kind(InstrKind.ENGINE_KERNEL)})
+        if not names:
+            return None
+        symbols = tuple(KernelSymbol(name) for name in names)
+        size = 30_000 + 8_000 * len(symbols)
+        return CodeObjectFile(f"mgx_jit_{self.name}@b{self.batch}", size,
+                              symbols)
+
+    @property
+    def total_parse_cost_s(self) -> float:
+        """Summed de-serialization cost of all instructions."""
+        return sum(i.parse_cost_s for i in self.instructions)
+
+    def stats(self) -> Dict[str, Any]:
+        """Summary counters used by reports and tests."""
+        per_kind = {kind: 0 for kind in InstrKind}
+        for instr in self.instructions:
+            per_kind[instr.kind] += 1
+        return {
+            "name": self.name,
+            "batch": self.batch,
+            "instructions": len(self.instructions),
+            "per_kind": {k.value: v for k, v in per_kind.items()},
+            "distinct_primitive_problems": len(self.distinct_primitive_problems),
+            "distinct_conv_problems": len(self.distinct_conv_problems),
+        }
+
+    def __repr__(self) -> str:
+        return (f"<Program {self.name!r} n={len(self.instructions)} "
+                f"batch={self.batch}>")

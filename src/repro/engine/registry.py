@@ -1,0 +1,59 @@
+"""Model registry: stores lowered models for online serving.
+
+Serving frameworks "maintain a model registry to store the lowered model
+and directly load them when the request comes to avoid redundant
+lowering" (Sec. II-A).  The registry stores the serialized form; loading
+returns a parsed :class:`Program` (the per-instruction parse cost is
+billed online by the executors, not here).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.engine.lowering import LoweringOptions, lower
+from repro.engine.program import Program
+from repro.engine.serialize import deserialize_program, serialize_program
+from repro.graph import Graph
+from repro.primitive.library import MIOpenLibrary
+
+__all__ = ["ModelRegistry"]
+
+
+class ModelRegistry:
+    """In-memory store of serialized lowered models, keyed by name."""
+
+    def __init__(self, library: MIOpenLibrary) -> None:
+        self.library = library
+        self._store: Dict[str, str] = {}
+
+    def compile_and_register(self, graph: Graph, key: Optional[str] = None,
+                             options: Optional[LoweringOptions] = None) -> str:
+        """Offline preparation: lower ``graph`` and store the result."""
+        program = lower(graph, self.library, options)
+        key = key or program.name
+        self._store[key] = serialize_program(program)
+        return key
+
+    def register(self, program: Program, key: Optional[str] = None) -> str:
+        """Store an already-lowered program."""
+        key = key or program.name
+        self._store[key] = serialize_program(program)
+        return key
+
+    def load(self, key: str) -> Program:
+        """Fetch and parse a registered model."""
+        try:
+            payload = self._store[key]
+        except KeyError:
+            known = ", ".join(sorted(self._store)) or "<empty>"
+            raise KeyError(f"model {key!r} not registered; known: {known}") \
+                from None
+        return deserialize_program(payload)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._store
+
+    def keys(self) -> List[str]:
+        """Registered model names."""
+        return sorted(self._store)

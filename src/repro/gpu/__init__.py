@@ -1,0 +1,34 @@
+"""Simulated GPU devices and the HIP-like host runtime.
+
+This subpackage substitutes for the parts of the stack a Python layer
+cannot control on real hardware (the `repro = 2/5` gate): the HIP runtime's
+lazy code-object loading path, module/symbol management and the in-order
+GPU stream.  The loading semantics mirror Sec. II-A of the paper: before a
+kernel launches, the runtime checks whether its code object is resident in
+managed host memory; if not, it loads the ELF image, sets memory
+permissions, and resolves the target symbol -- and that loading is what
+dominates cold start.
+"""
+
+from repro.gpu.device import DeviceSpec, A100, MI100, RX6900XT, get_device, list_devices
+from repro.gpu.codeobject import CodeObjectFile, KernelSymbol
+from repro.gpu.loader import load_time, symbol_resolve_time
+from repro.gpu.runtime import HipModule, HipRuntime, KernelNotLoadedError
+from repro.gpu.stream import Stream
+
+__all__ = [
+    "A100",
+    "CodeObjectFile",
+    "DeviceSpec",
+    "HipModule",
+    "HipRuntime",
+    "KernelNotLoadedError",
+    "KernelSymbol",
+    "MI100",
+    "RX6900XT",
+    "Stream",
+    "get_device",
+    "list_devices",
+    "load_time",
+    "symbol_resolve_time",
+]

@@ -1,0 +1,33 @@
+"""Cost model for code-object loading.
+
+Loading one code object (Sec. II-A) costs: a fixed driver entry cost, the
+ELF read + relocation proportional to the image size, and a memory
+permission pass.  Symbol resolution is charged per ``hipModuleGetFunction``.
+"""
+
+from __future__ import annotations
+
+from repro.gpu.codeobject import CodeObjectFile
+from repro.gpu.device import DeviceSpec
+
+__all__ = ["load_time", "symbol_resolve_time"]
+
+
+def load_time(code_object: CodeObjectFile, device: DeviceSpec,
+              reactive: bool = False) -> float:
+    """Seconds for ``hipModuleLoad`` of ``code_object`` on ``device``.
+
+    ``reactive=True`` models the lazy launch-path load (stream sync,
+    per-module lock acquisition, scattered file access), which is slower
+    than a dedicated loader thread streaming modules back-to-back.
+    """
+    io_time = code_object.size_bytes / device.code_io_bandwidth
+    total = device.code_load_base_s + io_time + device.mem_protect_s
+    if reactive:
+        total *= device.reactive_load_penalty
+    return total
+
+
+def symbol_resolve_time(device: DeviceSpec) -> float:
+    """Seconds for one ``hipModuleGetFunction`` on ``device``."""
+    return device.symbol_resolve_s

@@ -1,0 +1,190 @@
+"""HIP-like host runtime with lazy code-object loading.
+
+The runtime owns the set of loaded modules (the "managed host memory" of
+Sec. II-A).  Its API is generator-based: callers drive it with
+``yield from`` inside a simulation process, and all costs are billed to
+the calling process on the simulated clock.
+
+Two behaviours from the paper are reproduced exactly:
+
+- **Lazy loading**: :meth:`HipRuntime.launch_kernel` loads an absent code
+  object on demand, blocking the calling (launching) thread -- the
+  reactive behaviour that produces cold-start stalls.
+- **Load coalescing**: if a second thread requests a module already being
+  loaded (PASK's loading thread racing the issuing thread), it waits on
+  the in-flight load instead of duplicating it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional, Set
+
+from repro.gpu.codeobject import CodeObjectFile
+from repro.gpu.device import DeviceSpec
+from repro.gpu.loader import load_time, symbol_resolve_time
+from repro.gpu.stream import Stream
+from repro.sim.core import Environment, Event
+from repro.sim.trace import Phase, TraceRecorder
+
+__all__ = ["HipModule", "HipRuntime", "KernelNotLoadedError"]
+
+
+class KernelNotLoadedError(Exception):
+    """Raised when launching with ``lazy=False`` and the module is absent."""
+
+
+@dataclass
+class HipModule:
+    """A loaded code object plus its resolved symbols."""
+
+    code_object: CodeObjectFile
+    loaded_at: float
+    resolved_symbols: Set[str] = field(default_factory=set)
+
+    @property
+    def name(self) -> str:
+        """The loaded code object's name."""
+        return self.code_object.name
+
+
+class HipRuntime:
+    """Simulated HIP host runtime bound to one device and one stream."""
+
+    def __init__(self, env: Environment, device: DeviceSpec,
+                 trace: Optional[TraceRecorder] = None) -> None:
+        self.env = env
+        self.device = device
+        self.trace = trace if trace is not None else TraceRecorder()
+        self.stream = Stream(env, self.trace)
+        self._modules: Dict[str, HipModule] = {}
+        self._pending: Dict[str, Event] = {}
+        self.load_count = 0
+        self.total_load_time = 0.0
+
+    # ------------------------------------------------------------------
+    # Module management
+    # ------------------------------------------------------------------
+    def is_loaded(self, code_object_name: str) -> bool:
+        """Whether a code object is resident in managed host memory."""
+        return code_object_name in self._modules
+
+    def is_loading(self, code_object_name: str) -> bool:
+        """Whether a load for this code object is currently in flight."""
+        return code_object_name in self._pending
+
+    @property
+    def loaded_modules(self) -> Dict[str, HipModule]:
+        """Mapping of loaded code-object name -> module (read-only view)."""
+        return dict(self._modules)
+
+    @property
+    def loaded_bytes(self) -> int:
+        """Total bytes of loaded code objects."""
+        return sum(m.code_object.size_bytes for m in self._modules.values())
+
+    def module_load(self, code_object: CodeObjectFile, actor: str = "host",
+                    reactive: bool = False):
+        """``hipModuleLoad``: load an ELF image (generator, yields events).
+
+        Returns the :class:`HipModule`.  Re-loading a resident module is
+        free; a load already in flight is awaited rather than duplicated.
+        ``reactive=True`` marks a lazy launch-path load, which pays the
+        device's reactive-load penalty.
+        """
+        name = code_object.name
+        if name in self._modules:
+            return self._modules[name]
+        if name in self._pending:
+            yield self._pending[name]
+            return self._modules[name]
+        done = self.env.event()
+        self._pending[name] = done
+        start = self.env.now
+        duration = load_time(code_object, self.device, reactive=reactive)
+        try:
+            yield self.env.timeout(duration)
+        finally:
+            del self._pending[name]
+        module = HipModule(code_object, loaded_at=self.env.now)
+        self._modules[name] = module
+        self.load_count += 1
+        self.total_load_time += duration
+        self.trace.record(start, self.env.now, actor, Phase.LOAD,
+                          name, size=code_object.size_bytes)
+        done.succeed(module)
+        return module
+
+    def get_function(self, module: HipModule, symbol_name: str,
+                     actor: str = "host"):
+        """``hipModuleGetFunction``: resolve a kernel symbol (generator).
+
+        The lookup cost is billed once per (module, symbol).
+        """
+        if not module.code_object.has_symbol(symbol_name):
+            raise KeyError(
+                f"module {module.name!r} exports no symbol {symbol_name!r}")
+        if symbol_name in module.resolved_symbols:
+            return symbol_name
+        start = self.env.now
+        yield self.env.timeout(symbol_resolve_time(self.device))
+        module.resolved_symbols.add(symbol_name)
+        self.trace.record(start, self.env.now, actor, Phase.LOAD,
+                          f"{module.name}:{symbol_name}")
+        return symbol_name
+
+    def preload(self, code_objects: Iterable[CodeObjectFile]) -> None:
+        """Mark code objects resident at zero cost (hot start / Ideal).
+
+        Symbols are marked resolved as well, matching a model that already
+        ran at least one full iteration.
+        """
+        for code_object in code_objects:
+            module = HipModule(code_object, loaded_at=self.env.now)
+            module.resolved_symbols = {s.name for s in code_object.symbols}
+            self._modules[code_object.name] = module
+
+    def evict_all(self) -> None:
+        """Drop all loaded modules (a fresh process / cold instance)."""
+        if self._pending:
+            raise RuntimeError("cannot evict while loads are in flight")
+        self._modules.clear()
+
+    # ------------------------------------------------------------------
+    # Kernel launch
+    # ------------------------------------------------------------------
+    def launch_kernel(self, code_object: CodeObjectFile, symbol_name: str,
+                      duration: float, actor: str = "host",
+                      label: str = "", lazy: bool = True, **meta):
+        """Launch one kernel (generator); returns its completion event.
+
+        With ``lazy=True`` (default runtime behaviour) an absent code
+        object is loaded on demand, stalling the calling thread -- this is
+        the reactive path responsible for cold-start latency.  With
+        ``lazy=False`` the module must already be resident
+        (:class:`KernelNotLoadedError` otherwise), which is how PASK's
+        issuing thread asserts that loading already happened.
+        """
+        name = code_object.name
+        if not self.is_loaded(name) and not self.is_loading(name):
+            if not lazy:
+                raise KernelNotLoadedError(
+                    f"code object {name!r} not loaded and lazy loading disabled")
+        if not self.is_loaded(name):
+            yield from self.module_load(code_object, actor=actor,
+                                        reactive=True)
+        module = self._modules[name]
+        yield from self.get_function(module, symbol_name, actor=actor)
+        start = self.env.now
+        yield self.env.timeout(self.device.kernel_launch_overhead_s)
+        self.trace.record(start, self.env.now, actor, Phase.ISSUE,
+                          label or symbol_name)
+        completion = self.stream.enqueue(duration, label or symbol_name, **meta)
+        return completion
+
+    def synchronize(self):
+        """Device synchronize (generator): wait for the stream to drain."""
+        start = self.env.now
+        yield self.stream.synchronize()
+        if self.env.now > start:
+            self.trace.record(start, self.env.now, "host", Phase.OTHER, "sync")

@@ -1,0 +1,60 @@
+"""An in-order GPU stream.
+
+Kernels enqueue in FIFO order and execute back-to-back on the device; the
+host gets a completion event per kernel.  The stream records each
+execution in the trace with actor ``"gpu"`` so GPU utilization (Fig. 6(b))
+is the merged EXEC busy time over the run span.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sim.core import Environment, Event
+from repro.sim.trace import Phase, TraceRecorder
+
+__all__ = ["Stream"]
+
+
+class Stream:
+    """A single in-order execution queue on one GPU."""
+
+    def __init__(self, env: Environment, trace: Optional[TraceRecorder] = None,
+                 name: str = "stream0") -> None:
+        self.env = env
+        self.trace = trace
+        self.name = name
+        self._available_at = 0.0
+        self._kernels_executed = 0
+
+    @property
+    def available_at(self) -> float:
+        """Simulated time at which the stream drains (last kernel ends)."""
+        return self._available_at
+
+    @property
+    def kernels_executed(self) -> int:
+        """Number of kernels enqueued so far."""
+        return self._kernels_executed
+
+    def enqueue(self, duration: float, label: str = "kernel", **meta) -> Event:
+        """Enqueue a kernel taking ``duration`` seconds of GPU time.
+
+        Returns an event that triggers when the kernel completes.  Kernels
+        start no earlier than now and no earlier than the previous kernel's
+        completion (in-order stream semantics).
+        """
+        if duration < 0:
+            raise ValueError(f"negative kernel duration {duration!r}")
+        start = max(self.env.now, self._available_at)
+        end = start + duration
+        self._available_at = end
+        self._kernels_executed += 1
+        if self.trace is not None and duration > 0:
+            self.trace.record(start, end, "gpu", Phase.EXEC, label, **meta)
+        return self.env.timeout(end - self.env.now, value=label)
+
+    def synchronize(self) -> Event:
+        """Event that triggers once all enqueued kernels have completed."""
+        remaining = max(0.0, self._available_at - self.env.now)
+        return self.env.timeout(remaining)

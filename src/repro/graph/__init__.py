@@ -1,0 +1,32 @@
+"""ONNX-like computation-graph representation.
+
+Models are "submitted in the ONNX format containing multiple canonical
+operators" (Sec. II-A).  This subpackage provides the canonical operator
+set with shape inference and FLOP estimation, an immutable-node graph, and
+a builder API used by the model zoo.
+"""
+
+from repro.graph.node import Node
+from repro.graph.graph import Graph, GraphError
+from repro.graph.builder import GraphBuilder
+from repro.graph.operators import (
+    OpCategory,
+    infer_shapes,
+    node_flops,
+    node_memory_bytes,
+    op_category,
+    supported_ops,
+)
+
+__all__ = [
+    "Graph",
+    "GraphBuilder",
+    "GraphError",
+    "Node",
+    "OpCategory",
+    "infer_shapes",
+    "node_flops",
+    "node_memory_bytes",
+    "op_category",
+    "supported_ops",
+]

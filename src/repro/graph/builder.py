@@ -1,0 +1,211 @@
+"""Fluent builder for computation graphs.
+
+The model zoo uses this to express networks concisely::
+
+    b = GraphBuilder("toy")
+    x = b.input("x", (1, 3, 224, 224))
+    y = b.conv(x, out_channels=64, kernel=7, stride=2, pad=3)
+    y = b.relu(y)
+    b.output(b.gemm(b.flatten(b.global_avgpool(y)), out_features=1000))
+    graph = b.finish()
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple, Union
+
+from repro.graph.graph import Graph
+from repro.graph.node import Node
+from repro.tensors import DataType, Layout, TensorDesc
+
+__all__ = ["GraphBuilder"]
+
+_IntOrPair = Union[int, Tuple[int, int]]
+
+
+class GraphBuilder:
+    """Builds a :class:`~repro.graph.graph.Graph` node by node."""
+
+    def __init__(self, name: str = "graph",
+                 dtype: DataType = DataType.FP32,
+                 layout: Layout = Layout.NCHW) -> None:
+        self.graph = Graph(name)
+        self.dtype = dtype
+        self.layout = layout
+        self._counter = 0
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+    def _fresh(self, prefix: str) -> str:
+        self._counter += 1
+        return f"{prefix}_{self._counter}"
+
+    def _emit(self, op: str, inputs: Sequence[str], name: Optional[str] = None,
+              **attrs) -> str:
+        node_name = name or self._fresh(op.lower())
+        out = f"{node_name}_out"
+        self.graph.add_node(Node(node_name, op, tuple(inputs), (out,), attrs))
+        return out
+
+    def input(self, name: str, dims: Tuple[int, ...],
+              dtype: Optional[DataType] = None,
+              layout: Optional[Layout] = None) -> str:
+        """Declare a graph input."""
+        desc = TensorDesc(dims, dtype or self.dtype, layout or self.layout)
+        return self.graph.add_input(name, desc)
+
+    def weight(self, name: str, dims: Tuple[int, ...],
+               dtype: Optional[DataType] = None) -> str:
+        """Declare a weight initializer."""
+        desc = TensorDesc(dims, dtype or self.dtype, self.layout)
+        return self.graph.add_initializer(name, desc)
+
+    def output(self, tensor: str) -> str:
+        """Mark ``tensor`` as a graph output."""
+        self.graph.mark_output(tensor)
+        return tensor
+
+    def finish(self) -> Graph:
+        """Validate and return the built graph."""
+        self.graph.validate()
+        return self.graph
+
+    # ------------------------------------------------------------------
+    # Operators
+    # ------------------------------------------------------------------
+    def conv(self, x: str, out_channels: int, kernel: _IntOrPair,
+             stride: _IntOrPair = 1, pad: _IntOrPair = 0,
+             dilation: _IntOrPair = 1, group: int = 1,
+             name: Optional[str] = None) -> str:
+        """2-D convolution (weight initializer declared automatically)."""
+        node_name = name or self._fresh("conv")
+        in_channels = self.graph.desc(x).dims[1]
+        k = kernel if isinstance(kernel, tuple) else (kernel, kernel)
+        weight = self.weight(f"{node_name}_w",
+                             (out_channels, in_channels // group, k[0], k[1]))
+        out = f"{node_name}_out"
+        self.graph.add_node(Node(node_name, "Conv", (x, weight), (out,), {
+            "out_channels": out_channels, "kernel_shape": kernel,
+            "strides": stride, "pads": pad, "dilations": dilation,
+            "group": group,
+        }))
+        return out
+
+    def maxpool(self, x: str, kernel: _IntOrPair = 2,
+                stride: Optional[_IntOrPair] = None, pad: _IntOrPair = 0,
+                name: Optional[str] = None) -> str:
+        """2-D max pooling (stride defaults to the window size)."""
+        return self._emit("MaxPool", [x], name, kernel_shape=kernel,
+                          strides=stride if stride is not None else kernel,
+                          pads=pad)
+
+    def avgpool(self, x: str, kernel: _IntOrPair = 2,
+                stride: Optional[_IntOrPair] = None, pad: _IntOrPair = 0,
+                name: Optional[str] = None) -> str:
+        """2-D average pooling (stride defaults to the window size)."""
+        return self._emit("AveragePool", [x], name, kernel_shape=kernel,
+                          strides=stride if stride is not None else kernel,
+                          pads=pad)
+
+    def global_avgpool(self, x: str, name: Optional[str] = None) -> str:
+        """Global average pooling to 1x1 spatial extent."""
+        return self._emit("GlobalAveragePool", [x], name)
+
+    def activation(self, x: str, kind: str = "Relu",
+                   name: Optional[str] = None) -> str:
+        """Apply a named activation (Relu, Sigmoid, Silu, Gelu, ...)."""
+        return self._emit(kind, [x], name)
+
+    def relu(self, x: str, name: Optional[str] = None) -> str:
+        """ReLU activation."""
+        return self.activation(x, "Relu", name)
+
+    def sigmoid(self, x: str, name: Optional[str] = None) -> str:
+        """Sigmoid activation."""
+        return self.activation(x, "Sigmoid", name)
+
+    def silu(self, x: str, name: Optional[str] = None) -> str:
+        """SiLU (swish) activation."""
+        return self.activation(x, "Silu", name)
+
+    def gelu(self, x: str, name: Optional[str] = None) -> str:
+        """GELU activation (lowers to an engine kernel, not MIOpen)."""
+        return self.activation(x, "Gelu", name)
+
+    def batchnorm(self, x: str, name: Optional[str] = None) -> str:
+        """Batch normalization (fusable into a preceding Conv)."""
+        return self._emit("BatchNormalization", [x], name)
+
+    def layernorm(self, x: str, name: Optional[str] = None) -> str:
+        """Layer normalization."""
+        return self._emit("LayerNormalization", [x], name)
+
+    def softmax(self, x: str, name: Optional[str] = None) -> str:
+        """Softmax over the last dimension."""
+        return self._emit("Softmax", [x], name)
+
+    def add(self, a: str, b: str, name: Optional[str] = None) -> str:
+        """Elementwise (broadcasting) addition."""
+        return self._emit("Add", [a, b], name)
+
+    def mul(self, a: str, b: str, name: Optional[str] = None) -> str:
+        """Elementwise (broadcasting) multiplication."""
+        return self._emit("Mul", [a, b], name)
+
+    def concat(self, tensors: Sequence[str], axis: int = 1,
+               name: Optional[str] = None) -> str:
+        """Concatenate tensors along ``axis``."""
+        return self._emit("Concat", list(tensors), name, axis=axis)
+
+    def flatten(self, x: str, axis: int = 1, name: Optional[str] = None) -> str:
+        """Flatten all dims from ``axis`` into one."""
+        return self._emit("Flatten", [x], name, axis=axis)
+
+    def reshape(self, x: str, shape: Tuple[int, ...],
+                name: Optional[str] = None) -> str:
+        """Reshape to ``shape`` (-1 infers one dimension)."""
+        return self._emit("Reshape", [x], name, shape=shape)
+
+    def transpose(self, x: str, perm: Optional[Tuple[int, ...]] = None,
+                  name: Optional[str] = None) -> str:
+        """Permute dimensions (defaults to full reversal)."""
+        return self._emit("Transpose", [x], name, perm=perm)
+
+    def gemm(self, x: str, out_features: int, name: Optional[str] = None) -> str:
+        """Fully-connected layer (weight initializer declared automatically)."""
+        node_name = name or self._fresh("gemm")
+        in_features = self.graph.desc(x).dims[-1]
+        weight = self.weight(f"{node_name}_w", (in_features, out_features))
+        out = f"{node_name}_out"
+        self.graph.add_node(Node(node_name, "Gemm", (x, weight), (out,),
+                                 {"out_features": out_features}))
+        return out
+
+    def matmul(self, a: str, b: str, name: Optional[str] = None) -> str:
+        """(Batched) matrix multiplication, served by the BLAS library."""
+        return self._emit("MatMul", [a, b], name)
+
+    def resize(self, x: str, scale: float = 2.0,
+               name: Optional[str] = None) -> str:
+        """Spatial upsampling by ``scale``."""
+        return self._emit("Resize", [x], name, scale=scale)
+
+    def slice(self, x: str, axis: int, size: int, offset: int = 0,
+              name: Optional[str] = None) -> str:
+        """Slice ``size`` elements from ``offset`` along ``axis``."""
+        return self._emit("Slice", [x], name, axis=axis, size=size,
+                          offset=offset)
+
+    def reduce_mean(self, x: str, axes: Tuple[int, ...],
+                    name: Optional[str] = None) -> str:
+        """Mean-reduce over ``axes``."""
+        return self._emit("ReduceMean", [x], name, axes=axes)
+
+    def dropout(self, x: str, name: Optional[str] = None) -> str:
+        """Dropout (an inference-time no-op, eliminated by passes)."""
+        return self._emit("Dropout", [x], name)
+
+    def identity(self, x: str, name: Optional[str] = None) -> str:
+        """Identity (eliminated by passes unless a graph output)."""
+        return self._emit("Identity", [x], name)

@@ -1,0 +1,41 @@
+"""Graph nodes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Tuple
+
+__all__ = ["Node"]
+
+
+@dataclass(frozen=True)
+class Node:
+    """One operator application in a computation graph.
+
+    ``inputs``/``outputs`` are tensor names resolved against the owning
+    :class:`~repro.graph.graph.Graph`.  ``attrs`` carries ONNX-style
+    attributes (kernel shape, strides, ...).
+    """
+
+    name: str
+    op: str
+    inputs: Tuple[str, ...]
+    outputs: Tuple[str, ...]
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("node needs a non-empty name")
+        if not self.op:
+            raise ValueError(f"node {self.name!r} needs an op type")
+        if not self.outputs:
+            raise ValueError(f"node {self.name!r} produces no outputs")
+
+    def attr(self, key: str, default: Any = None) -> Any:
+        """Attribute lookup with default."""
+        return self.attrs.get(key, default)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        ins = ", ".join(self.inputs)
+        outs = ", ".join(self.outputs)
+        return f"{self.name}: {self.op}({ins}) -> {outs}"

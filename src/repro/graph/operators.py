@@ -1,0 +1,406 @@
+"""Canonical operator set: shape inference, FLOPs and memory estimates.
+
+Each supported ONNX-style operator registers a shape-inference rule and a
+cost rule.  The cost rules feed the kernel performance model in
+:mod:`repro.primitive.perf_model`; they use the standard textbook FLOP
+counts (e.g. 2*N*K*C*R*S*Ho*Wo for a convolution).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.graph.node import Node
+from repro.tensors import TensorDesc
+
+__all__ = [
+    "OpCategory",
+    "infer_shapes",
+    "node_flops",
+    "node_memory_bytes",
+    "op_category",
+    "supported_ops",
+]
+
+
+class OpCategory(enum.Enum):
+    """How the engine lowers an operator (which library serves it)."""
+
+    CONV = "conv"              # MIOpen convolution primitive
+    POOL = "pool"              # MIOpen pooling primitive
+    ACTIVATION = "activation"  # MIOpen activation primitive
+    GEMM = "gemm"              # BLAS library (hipBLAS) -- outside PASK reuse
+    NORM = "norm"              # fused elementwise normalization kernels
+    ELEMENTWISE = "elementwise"
+    SHAPE = "shape"            # zero-cost metadata ops (reshape/flatten/...)
+    REDUCE = "reduce"
+
+
+_ShapeFn = Callable[[Node, Sequence[TensorDesc]], List[TensorDesc]]
+_CostFn = Callable[[Node, Sequence[TensorDesc], Sequence[TensorDesc]], float]
+
+
+class _OpDef:
+    def __init__(self, category: OpCategory, shape_fn: _ShapeFn,
+                 flops_fn: _CostFn) -> None:
+        self.category = category
+        self.shape_fn = shape_fn
+        self.flops_fn = flops_fn
+
+
+_REGISTRY: Dict[str, _OpDef] = {}
+
+
+def _register(name: str, category: OpCategory, shape_fn: _ShapeFn,
+              flops_fn: _CostFn) -> None:
+    if name in _REGISTRY:
+        raise ValueError(f"operator {name!r} registered twice")
+    _REGISTRY[name] = _OpDef(category, shape_fn, flops_fn)
+
+
+def supported_ops() -> List[str]:
+    """Names of all registered operators."""
+    return sorted(_REGISTRY)
+
+
+def op_category(op: str) -> OpCategory:
+    """The lowering category of ``op``."""
+    return _lookup(op).category
+
+
+def infer_shapes(node: Node, inputs: Sequence[TensorDesc]) -> List[TensorDesc]:
+    """Output descriptors of ``node`` given its input descriptors."""
+    return _lookup(node.op).shape_fn(node, inputs)
+
+
+def node_flops(node: Node, inputs: Sequence[TensorDesc],
+               outputs: Sequence[TensorDesc]) -> float:
+    """Estimated floating-point operations performed by ``node``."""
+    return _lookup(node.op).flops_fn(node, inputs, outputs)
+
+
+def node_memory_bytes(node: Node, inputs: Sequence[TensorDesc],
+                      outputs: Sequence[TensorDesc]) -> int:
+    """Bytes moved: all inputs read once, all outputs written once."""
+    return (sum(t.size_bytes for t in inputs)
+            + sum(t.size_bytes for t in outputs))
+
+
+def _lookup(op: str) -> _OpDef:
+    try:
+        return _REGISTRY[op]
+    except KeyError:
+        raise KeyError(f"unsupported operator {op!r}; "
+                       f"supported: {', '.join(supported_ops())}") from None
+
+
+# ----------------------------------------------------------------------
+# Shape helpers
+# ----------------------------------------------------------------------
+
+def _pair(value) -> Tuple[int, int]:
+    if isinstance(value, (tuple, list)):
+        if len(value) != 2:
+            raise ValueError(f"expected a pair, got {value!r}")
+        return int(value[0]), int(value[1])
+    return int(value), int(value)
+
+
+def _conv_out_dim(size: int, kernel: int, stride: int, pad: int,
+                  dilation: int) -> int:
+    out = (size + 2 * pad - dilation * (kernel - 1) - 1) // stride + 1
+    if out <= 0:
+        raise ValueError(
+            f"convolution/pooling output collapsed to {out} "
+            f"(in={size}, k={kernel}, s={stride}, p={pad}, d={dilation})")
+    return out
+
+
+def _require_rank(op: str, tensor: TensorDesc, rank: int) -> None:
+    if tensor.rank != rank:
+        raise ValueError(f"{op} expects rank-{rank} input, got {tensor}")
+
+
+# ----------------------------------------------------------------------
+# Convolution
+# ----------------------------------------------------------------------
+
+def _conv_shape(node: Node, inputs: Sequence[TensorDesc]) -> List[TensorDesc]:
+    x = inputs[0]
+    _require_rank("Conv", x, 4)
+    n, c, h, w = x.dims
+    k = int(node.attr("out_channels"))
+    r, s = _pair(node.attr("kernel_shape", 1))
+    stride_h, stride_w = _pair(node.attr("strides", 1))
+    pad_h, pad_w = _pair(node.attr("pads", 0))
+    dil_h, dil_w = _pair(node.attr("dilations", 1))
+    groups = int(node.attr("group", 1))
+    if c % groups != 0 or k % groups != 0:
+        raise ValueError(f"Conv {node.name!r}: channels {c}->{k} not divisible "
+                         f"by groups {groups}")
+    ho = _conv_out_dim(h, r, stride_h, pad_h, dil_h)
+    wo = _conv_out_dim(w, s, stride_w, pad_w, dil_w)
+    return [TensorDesc((n, k, ho, wo), x.dtype, x.layout)]
+
+
+def _conv_flops(node: Node, inputs: Sequence[TensorDesc],
+                outputs: Sequence[TensorDesc]) -> float:
+    x, y = inputs[0], outputs[0]
+    c = x.dims[1]
+    r, s = _pair(node.attr("kernel_shape", 1))
+    groups = int(node.attr("group", 1))
+    # 2 * N * K * Ho * Wo * (C/groups) * R * S  (+ bias add, negligible)
+    return 2.0 * y.numel * (c // groups) * r * s
+
+
+_register("Conv", OpCategory.CONV, _conv_shape, _conv_flops)
+
+
+# ----------------------------------------------------------------------
+# Pooling
+# ----------------------------------------------------------------------
+
+def _pool_shape(node: Node, inputs: Sequence[TensorDesc]) -> List[TensorDesc]:
+    x = inputs[0]
+    _require_rank(node.op, x, 4)
+    n, c, h, w = x.dims
+    r, s = _pair(node.attr("kernel_shape", 2))
+    stride_h, stride_w = _pair(node.attr("strides", node.attr("kernel_shape", 2)))
+    pad_h, pad_w = _pair(node.attr("pads", 0))
+    ho = _conv_out_dim(h, r, stride_h, pad_h, 1)
+    wo = _conv_out_dim(w, s, stride_w, pad_w, 1)
+    return [TensorDesc((n, c, ho, wo), x.dtype, x.layout)]
+
+
+def _pool_flops(node: Node, inputs: Sequence[TensorDesc],
+                outputs: Sequence[TensorDesc]) -> float:
+    r, s = _pair(node.attr("kernel_shape", 2))
+    return float(outputs[0].numel * r * s)
+
+
+def _global_pool_shape(node: Node, inputs: Sequence[TensorDesc]) -> List[TensorDesc]:
+    x = inputs[0]
+    _require_rank(node.op, x, 4)
+    n, c, _h, _w = x.dims
+    return [TensorDesc((n, c, 1, 1), x.dtype, x.layout)]
+
+
+def _global_pool_flops(node: Node, inputs: Sequence[TensorDesc],
+                       outputs: Sequence[TensorDesc]) -> float:
+    return float(inputs[0].numel)
+
+
+_register("MaxPool", OpCategory.POOL, _pool_shape, _pool_flops)
+_register("AveragePool", OpCategory.POOL, _pool_shape, _pool_flops)
+_register("GlobalAveragePool", OpCategory.POOL, _global_pool_shape,
+          _global_pool_flops)
+
+
+# ----------------------------------------------------------------------
+# Activations (MIOpen activation primitive)
+# ----------------------------------------------------------------------
+
+def _same_shape(node: Node, inputs: Sequence[TensorDesc]) -> List[TensorDesc]:
+    return [inputs[0]]
+
+
+def _unary_flops(factor: float) -> _CostFn:
+    def fn(node: Node, inputs: Sequence[TensorDesc],
+           outputs: Sequence[TensorDesc]) -> float:
+        return factor * inputs[0].numel
+    return fn
+
+
+for _name, _factor in [("Relu", 1.0), ("LeakyRelu", 2.0), ("Sigmoid", 4.0),
+                       ("Tanh", 4.0), ("Clip", 2.0), ("HardSwish", 4.0),
+                       ("Silu", 5.0), ("Gelu", 8.0), ("Elu", 4.0)]:
+    _register(_name, OpCategory.ACTIVATION, _same_shape, _unary_flops(_factor))
+
+
+# ----------------------------------------------------------------------
+# GEMM / MatMul (BLAS library)
+# ----------------------------------------------------------------------
+
+def _gemm_shape(node: Node, inputs: Sequence[TensorDesc]) -> List[TensorDesc]:
+    a = inputs[0]
+    if a.rank != 2:
+        raise ValueError(f"Gemm expects rank-2 input, got {a}")
+    m, k = a.dims
+    n = int(node.attr("out_features"))
+    return [TensorDesc((m, n), a.dtype, a.layout)]
+
+
+def _gemm_flops(node: Node, inputs: Sequence[TensorDesc],
+                outputs: Sequence[TensorDesc]) -> float:
+    m, k = inputs[0].dims
+    n = outputs[0].dims[-1]
+    return 2.0 * m * n * k
+
+
+def _matmul_shape(node: Node, inputs: Sequence[TensorDesc]) -> List[TensorDesc]:
+    a, b = inputs[0], inputs[1]
+    if a.dims[-1] != b.dims[-2]:
+        raise ValueError(f"MatMul inner dims mismatch: {a} @ {b}")
+    batch = a.dims[:-2]
+    return [TensorDesc(batch + (a.dims[-2], b.dims[-1]), a.dtype, a.layout)]
+
+
+def _matmul_flops(node: Node, inputs: Sequence[TensorDesc],
+                  outputs: Sequence[TensorDesc]) -> float:
+    k = inputs[0].dims[-1]
+    return 2.0 * outputs[0].numel * k
+
+
+_register("Gemm", OpCategory.GEMM, _gemm_shape, _gemm_flops)
+_register("MatMul", OpCategory.GEMM, _matmul_shape, _matmul_flops)
+
+
+# ----------------------------------------------------------------------
+# Normalization
+# ----------------------------------------------------------------------
+
+_register("BatchNormalization", OpCategory.NORM, _same_shape, _unary_flops(4.0))
+_register("LayerNormalization", OpCategory.NORM, _same_shape, _unary_flops(8.0))
+_register("Softmax", OpCategory.NORM, _same_shape, _unary_flops(5.0))
+
+
+# ----------------------------------------------------------------------
+# Elementwise binary
+# ----------------------------------------------------------------------
+
+def _broadcast_shape(node: Node, inputs: Sequence[TensorDesc]) -> List[TensorDesc]:
+    a, b = inputs[0], inputs[1]
+    ra, rb = a.dims[::-1], b.dims[::-1]
+    out = []
+    for i in range(max(len(ra), len(rb))):
+        da = ra[i] if i < len(ra) else 1
+        db = rb[i] if i < len(rb) else 1
+        if da != db and da != 1 and db != 1:
+            raise ValueError(f"{node.op} cannot broadcast {a} with {b}")
+        out.append(max(da, db))
+    return [TensorDesc(tuple(out[::-1]), a.dtype, a.layout)]
+
+
+for _name in ["Add", "Sub", "Mul", "Div"]:
+    _register(_name, OpCategory.ELEMENTWISE, _broadcast_shape,
+              lambda node, inputs, outputs: float(outputs[0].numel))
+
+
+# ----------------------------------------------------------------------
+# Shape / data-movement ops
+# ----------------------------------------------------------------------
+
+def _flatten_shape(node: Node, inputs: Sequence[TensorDesc]) -> List[TensorDesc]:
+    x = inputs[0]
+    axis = int(node.attr("axis", 1))
+    lead = 1
+    for d in x.dims[:axis]:
+        lead *= d
+    trail = 1
+    for d in x.dims[axis:]:
+        trail *= d
+    return [TensorDesc((lead, trail), x.dtype, x.layout)]
+
+
+def _reshape_shape(node: Node, inputs: Sequence[TensorDesc]) -> List[TensorDesc]:
+    x = inputs[0]
+    target = tuple(int(d) for d in node.attr("shape"))
+    if -1 in target:
+        known = 1
+        for d in target:
+            if d != -1:
+                known *= d
+        if x.numel % known != 0:
+            raise ValueError(f"cannot reshape {x} to {target}")
+        target = tuple(x.numel // known if d == -1 else d for d in target)
+    numel = 1
+    for d in target:
+        numel *= d
+    if numel != x.numel:
+        raise ValueError(f"reshape changes element count: {x} -> {target}")
+    return [TensorDesc(target, x.dtype, x.layout)]
+
+
+def _transpose_shape(node: Node, inputs: Sequence[TensorDesc]) -> List[TensorDesc]:
+    x = inputs[0]
+    perm = node.attr("perm")
+    if perm is None:
+        perm = tuple(reversed(range(x.rank)))
+    if sorted(perm) != list(range(x.rank)):
+        raise ValueError(f"bad permutation {perm} for {x}")
+    return [TensorDesc(tuple(x.dims[p] for p in perm), x.dtype, x.layout)]
+
+
+def _concat_shape(node: Node, inputs: Sequence[TensorDesc]) -> List[TensorDesc]:
+    axis = int(node.attr("axis", 1))
+    first = inputs[0]
+    total = 0
+    for t in inputs:
+        if t.rank != first.rank:
+            raise ValueError("Concat inputs must share rank")
+        for i, (da, db) in enumerate(zip(first.dims, t.dims)):
+            if i != axis % first.rank and da != db:
+                raise ValueError(f"Concat mismatch off-axis: {first} vs {t}")
+        total += t.dims[axis % first.rank]
+    dims = list(first.dims)
+    dims[axis % first.rank] = total
+    return [TensorDesc(tuple(dims), first.dtype, first.layout)]
+
+
+def _resize_shape(node: Node, inputs: Sequence[TensorDesc]) -> List[TensorDesc]:
+    x = inputs[0]
+    _require_rank("Resize", x, 4)
+    scale = float(node.attr("scale", 2.0))
+    n, c, h, w = x.dims
+    return [TensorDesc((n, c, int(h * scale), int(w * scale)),
+                       x.dtype, x.layout)]
+
+
+def _slice_shape(node: Node, inputs: Sequence[TensorDesc]) -> List[TensorDesc]:
+    x = inputs[0]
+    dims = list(x.dims)
+    axis = int(node.attr("axis", 0)) % x.rank
+    size = int(node.attr("size"))
+    if not 0 < size <= dims[axis]:
+        raise ValueError(f"bad slice size {size} on axis {axis} of {x}")
+    dims[axis] = size
+    return [TensorDesc(tuple(dims), x.dtype, x.layout)]
+
+
+def _zero_flops(node: Node, inputs: Sequence[TensorDesc],
+                outputs: Sequence[TensorDesc]) -> float:
+    return 0.0
+
+
+def _copy_flops(node: Node, inputs: Sequence[TensorDesc],
+                outputs: Sequence[TensorDesc]) -> float:
+    return float(outputs[0].numel)
+
+
+_register("Flatten", OpCategory.SHAPE, _flatten_shape, _zero_flops)
+_register("Reshape", OpCategory.SHAPE, _reshape_shape, _zero_flops)
+_register("Identity", OpCategory.SHAPE, _same_shape, _zero_flops)
+_register("Dropout", OpCategory.SHAPE, _same_shape, _zero_flops)
+_register("Transpose", OpCategory.SHAPE, _transpose_shape, _copy_flops)
+_register("Concat", OpCategory.SHAPE, _concat_shape, _copy_flops)
+_register("Resize", OpCategory.SHAPE, _resize_shape, _copy_flops)
+_register("Slice", OpCategory.SHAPE, _slice_shape, _copy_flops)
+
+
+# ----------------------------------------------------------------------
+# Reductions
+# ----------------------------------------------------------------------
+
+def _reduce_mean_shape(node: Node, inputs: Sequence[TensorDesc]) -> List[TensorDesc]:
+    x = inputs[0]
+    axes = node.attr("axes")
+    if axes is None:
+        return [TensorDesc((1,), x.dtype, x.layout)]
+    keep = [d for i, d in enumerate(x.dims)
+            if i not in {a % x.rank for a in axes}]
+    return [TensorDesc(tuple(keep) if keep else (1,), x.dtype, x.layout)]
+
+
+_register("ReduceMean", OpCategory.REDUCE, _reduce_mean_shape,
+          lambda node, inputs, outputs: float(inputs[0].numel))

@@ -1,0 +1,17 @@
+"""The model zoo: the twelve DNN models of Table I.
+
+Builders produce ONNX-like graphs with realistic layer shapes; the
+"# Primitive Layers" column of Table I corresponds to the number of
+distinct MIOpen primitive problems after lowering, which these builders
+approximate.  Models are keyed by the paper's abbreviations (``alex``,
+``vgg``, ..., ``swin2``) or their full names.
+"""
+
+from repro.models.zoo import (
+    MODEL_INFO,
+    ModelInfo,
+    build_model,
+    list_models,
+)
+
+__all__ = ["MODEL_INFO", "ModelInfo", "build_model", "list_models"]

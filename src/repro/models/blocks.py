@@ -1,0 +1,91 @@
+"""Reusable network building blocks shared by the model zoo."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.graph import GraphBuilder
+
+__all__ = ["conv_bn_act", "basic_block", "bottleneck_block", "se_block",
+           "mbconv_block", "double_conv"]
+
+
+def conv_bn_act(b: GraphBuilder, x: str, out_channels: int, kernel,
+                stride=1, pad=0, group: int = 1, act: str = "Relu",
+                name: Optional[str] = None) -> str:
+    """Conv + BatchNorm + activation (fused by the engine later)."""
+    y = b.conv(x, out_channels, kernel, stride=stride, pad=pad, group=group,
+               name=name)
+    y = b.batchnorm(y)
+    if act:
+        y = b.activation(y, act)
+    return y
+
+
+def basic_block(b: GraphBuilder, x: str, channels: int,
+                stride: int = 1) -> str:
+    """ResNet basic block (two 3x3 convs + identity/projection)."""
+    y = conv_bn_act(b, x, channels, 3, stride=stride, pad=1)
+    y = b.conv(y, channels, 3, pad=1)
+    y = b.batchnorm(y)
+    if stride != 1 or b.graph.desc(x).dims[1] != channels:
+        shortcut = b.conv(x, channels, 1, stride=stride)
+        shortcut = b.batchnorm(shortcut)
+    else:
+        shortcut = x
+    y = b.add(y, shortcut)
+    return b.relu(y)
+
+
+def bottleneck_block(b: GraphBuilder, x: str, channels: int,
+                     stride: int = 1, expansion: int = 4) -> str:
+    """ResNet bottleneck block (1x1 - 3x3 - 1x1)."""
+    out = channels * expansion
+    y = conv_bn_act(b, x, channels, 1)
+    y = conv_bn_act(b, y, channels, 3, stride=stride, pad=1)
+    y = b.conv(y, out, 1)
+    y = b.batchnorm(y)
+    if stride != 1 or b.graph.desc(x).dims[1] != out:
+        shortcut = b.conv(x, out, 1, stride=stride)
+        shortcut = b.batchnorm(shortcut)
+    else:
+        shortcut = x
+    y = b.add(y, shortcut)
+    return b.relu(y)
+
+
+def se_block(b: GraphBuilder, x: str, reduced: int) -> str:
+    """Squeeze-and-excitation: gap -> 1x1 reduce -> 1x1 expand -> scale."""
+    channels = b.graph.desc(x).dims[1]
+    s = b.global_avgpool(x)
+    s = b.conv(s, reduced, 1)
+    s = b.relu(s)
+    s = b.conv(s, channels, 1)
+    s = b.sigmoid(s)
+    return b.mul(x, s)
+
+
+def mbconv_block(b: GraphBuilder, x: str, out_channels: int, kernel: int,
+                 stride: int = 1, expand: int = 6,
+                 se_ratio: float = 0.25) -> str:
+    """EfficientNet MBConv: expand 1x1 - depthwise - SE - project 1x1."""
+    in_channels = b.graph.desc(x).dims[1]
+    mid = in_channels * expand
+    y = x
+    if expand != 1:
+        y = conv_bn_act(b, y, mid, 1, act="Silu")
+    y = conv_bn_act(b, y, mid, kernel, stride=stride, pad=kernel // 2,
+                    group=mid, act="Silu")
+    if se_ratio:
+        y = se_block(b, y, max(1, int(in_channels * se_ratio)))
+    y = b.conv(y, out_channels, 1)
+    y = b.batchnorm(y)
+    if stride == 1 and in_channels == out_channels:
+        y = b.add(y, x)
+    return y
+
+
+def double_conv(b: GraphBuilder, x: str, channels: int) -> str:
+    """UNet double 3x3 convolution."""
+    y = conv_bn_act(b, x, channels, 3, pad=1)
+    return conv_bn_act(b, y, channels, 3, pad=1)

@@ -1,0 +1,91 @@
+"""Object-detection models: Faster R-CNN and SSD300."""
+
+from __future__ import annotations
+
+from repro.graph import Graph, GraphBuilder
+from repro.models.blocks import conv_bn_act
+
+__all__ = ["faster_rcnn", "ssd300"]
+
+
+def faster_rcnn() -> Graph:
+    """Faster R-CNN with a VGG-style backbone, an RPN and a box head.
+
+    Proposal generation/NMS is control flow the engine does not lower to
+    kernels; the tensor program covers backbone, RPN heads and the
+    RoI-pooled classification head.
+    """
+    b = GraphBuilder("faster_rcnn")
+    x = b.input("x", (1, 3, 224, 224))
+    y = x
+    # VGG-style backbone truncated at conv5 (13 convs).
+    for stage, (channels, repeats) in enumerate(
+            [(64, 2), (128, 2), (256, 3), (512, 3), (512, 3)]):
+        for i in range(repeats):
+            y = b.conv(y, channels, 3, pad=1, name=f"bb{stage + 1}_{i + 1}")
+            y = b.relu(y)
+        if stage < 4:
+            y = b.maxpool(y, 2)
+    features = y                                   # 512 x 14 x 14
+    # Region proposal network.
+    rpn = b.conv(features, 512, 3, pad=1, name="rpn_conv")
+    rpn = b.relu(rpn)
+    cls_logits = b.conv(rpn, 18, 1, name="rpn_cls")     # 9 anchors x 2
+    bbox_pred = b.conv(rpn, 36, 1, name="rpn_bbox")     # 9 anchors x 4
+    b.output(b.sigmoid(cls_logits))
+    b.output(bbox_pred)
+    # RoI head: 7x7 pooled features -> two FC layers -> class/box outputs.
+    pooled = b.avgpool(features, 2, name="roi_pool")    # stand-in for RoIAlign
+    head = b.flatten(pooled)
+    head = b.gemm(head, 1024, name="head_fc1")
+    head = b.relu(head)
+    head = b.gemm(head, 1024, name="head_fc2")
+    head = b.relu(head)
+    scores = b.gemm(head, 91, name="cls_score")
+    boxes = b.gemm(head, 364, name="bbox_pred")
+    b.output(b.softmax(scores))
+    b.output(boxes)
+    return b.finish()
+
+
+def ssd300() -> Graph:
+    """SSD300: VGG backbone + extra feature layers + multibox heads."""
+    b = GraphBuilder("ssd300")
+    x = b.input("x", (1, 3, 300, 300))
+    y = x
+    sources = []
+    for stage, (channels, repeats) in enumerate(
+            [(64, 2), (128, 2), (256, 3), (512, 3)]):
+        for i in range(repeats):
+            y = b.conv(y, channels, 3, pad=1, name=f"bb{stage + 1}_{i + 1}")
+            y = b.relu(y)
+        if stage == 3:
+            sources.append(y)                      # conv4_3: 38x38
+        y = b.maxpool(y, 2, pad=(1, 1) if stage == 3 else 0)
+    # conv5 block + converted fc6/fc7 (dilated).
+    for i in range(3):
+        y = b.conv(y, 512, 3, pad=1, name=f"bb5_{i + 1}")
+        y = b.relu(y)
+    y = b.conv(y, 1024, 3, pad=6, dilation=6, name="fc6")
+    y = b.relu(y)
+    y = b.conv(y, 1024, 1, name="fc7")
+    y = b.relu(y)
+    sources.append(y)                              # 19x19
+    # Extra feature layers: 1x1 squeeze + 3x3 stride-2 reduce.
+    extras = [(256, 512), (128, 256), (128, 256), (128, 256)]
+    for index, (squeeze, expand) in enumerate(extras):
+        y = b.conv(y, squeeze, 1, name=f"extra{index}_1")
+        y = b.relu(y)
+        stride = 2 if index < 2 else 1
+        pad = 1 if index < 2 else 0
+        y = b.conv(y, expand, 3, stride=stride, pad=pad, name=f"extra{index}_2")
+        y = b.relu(y)
+        sources.append(y)
+    # Multibox heads: one cls + one loc 3x3 conv per source map.
+    anchors = [4, 6, 6, 6, 4, 4]
+    for index, (source, num_anchors) in enumerate(zip(sources, anchors)):
+        loc = b.conv(source, num_anchors * 4, 3, pad=1, name=f"loc{index}")
+        conf = b.conv(source, num_anchors * 21, 3, pad=1, name=f"conf{index}")
+        b.output(loc)
+        b.output(b.sigmoid(conf))
+    return b.finish()

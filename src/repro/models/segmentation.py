@@ -1,0 +1,57 @@
+"""Semantic-segmentation models: FCN and UNet."""
+
+from __future__ import annotations
+
+from repro.graph import Graph, GraphBuilder
+from repro.models.blocks import basic_block, conv_bn_act, double_conv
+
+__all__ = ["fcn", "unet"]
+
+
+def fcn() -> Graph:
+    """FCN with a ResNet-ish backbone and 1x1 score heads + upsampling."""
+    b = GraphBuilder("fcn")
+    x = b.input("x", (1, 3, 224, 224))
+    y = conv_bn_act(b, x, 64, 7, stride=2, pad=3, name="stem")
+    y = b.maxpool(y, 3, stride=2, pad=1)
+    skips = []
+    for channels, repeats, first_stride in [(64, 2, 1), (128, 2, 2),
+                                            (256, 2, 2), (512, 2, 2)]:
+        for i in range(repeats):
+            y = basic_block(b, y, channels,
+                            stride=first_stride if i == 0 else 1)
+        skips.append(y)
+    # Score heads at three scales (FCN-8s style).
+    num_classes = 21
+    score32 = b.conv(y, num_classes, 1, name="score32")
+    up32 = b.resize(score32, 2.0, name="up32")
+    score16 = b.conv(skips[2], num_classes, 1, name="score16")
+    fuse16 = b.add(up32, score16)
+    up16 = b.resize(fuse16, 2.0, name="up16")
+    score8 = b.conv(skips[1], num_classes, 1, name="score8")
+    fuse8 = b.add(up16, score8)
+    out = b.resize(fuse8, 8.0, name="up8")
+    b.output(b.softmax(out))
+    return b.finish()
+
+
+def unet() -> Graph:
+    """UNet: 5-level encoder/decoder with skip concatenations."""
+    b = GraphBuilder("unet")
+    x = b.input("x", (1, 3, 224, 224))
+    skips = []
+    y = x
+    channels = [32, 64, 128, 256, 512]
+    for c in channels:
+        y = double_conv(b, y, c)
+        skips.append(y)
+        y = b.maxpool(y, 2)
+    y = double_conv(b, y, 1024)
+    for c in reversed(channels):
+        y = b.resize(y, 2.0)
+        y = b.conv(y, c, 1, name=f"upconv{c}")    # channel reduction
+        y = b.concat([y, skips.pop()], axis=1)
+        y = double_conv(b, y, c)
+    out = b.conv(y, 2, 1, name="final")
+    b.output(b.sigmoid(out))
+    return b.finish()

@@ -1,0 +1,101 @@
+"""Vision transformers: ViT-B/16, Swin-B and Swin-V2-B.
+
+Only the patch-embedding convolution goes through the MIOpen-like
+primitive library (Table I: one primitive layer each); attention and MLP
+compute is MatMul/Gemm served by the BLAS library, with layernorm /
+softmax / gelu lowering to engine kernels.
+"""
+
+from __future__ import annotations
+
+from repro.graph import Graph, GraphBuilder
+
+__all__ = ["vit_b_16", "swin_b", "swin_v2_b"]
+
+
+def _encoder_block(b: GraphBuilder, tokens: str, dim: int, mlp_dim: int,
+                   prefix: str, v2: bool = False) -> str:
+    """One pre-norm transformer encoder block over (1, seq, dim) tokens."""
+    y = b.layernorm(tokens, name=f"{prefix}_ln1")
+    qkv = b.gemm(b.reshape(y, (-1, dim)), 3 * dim, name=f"{prefix}_qkv")
+    seq = b.graph.desc(tokens).dims[1]
+    q = b.slice(qkv, axis=1, size=dim, offset=0, name=f"{prefix}_q")
+    k = b.slice(qkv, axis=1, size=dim, offset=dim, name=f"{prefix}_k")
+    v = b.slice(qkv, axis=1, size=dim, offset=2 * dim, name=f"{prefix}_v")
+    q = b.reshape(q, (1, seq, dim))
+    k = b.reshape(k, (1, seq, dim))
+    v = b.reshape(v, (1, seq, dim))
+    scores = b.matmul(q, b.transpose(k, (0, 2, 1), name=f"{prefix}_kT"),
+                      name=f"{prefix}_scores")
+    if v2:
+        # Swin-V2 uses scaled-cosine attention: extra normalization work.
+        scores = b.layernorm(scores, name=f"{prefix}_cosnorm")
+    attn = b.softmax(scores, name=f"{prefix}_softmax")
+    ctx = b.matmul(attn, v, name=f"{prefix}_ctx")
+    proj = b.gemm(b.reshape(ctx, (-1, dim)), dim, name=f"{prefix}_proj")
+    proj = b.reshape(proj, (1, seq, dim))
+    tokens = b.add(tokens, proj, name=f"{prefix}_res1")
+    y = b.layernorm(tokens, name=f"{prefix}_ln2")
+    h = b.gemm(b.reshape(y, (-1, dim)), mlp_dim, name=f"{prefix}_mlp1")
+    h = b.gelu(h, name=f"{prefix}_gelu")
+    h = b.gemm(h, dim, name=f"{prefix}_mlp2")
+    h = b.reshape(h, (1, seq, dim))
+    return b.add(tokens, h, name=f"{prefix}_res2")
+
+
+def vit_b_16() -> Graph:
+    """ViT-B/16: 16x16 patch embedding + 12 encoder blocks, dim 768."""
+    b = GraphBuilder("vit_b_16")
+    x = b.input("x", (1, 3, 224, 224))
+    y = b.conv(x, 768, 16, stride=16, name="patch_embed")
+    y = b.reshape(y, (1, 768, 196))
+    tokens = b.transpose(y, (0, 2, 1), name="to_tokens")
+    for i in range(12):
+        tokens = _encoder_block(b, tokens, dim=768, mlp_dim=3072,
+                                prefix=f"blk{i}")
+    tokens = b.layernorm(tokens, name="final_ln")
+    cls = b.reduce_mean(tokens, axes=(1,), name="token_pool")
+    logits = b.gemm(cls, 1000, name="head")
+    b.output(b.softmax(logits))
+    return b.finish()
+
+
+def _swin(name: str, v2: bool) -> Graph:
+    """Swin-B style hierarchy: 4x4 patches, stages [2, 2, 6, 2] with
+    patch merging between stages."""
+    b = GraphBuilder(name)
+    x = b.input("x", (1, 3, 224, 224))
+    dim = 128
+    y = b.conv(x, dim, 4, stride=4, name="patch_embed")
+    side = 56
+    tokens = b.transpose(b.reshape(y, (1, dim, side * side)), (0, 2, 1),
+                         name="to_tokens")
+    depths = [2, 2, 6, 2]
+    for stage, depth in enumerate(depths):
+        for i in range(depth):
+            tokens = _encoder_block(b, tokens, dim=dim, mlp_dim=4 * dim,
+                                    prefix=f"s{stage}b{i}", v2=v2)
+        if stage < len(depths) - 1:
+            # Patch merging: concat 2x2 neighbourhoods, linear reduce.
+            seq = b.graph.desc(tokens).dims[1]
+            merged = b.reshape(tokens, (1, seq // 4, dim * 4),
+                               name=f"merge{stage}_rs")
+            flat = b.reshape(merged, (-1, dim * 4))
+            reduced = b.gemm(flat, dim * 2, name=f"merge{stage}_fc")
+            dim *= 2
+            tokens = b.reshape(reduced, (1, seq // 4, dim))
+    tokens = b.layernorm(tokens, name="final_ln")
+    pooled = b.reduce_mean(tokens, axes=(1,), name="pool")
+    logits = b.gemm(pooled, 1000, name="head")
+    b.output(b.softmax(logits))
+    return b.finish()
+
+
+def swin_b() -> Graph:
+    """Swin-B."""
+    return _swin("swin_b", v2=False)
+
+
+def swin_v2_b() -> Graph:
+    """Swin-V2-B (scaled-cosine attention variant)."""
+    return _swin("swin_v2_b", v2=True)

@@ -1,0 +1,72 @@
+"""Model registry keyed by the paper's abbreviations (Table I)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from repro.graph import Graph
+from repro.models import detection, image_recognition, segmentation, \
+    transformers
+
+__all__ = ["ModelInfo", "MODEL_INFO", "build_model", "list_models"]
+
+
+@dataclass(frozen=True)
+class ModelInfo:
+    """Table I row: abbreviation, full name, type and builder."""
+
+    abbr: str
+    full_name: str
+    model_type: str
+    paper_primitive_layers: int
+    builder: Callable[[], Graph]
+
+
+_MODELS = [
+    ModelInfo("alex", "alexnet", "Img. Rec.", 5,
+              image_recognition.alexnet),
+    ModelInfo("vgg", "vgg16", "Img. Rec.", 16,
+              image_recognition.vgg16),
+    ModelInfo("res", "resnet34", "Img. Rec.", 14,
+              image_recognition.resnet34),
+    ModelInfo("reg", "regnet_y_800mf", "Img. Rec.", 28,
+              image_recognition.regnet_y_800mf),
+    ModelInfo("eff", "efficientnet_b7", "Img. Rec.", 58,
+              image_recognition.efficientnet_b7),
+    ModelInfo("rcnn", "faster_rcnn", "Obj. Det.", 16,
+              detection.faster_rcnn),
+    ModelInfo("ssd", "ssd300", "Obj. Det.", 27,
+              detection.ssd300),
+    ModelInfo("fcn", "fcn", "Sem. Seg.", 18,
+              segmentation.fcn),
+    ModelInfo("unet", "unet", "Sem. Seg.", 37,
+              segmentation.unet),
+    ModelInfo("vit", "vit_b_16", "ViT", 1,
+              transformers.vit_b_16),
+    ModelInfo("swin", "swin_b", "ViT", 1,
+              transformers.swin_b),
+    ModelInfo("swin2", "swin_v2_b", "ViT", 1,
+              transformers.swin_v2_b),
+]
+
+MODEL_INFO: Dict[str, ModelInfo] = {}
+for _info in _MODELS:
+    MODEL_INFO[_info.abbr] = _info
+    MODEL_INFO[_info.full_name] = _info
+
+
+def list_models() -> List[str]:
+    """The twelve abbreviations, in Table I order."""
+    return [info.abbr for info in _MODELS]
+
+
+def build_model(name: str) -> Graph:
+    """Build a zoo model by abbreviation or full name."""
+    try:
+        info = MODEL_INFO[name]
+    except KeyError:
+        known = ", ".join(list_models())
+        raise KeyError(f"unknown model {name!r}; known models: {known}") \
+            from None
+    return info.builder()

@@ -1,0 +1,46 @@
+"""MIOpen-like DL primitive library.
+
+The library owns *problems* (tensor-level descriptions of one layer's
+computation), *solutions* (concrete kernel implementations, organized in
+generality/performance ladders per pattern -- Fig. 4 of the paper),
+applicability checking (``IsApplicable``), a find-db ranking solutions by
+expected performance, and the ``run_solution`` entry point PASK hooks.
+
+A separate hipBLAS-like :mod:`repro.primitive.blas` serves GEMM/MatMul
+operators; it follows the same find-execute pattern but is *not* managed
+by PASK (Sec. VI "Library supporting"), which is why transformer models
+benefit less.
+"""
+
+from repro.primitive.problem import (
+    ActivationProblem,
+    ConvProblem,
+    GemmProblem,
+    PoolProblem,
+    PrimitiveKind,
+    Problem,
+)
+from repro.primitive.patterns import SolutionPattern
+from repro.primitive.solution import Constraint, Solution
+from repro.primitive.perf_model import kernel_time, solution_time
+from repro.primitive.find_db import FindDb
+from repro.primitive.library import MIOpenLibrary, NoSolutionError
+from repro.primitive.blas import BlasLibrary
+
+__all__ = [
+    "ActivationProblem",
+    "BlasLibrary",
+    "Constraint",
+    "ConvProblem",
+    "FindDb",
+    "GemmProblem",
+    "MIOpenLibrary",
+    "NoSolutionError",
+    "PoolProblem",
+    "PrimitiveKind",
+    "Problem",
+    "Solution",
+    "SolutionPattern",
+    "kernel_time",
+    "solution_time",
+]

@@ -1,0 +1,71 @@
+"""The find-db: performance database ranking solutions per problem.
+
+MIOpen records "the anticipated performance of each solution on the
+current problem" in an integrated database consulted at find time
+(Sec. II-A).  Here the anticipated performance comes from the calibrated
+kernel model, and rankings are memoized per problem -- the find step runs
+offline during model lowering, so no simulated time is billed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.gpu.device import DeviceSpec
+from repro.primitive.perf_model import solution_time, transform_exec_time
+from repro.primitive.problem import Problem
+from repro.primitive.solution import Solution
+
+__all__ = ["FindDb"]
+
+
+class FindDb:
+    """Ranks applicable solutions for a problem by anticipated GPU time."""
+
+    def __init__(self, solutions: Sequence[Solution], device: DeviceSpec) -> None:
+        self.device = device
+        self._solutions = list(solutions)
+        self._cache: Dict[Tuple[Problem, bool, bool], List[Solution]] = {}
+
+    @property
+    def solutions(self) -> List[Solution]:
+        """All registered solutions (copy)."""
+        return list(self._solutions)
+
+    def query(self, problem: Problem, include_transform_cost: bool = False,
+              native_layout_only: bool = False) -> List[Solution]:
+        """Applicable solutions, fastest first.
+
+        ``include_transform_cost`` adds layout-cast time to the ranking
+        metric, and ``native_layout_only`` filters out solutions needing
+        casts -- the two knobs NNV12's selection policy uses.  The default
+        ranking is raw kernel performance, which is how the vendor library
+        behaves ("determines solutions from the GPU performance
+        perspective").
+        """
+        key = (problem, include_transform_cost, native_layout_only)
+        if key in self._cache:
+            return list(self._cache[key])
+        ranked = []
+        for solution in self._solutions:
+            if not solution.is_applicable(problem):
+                continue
+            if (native_layout_only
+                    and solution.needs_layout_transform(problem)):
+                continue
+            time = (solution_time(problem, solution, self.device)
+                    * solution.ranking_jitter(problem))
+            if include_transform_cost and solution.needs_layout_transform(problem):
+                time += 2 * transform_exec_time(problem, self.device)
+            ranked.append((time, solution.name, solution))
+        ranked.sort(key=lambda item: (item[0], item[1]))
+        result = [solution for _, _, solution in ranked]
+        self._cache[key] = result
+        return list(result)
+
+    def best(self, problem: Problem, include_transform_cost: bool = False,
+             native_layout_only: bool = False) -> Optional[Solution]:
+        """The top-ranked solution, or None if nothing is applicable."""
+        ranked = self.query(problem, include_transform_cost,
+                            native_layout_only)
+        return ranked[0] if ranked else None

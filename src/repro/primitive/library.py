@@ -1,0 +1,94 @@
+"""The MIOpen-like library front end.
+
+``find_best`` is the offline find step (used during lowering);
+``run_solution`` is the online entry point (``miopenRunSolution``) that
+PASK hooks: it loads whatever code objects the solution instance needs
+(lazily by default -- the reactive behaviour), launches the cast and
+compute kernels, and returns the completion event.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.gpu.device import DeviceSpec
+from repro.gpu.runtime import HipRuntime
+from repro.primitive.find_db import FindDb
+from repro.primitive.perf_model import solution_time, transform_exec_time
+from repro.primitive.problem import Problem
+from repro.primitive.solution import Solution
+from repro.primitive.solvers import all_miopen_solutions
+
+__all__ = ["MIOpenLibrary", "NoSolutionError"]
+
+
+class NoSolutionError(Exception):
+    """Raised when no registered solution is applicable to a problem."""
+
+
+class MIOpenLibrary:
+    """The DL primitive library: solver registry + find-db + run path."""
+
+    def __init__(self, device: DeviceSpec,
+                 solutions: Optional[Sequence[Solution]] = None) -> None:
+        self.device = device
+        self.solutions = list(solutions) if solutions is not None \
+            else all_miopen_solutions()
+        self.find_db = FindDb(self.solutions, device)
+
+    def solution_by_name(self, name: str) -> Solution:
+        """Look up a registered solution by name."""
+        for solution in self.solutions:
+            if solution.name == name:
+                return solution
+        raise KeyError(f"no solution named {name!r}")
+
+    def find_best(self, problem: Problem,
+                  include_transform_cost: bool = False,
+                  native_layout_only: bool = False) -> Solution:
+        """Offline find: the optimal applicable solution for ``problem``."""
+        best = self.find_db.best(problem, include_transform_cost,
+                                 native_layout_only)
+        if best is None:
+            raise NoSolutionError(f"no applicable solution for {problem}")
+        return best
+
+    def run_solution(self, runtime: HipRuntime, problem: Problem,
+                     solution: Solution, tuned_for: Optional[Problem] = None,
+                     actor: str = "host", label: str = "", lazy: bool = True):
+        """Execute ``problem`` with ``solution`` (generator).
+
+        ``tuned_for`` identifies the binary instance being used: it
+        defaults to ``problem`` (a freshly found solution); PASK's reuse
+        passes the problem the cached binary was originally loaded for,
+        which names the already-resident code object and derates
+        efficiency accordingly.
+
+        Returns the completion event of the last launched kernel.
+        """
+        tuned = tuned_for if tuned_for is not None else problem
+        code_object = solution.code_object_for(tuned)
+        label = label or f"{solution.name}"
+        completion = None
+
+        transforms = solution.transform_code_objects(problem)
+        if transforms:
+            in_cast, out_cast = transforms
+            cast_time = transform_exec_time(problem, self.device)
+            completion = yield from runtime.launch_kernel(
+                in_cast, in_cast.symbols[0].name, cast_time,
+                actor=actor, label=f"{label}/cast_in", lazy=lazy)
+
+        exec_time = solution_time(problem, solution, self.device,
+                                  tuned_for=tuned)
+        per_kernel = exec_time / solution.kernels_per_launch
+        for symbol in code_object.symbols:
+            completion = yield from runtime.launch_kernel(
+                code_object, symbol.name, per_kernel,
+                actor=actor, label=label, lazy=lazy)
+
+        if transforms:
+            completion = yield from runtime.launch_kernel(
+                out_cast, out_cast.symbols[0].name, cast_time,
+                actor=actor, label=f"{label}/cast_out", lazy=lazy)
+        return completion

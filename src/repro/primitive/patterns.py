@@ -1,0 +1,29 @@
+"""Solution pattern taxonomy.
+
+"The solution usually follows certain patterns to conduct the computation
+... commonly used patterns include GEMM, DirectConv and ImplicitGEMM"
+(Sec. II-B).  The categorical solution cache keys its lists by these
+patterns, because a missing specialized solution is most likely to be
+substitutable by a more general one *of the same pattern* (Fig. 4).
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["SolutionPattern"]
+
+
+class SolutionPattern(enum.Enum):
+    """Algorithmic families of primitive solutions."""
+
+    WINOGRAD = "Winograd"
+    GEMM = "Gemm"                  # im2col + matrix multiply
+    DIRECT = "DirectConv"
+    IMPLICIT_GEMM = "ImplicitGemm"
+    POOLING = "Pooling"
+    ACTIVATION = "Activation"
+    BLAS = "Blas"                  # hipBLAS GEMM kernels (outside PASK)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value

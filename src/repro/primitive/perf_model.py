@@ -1,0 +1,70 @@
+"""Kernel execution-time model.
+
+A two-term roofline: a kernel achieves ``efficiency`` of device peak
+compute and a correlated fraction of peak memory bandwidth; its runtime is
+the max of the two plus a small fixed device-side latency.  Absolute
+numbers are a calibrated model -- the experiments only rely on ratios.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.gpu.device import DeviceSpec
+from repro.primitive.problem import Problem
+from repro.primitive.solution import Solution
+from repro.tensors import layout_transform_time
+
+__all__ = ["kernel_time", "solution_time", "transform_exec_time"]
+
+_KERNEL_FIXED_LATENCY_S = 2.5e-6
+
+# Occupancy model: a kernel moving few bytes cannot fill all compute
+# units, so small-batch kernels run far from peak.  The knee is placed so
+# that batch-1 CNN layers land around 25-40% occupancy while batch >= 16
+# saturates the device -- this is what makes the Table II batch sweep
+# behave like the paper's.
+_OCCUPANCY_FLOOR = 0.30
+_OCCUPANCY_SATURATION_BYTES = 40e6
+
+
+def occupancy(bytes_moved: float) -> float:
+    """Achievable occupancy fraction for a kernel moving ``bytes_moved``."""
+    if bytes_moved < 0:
+        raise ValueError("negative work")
+    return min(1.0, _OCCUPANCY_FLOOR
+               + (1.0 - _OCCUPANCY_FLOOR) * bytes_moved
+               / _OCCUPANCY_SATURATION_BYTES)
+
+
+def kernel_time(flops: float, bytes_moved: float, efficiency: float,
+                device: DeviceSpec) -> float:
+    """Runtime of one kernel with the given work and achieved efficiency."""
+    if flops < 0 or bytes_moved < 0:
+        raise ValueError("negative work")
+    if not 0.0 < efficiency <= 1.0:
+        raise ValueError(f"efficiency out of range: {efficiency}")
+    achieved = efficiency * occupancy(bytes_moved)
+    compute_t = flops / (device.fp32_flops * achieved)
+    memory_t = bytes_moved / (device.mem_bandwidth * min(1.0, achieved + 0.25))
+    return max(compute_t, memory_t) + _KERNEL_FIXED_LATENCY_S
+
+
+def solution_time(problem: Problem, solution: Solution, device: DeviceSpec,
+                  tuned_for: Optional[Problem] = None) -> float:
+    """GPU time of running ``problem`` with ``solution``.
+
+    ``tuned_for`` is the problem the loaded binary was tuned for (defaults
+    to ``problem`` itself, i.e. a freshly found solution); off-tune reuse
+    runs at derated efficiency.  Layout-cast time is *not* included --
+    casts are separate kernels accounted by the execution engine.
+    """
+    efficiency = solution.efficiency(tuned_for or problem, problem)
+    return kernel_time(problem.flops, problem.bytes_moved, efficiency, device)
+
+
+def transform_exec_time(problem: Problem, device: DeviceSpec) -> float:
+    """GPU time of one input-or-output layout cast for ``problem``."""
+    activation_bytes = problem.bytes_moved // 2  # roughly the I/O tensors
+    return (layout_transform_time(activation_bytes, device.mem_bandwidth_gbps)
+            + _KERNEL_FIXED_LATENCY_S)

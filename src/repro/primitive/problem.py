@@ -1,0 +1,262 @@
+"""Problem descriptors: what one DNN layer asks the primitive library.
+
+A problem captures "input problem (image and filter sizes, number of
+filters, data types etc.)" (Sec. II-A).  Problems are frozen and hashable:
+the find-db and the solution caches key on them.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Tuple, Union
+
+from repro.tensors import DataType, Layout, TensorDesc
+
+__all__ = [
+    "PrimitiveKind",
+    "ConvProblem",
+    "PoolProblem",
+    "ActivationProblem",
+    "GemmProblem",
+    "Problem",
+]
+
+
+class PrimitiveKind(enum.Enum):
+    """Which primitive routine a problem belongs to."""
+
+    CONVOLUTION = "convolution"
+    POOLING = "pooling"
+    ACTIVATION = "activation"
+    GEMM = "gemm"   # served by the BLAS library, not MIOpen
+
+
+@dataclass(frozen=True)
+class ConvProblem:
+    """A 2-D forward convolution problem."""
+
+    batch: int
+    in_channels: int
+    height: int
+    width: int
+    out_channels: int
+    kernel: Tuple[int, int]          # (R, S)
+    stride: Tuple[int, int] = (1, 1)
+    pad: Tuple[int, int] = (0, 0)
+    dilation: Tuple[int, int] = (1, 1)
+    group: int = 1
+    dtype: DataType = DataType.FP32
+    layout: Layout = Layout.NCHW
+
+    def __post_init__(self) -> None:
+        positives = (self.batch, self.in_channels, self.height, self.width,
+                     self.out_channels, *self.kernel, *self.stride,
+                     *self.dilation, self.group)
+        if any(v <= 0 for v in positives):
+            raise ValueError(f"non-positive field in {self}")
+        if any(p < 0 for p in self.pad):
+            raise ValueError(f"negative padding in {self}")
+        if self.in_channels % self.group or self.out_channels % self.group:
+            raise ValueError(
+                f"channels {self.in_channels}->{self.out_channels} not "
+                f"divisible by group {self.group}")
+
+    @property
+    def kind(self) -> PrimitiveKind:
+        """This is a convolution problem."""
+        return PrimitiveKind.CONVOLUTION
+
+    @property
+    def out_spatial(self) -> Tuple[int, int]:
+        """Output (Ho, Wo)."""
+        r, s = self.kernel
+        out_h = ((self.height + 2 * self.pad[0]
+                  - self.dilation[0] * (r - 1) - 1) // self.stride[0] + 1)
+        out_w = ((self.width + 2 * self.pad[1]
+                  - self.dilation[1] * (s - 1) - 1) // self.stride[1] + 1)
+        if out_h <= 0 or out_w <= 0:
+            raise ValueError(f"output spatial collapsed for {self}")
+        return out_h, out_w
+
+    @property
+    def is_depthwise(self) -> bool:
+        """Whether this is a depthwise convolution (group == channels)."""
+        return self.group == self.in_channels == self.out_channels
+
+    @property
+    def is_pointwise(self) -> bool:
+        """Whether the filter is 1x1."""
+        return self.kernel == (1, 1)
+
+    @property
+    def flops(self) -> float:
+        """Multiply-accumulate FLOPs of the direct algorithm."""
+        ho, wo = self.out_spatial
+        r, s = self.kernel
+        return (2.0 * self.batch * self.out_channels * ho * wo
+                * (self.in_channels // self.group) * r * s)
+
+    @property
+    def bytes_moved(self) -> int:
+        """Input + filter + output bytes (one pass each)."""
+        ho, wo = self.out_spatial
+        r, s = self.kernel
+        elems = (self.batch * self.in_channels * self.height * self.width
+                 + self.out_channels * (self.in_channels // self.group) * r * s
+                 + self.batch * self.out_channels * ho * wo)
+        return elems * self.dtype.size_bytes
+
+    @property
+    def input_desc(self) -> TensorDesc:
+        """Descriptor of the input activation tensor."""
+        return TensorDesc((self.batch, self.in_channels, self.height,
+                           self.width), self.dtype, self.layout)
+
+    def with_batch(self, batch: int) -> "ConvProblem":
+        """The same problem at a different batch size."""
+        return ConvProblem(batch, self.in_channels, self.height, self.width,
+                           self.out_channels, self.kernel, self.stride,
+                           self.pad, self.dilation, self.group, self.dtype,
+                           self.layout)
+
+
+@dataclass(frozen=True)
+class PoolProblem:
+    """A 2-D pooling problem (max or average, including global)."""
+
+    batch: int
+    channels: int
+    height: int
+    width: int
+    kernel: Tuple[int, int]
+    stride: Tuple[int, int]
+    pad: Tuple[int, int] = (0, 0)
+    mode: str = "max"                # "max" | "avg"
+    dtype: DataType = DataType.FP32
+    layout: Layout = Layout.NCHW
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("max", "avg"):
+            raise ValueError(f"unknown pooling mode {self.mode!r}")
+        if any(v <= 0 for v in (self.batch, self.channels, self.height,
+                                self.width, *self.kernel, *self.stride)):
+            raise ValueError(f"non-positive field in {self}")
+
+    @property
+    def kind(self) -> PrimitiveKind:
+        """This is a pooling problem."""
+        return PrimitiveKind.POOLING
+
+    @property
+    def is_global(self) -> bool:
+        """Whether the window covers the whole spatial extent."""
+        return self.kernel == (self.height, self.width)
+
+    @property
+    def out_spatial(self) -> Tuple[int, int]:
+        """Output (Ho, Wo)."""
+        out_h = (self.height + 2 * self.pad[0] - self.kernel[0]) // self.stride[0] + 1
+        out_w = (self.width + 2 * self.pad[1] - self.kernel[1]) // self.stride[1] + 1
+        if out_h <= 0 or out_w <= 0:
+            raise ValueError(f"output spatial collapsed for {self}")
+        return out_h, out_w
+
+    @property
+    def flops(self) -> float:
+        """Comparisons/additions performed by the pooling window."""
+        ho, wo = self.out_spatial
+        return float(self.batch * self.channels * ho * wo
+                     * self.kernel[0] * self.kernel[1])
+
+    @property
+    def bytes_moved(self) -> int:
+        """Input + output bytes (one pass each)."""
+        ho, wo = self.out_spatial
+        elems = self.batch * self.channels * (self.height * self.width + ho * wo)
+        return elems * self.dtype.size_bytes
+
+    def with_batch(self, batch: int) -> "PoolProblem":
+        """The same problem at a different batch size."""
+        return PoolProblem(batch, self.channels, self.height, self.width,
+                           self.kernel, self.stride, self.pad, self.mode,
+                           self.dtype, self.layout)
+
+
+@dataclass(frozen=True)
+class ActivationProblem:
+    """An elementwise activation problem over a flattened extent."""
+
+    numel: int
+    activation: str                  # "relu", "sigmoid", "silu", ...
+    dtype: DataType = DataType.FP32
+    layout: Layout = Layout.NCHW
+
+    def __post_init__(self) -> None:
+        if self.numel <= 0:
+            raise ValueError(f"non-positive numel {self.numel}")
+        if not self.activation:
+            raise ValueError("activation kind required")
+
+    @property
+    def kind(self) -> PrimitiveKind:
+        """This is an activation problem."""
+        return PrimitiveKind.ACTIVATION
+
+    @property
+    def flops(self) -> float:
+        """Elementwise operation count (per-function factor x extent)."""
+        cost = {"relu": 1.0, "leakyrelu": 2.0, "clip": 2.0, "sigmoid": 4.0,
+                "tanh": 4.0, "elu": 4.0, "hardswish": 4.0, "silu": 5.0,
+                "gelu": 8.0}
+        return cost.get(self.activation, 4.0) * self.numel
+
+    @property
+    def bytes_moved(self) -> int:
+        """Read + write of the full extent."""
+        return 2 * self.numel * self.dtype.size_bytes
+
+    def with_batch(self, batch: int) -> "ActivationProblem":
+        """Scale the extent as if the leading batch dim changed from 1."""
+        return ActivationProblem(self.numel * batch, self.activation,
+                                 self.dtype, self.layout)
+
+
+@dataclass(frozen=True)
+class GemmProblem:
+    """A (batched) matrix-multiply problem served by the BLAS library."""
+
+    m: int
+    n: int
+    k: int
+    batch: int = 1
+    dtype: DataType = DataType.FP32
+    layout: Layout = Layout.NCHW
+
+    def __post_init__(self) -> None:
+        if any(v <= 0 for v in (self.m, self.n, self.k, self.batch)):
+            raise ValueError(f"non-positive dimension in {self}")
+
+    @property
+    def kind(self) -> PrimitiveKind:
+        """This is a GEMM problem (served by the BLAS library)."""
+        return PrimitiveKind.GEMM
+
+    @property
+    def flops(self) -> float:
+        """Multiply-accumulate FLOPs (2 m n k per batch)."""
+        return 2.0 * self.batch * self.m * self.n * self.k
+
+    @property
+    def bytes_moved(self) -> int:
+        """A + B + C matrix bytes (one pass each)."""
+        elems = self.batch * (self.m * self.k + self.k * self.n + self.m * self.n)
+        return elems * self.dtype.size_bytes
+
+    def with_batch(self, batch: int) -> "GemmProblem":
+        """The same GEMM with a different batch count."""
+        return GemmProblem(self.m, self.n, self.k, batch, self.dtype,
+                           self.layout)
+
+
+Problem = Union[ConvProblem, PoolProblem, ActivationProblem, GemmProblem]

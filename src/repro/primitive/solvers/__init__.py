@@ -1,0 +1,29 @@
+"""Solver families: the generality/performance ladders of Fig. 4.
+
+Each module builds the solutions of one pattern; :func:`all_miopen_solutions`
+aggregates the full registry the library searches.
+"""
+
+from typing import List
+
+from repro.primitive.solution import Solution
+from repro.primitive.solvers import activation, direct, fp16, gemm, \
+    implicitgemm, pooling, winograd
+
+__all__ = ["all_miopen_solutions"]
+
+
+def all_miopen_solutions() -> List[Solution]:
+    """Every solution the MIOpen-like library knows, all patterns."""
+    out: List[Solution] = []
+    out.extend(winograd.build_solutions())
+    out.extend(gemm.build_solutions())
+    out.extend(direct.build_solutions())
+    out.extend(implicitgemm.build_solutions())
+    out.extend(fp16.build_solutions())
+    out.extend(pooling.build_solutions())
+    out.extend(activation.build_solutions())
+    names = [s.name for s in out]
+    if len(names) != len(set(names)):
+        raise RuntimeError("duplicate solution names in solver registry")
+    return out

@@ -1,0 +1,76 @@
+"""Activation solutions.
+
+One generic kernel interprets the activation kind from a runtime switch;
+the specialized members hard-code one function each (and the packed tip
+additionally requires a vectorizable extent).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.primitive.patterns import SolutionPattern
+from repro.primitive.problem import ActivationProblem, PrimitiveKind
+from repro.primitive.solution import Constraint, Solution
+from repro.tensors import DataType, Layout
+
+__all__ = ["build_solutions", "SPECIALIZED_ACTIVATIONS"]
+
+SPECIALIZED_ACTIVATIONS = ("relu", "sigmoid", "silu", "tanh", "leakyrelu",
+                           "hardswish", "clip", "elu")
+
+
+def _always(p: ActivationProblem) -> bool:
+    return True
+
+
+def _kind_constraint(kind: str) -> Constraint:
+    return Constraint(f"activation_is_{kind}",
+                      lambda p, kind=kind: p.activation == kind)
+
+
+def _vectorizable(p: ActivationProblem) -> bool:
+    return p.numel % 4 == 0
+
+
+def build_solutions() -> List[Solution]:
+    """The activation ladder: one generic, one tip per common function."""
+    solutions = [
+        Solution(
+            name="ActivFwdGeneric",
+            pattern=SolutionPattern.ACTIVATION,
+            kind=PrimitiveKind.ACTIVATION,
+            specialization=0,
+            base_efficiency=0.50,
+            constraints=(Constraint("any_activation", _always),),
+            preferred_layout=Layout.NCHW,
+            supported_dtypes=(DataType.FP32, DataType.FP16),
+            size_multiplier=0.2,
+        ),
+    ]
+    for kind in SPECIALIZED_ACTIVATIONS:
+        solutions.append(Solution(
+            name=f"ActivFwd{kind.capitalize()}",
+            pattern=SolutionPattern.ACTIVATION,
+            kind=PrimitiveKind.ACTIVATION,
+            specialization=1,
+            base_efficiency=0.82,
+            constraints=(_kind_constraint(kind),),
+            preferred_layout=Layout.NCHW,
+            supported_dtypes=(DataType.FP32, DataType.FP16),
+            size_multiplier=0.2,
+        ))
+    solutions.append(Solution(
+        name="ActivFwdReluPacked4",
+        pattern=SolutionPattern.ACTIVATION,
+        kind=PrimitiveKind.ACTIVATION,
+        specialization=2,
+        base_efficiency=0.93,
+        constraints=(
+            _kind_constraint("relu"),
+            Constraint("vectorizable_by4", _vectorizable),
+        ),
+        preferred_layout=Layout.NCHW,
+        size_multiplier=0.2,
+    ))
+    return solutions

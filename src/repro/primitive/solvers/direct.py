@@ -1,0 +1,78 @@
+"""Direct convolution solutions.
+
+``ConvDirectNaiveFwd`` is the second universal fallback (MIOpen keeps a
+naive direct kernel for correctness); the tips cover the classic CNN stem
+(7x7 stride-2) and depthwise convolutions, which no other pattern serves
+efficiently.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.primitive.patterns import SolutionPattern
+from repro.primitive.problem import ConvProblem, PrimitiveKind
+from repro.primitive.solution import Constraint, Solution
+from repro.tensors import Layout
+
+__all__ = ["build_solutions"]
+
+
+def _always(p: ConvProblem) -> bool:
+    return True
+
+
+def _kernel3_stride_le2(p: ConvProblem) -> bool:
+    return (p.kernel == (3, 3) and max(p.stride) <= 2
+            and p.dilation == (1, 1) and p.group == 1)
+
+
+def _is_depthwise(p: ConvProblem) -> bool:
+    return p.is_depthwise
+
+
+def _kernel7_stride2(p: ConvProblem) -> bool:
+    return (p.kernel == (7, 7) and p.stride == (2, 2)
+            and p.dilation == (1, 1) and p.group == 1)
+
+
+def build_solutions() -> List[Solution]:
+    """The direct-convolution ladder."""
+    return [
+        Solution(
+            name="ConvDirectNaiveFwd",
+            pattern=SolutionPattern.DIRECT,
+            kind=PrimitiveKind.CONVOLUTION,
+            specialization=0,
+            base_efficiency=0.20,
+            constraints=(Constraint("any_conv", _always),),
+            preferred_layout=Layout.NCHW,
+        ),
+        Solution(
+            name="ConvDirectFwd3x3",
+            pattern=SolutionPattern.DIRECT,
+            kind=PrimitiveKind.CONVOLUTION,
+            specialization=1,
+            base_efficiency=0.42,
+            constraints=(Constraint("kernel3_stride_le2", _kernel3_stride_le2),),
+            preferred_layout=Layout.NCHW,
+        ),
+        Solution(
+            name="ConvDirectFwdDepthwise",
+            pattern=SolutionPattern.DIRECT,
+            kind=PrimitiveKind.CONVOLUTION,
+            specialization=1,
+            base_efficiency=0.52,
+            constraints=(Constraint("depthwise", _is_depthwise),),
+            preferred_layout=Layout.NCHW,
+        ),
+        Solution(
+            name="ConvDirectFwd7x7s2",
+            pattern=SolutionPattern.DIRECT,
+            kind=PrimitiveKind.CONVOLUTION,
+            specialization=2,
+            base_efficiency=0.58,
+            constraints=(Constraint("kernel7_stride2", _kernel7_stride2),),
+            preferred_layout=Layout.NCHW,
+        ),
+    ]

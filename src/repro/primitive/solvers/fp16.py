@@ -1,0 +1,57 @@
+"""Half-precision convolution solutions.
+
+fp16 kernels are separate compilation targets from their fp32 siblings
+(different MFMA instructions, different register budgets), so the library
+ships a dedicated fp16 ladder.  This separation is what makes the mixed-
+precision extension of Sec. VI meaningful: when an fp16 binary is absent
+but the fp32 sibling is resident, PASK may run the layer in fp32 instead
+of loading.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.primitive.patterns import SolutionPattern
+from repro.primitive.problem import ConvProblem, PrimitiveKind
+from repro.primitive.solution import Constraint, Solution
+from repro.tensors import DataType, Layout
+
+__all__ = ["build_solutions"]
+
+
+def _always(p: ConvProblem) -> bool:
+    return True
+
+
+def _div8_stride_le2(p: ConvProblem) -> bool:
+    return (p.in_channels % 8 == 0 and p.out_channels % 8 == 0
+            and max(p.stride) <= 2 and p.group == 1
+            and p.dilation == (1, 1))
+
+
+def build_solutions() -> List[Solution]:
+    """The fp16 convolution ladder: one universal, one MFMA tip."""
+    return [
+        Solution(
+            name="ConvGemmFwdFp16",
+            pattern=SolutionPattern.GEMM,
+            kind=PrimitiveKind.CONVOLUTION,
+            specialization=0,
+            base_efficiency=0.30,
+            constraints=(Constraint("any_conv", _always),),
+            preferred_layout=Layout.NCHW,
+            supported_dtypes=(DataType.FP16,),
+            kernels_per_launch=2,
+        ),
+        Solution(
+            name="ConvImplicitGemmMfmaFp16Fwd",
+            pattern=SolutionPattern.IMPLICIT_GEMM,
+            kind=PrimitiveKind.CONVOLUTION,
+            specialization=2,
+            base_efficiency=0.80,
+            constraints=(Constraint("div8_stride_le2", _div8_stride_le2),),
+            preferred_layout=Layout.NCHW,
+            supported_dtypes=(DataType.FP16,),
+        ),
+    ]

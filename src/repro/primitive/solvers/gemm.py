@@ -1,0 +1,81 @@
+"""GEMM-pattern (im2col) convolution solutions.
+
+``ConvGemmFwd`` is the universal fallback of the library: it accepts every
+convolution, which guarantees :meth:`MIOpenLibrary.find_best` always
+succeeds.  The 1x1 tips exploit that pointwise convolution *is* a GEMM.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.primitive.patterns import SolutionPattern
+from repro.primitive.problem import ConvProblem, PrimitiveKind
+from repro.primitive.solution import Constraint, Solution
+from repro.tensors import Layout
+
+__all__ = ["build_solutions"]
+
+
+def _always(p: ConvProblem) -> bool:
+    return True
+
+
+def _is_pointwise(p: ConvProblem) -> bool:
+    return p.kernel == (1, 1) and p.pad == (0, 0)
+
+
+def _is_unit_stride(p: ConvProblem) -> bool:
+    return p.stride == (1, 1)
+
+
+def _channels_div8(p: ConvProblem) -> bool:
+    return p.in_channels % 8 == 0 and p.out_channels % 8 == 0
+
+
+def _is_ungrouped(p: ConvProblem) -> bool:
+    return p.group == 1
+
+
+def build_solutions() -> List[Solution]:
+    """The im2col-GEMM ladder."""
+    return [
+        Solution(
+            name="ConvGemmFwd",
+            pattern=SolutionPattern.GEMM,
+            kind=PrimitiveKind.CONVOLUTION,
+            specialization=0,
+            base_efficiency=0.26,
+            constraints=(Constraint("any_conv", _always),),
+            preferred_layout=Layout.NCHW,
+            kernels_per_launch=2,   # im2col + gemm
+        ),
+        Solution(
+            name="ConvGemmFwd1x1",
+            pattern=SolutionPattern.GEMM,
+            kind=PrimitiveKind.CONVOLUTION,
+            specialization=1,
+            base_efficiency=0.50,
+            constraints=(
+                Constraint("pointwise", _is_pointwise),
+                Constraint("ungrouped", _is_ungrouped),
+            ),
+            preferred_layout=Layout.NCHW,
+            kernels_per_launch=1,
+        ),
+        Solution(
+            name="ConvGemmFwd1x1Pack",
+            pattern=SolutionPattern.GEMM,
+            kind=PrimitiveKind.CONVOLUTION,
+            specialization=2,
+            base_efficiency=0.62,
+            constraints=(
+                Constraint("pointwise", _is_pointwise),
+                Constraint("ungrouped", _is_ungrouped),
+                Constraint("unit_stride", _is_unit_stride),
+                Constraint("channels_div8", _channels_div8),
+            ),
+            preferred_layout=Layout.NCHW,
+            kernels_per_launch=1,
+        ),
+    ]

@@ -1,0 +1,66 @@
+"""Implicit-GEMM convolution solutions.
+
+The xdlops tip is the library's fastest convolution when its divisibility
+constraints hold, but it is NHWC-native: on NCHW models it drags in
+per-shape layout-cast kernels -- exactly the transform overhead NNV12
+avoids by selecting layout-native solutions.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.primitive.patterns import SolutionPattern
+from repro.primitive.problem import ConvProblem, PrimitiveKind
+from repro.primitive.solution import Constraint, Solution
+from repro.tensors import Layout
+
+__all__ = ["build_solutions"]
+
+
+def _div4(p: ConvProblem) -> bool:
+    return p.in_channels % 4 == 0 and p.out_channels % 4 == 0
+
+
+def _div16(p: ConvProblem) -> bool:
+    return p.in_channels % 16 == 0 and p.out_channels % 16 == 0
+
+
+def _ungrouped_undilated(p: ConvProblem) -> bool:
+    return p.group == 1 and p.dilation == (1, 1)
+
+
+def _stride_le2(p: ConvProblem) -> bool:
+    return max(p.stride) <= 2
+
+
+def build_solutions() -> List[Solution]:
+    """The implicit-GEMM ladder (no generic member -- matches MIOpen)."""
+    return [
+        Solution(
+            name="ConvImplicitGemmV4R4Fwd",
+            pattern=SolutionPattern.IMPLICIT_GEMM,
+            kind=PrimitiveKind.CONVOLUTION,
+            specialization=1,
+            base_efficiency=0.55,
+            constraints=(
+                Constraint("channels_div4", _div4),
+                Constraint("ungrouped_undilated", _ungrouped_undilated),
+                Constraint("stride_le2", _stride_le2),
+            ),
+            preferred_layout=Layout.NCHW,
+        ),
+        Solution(
+            name="ConvImplicitGemmXdlopsFwd",
+            pattern=SolutionPattern.IMPLICIT_GEMM,
+            kind=PrimitiveKind.CONVOLUTION,
+            specialization=2,
+            base_efficiency=0.62,
+            constraints=(
+                Constraint("channels_div16", _div16),
+                Constraint("ungrouped_undilated", _ungrouped_undilated),
+                Constraint("stride_le2", _stride_le2),
+            ),
+            preferred_layout=Layout.NHWC,
+        ),
+    ]

@@ -1,0 +1,75 @@
+"""Pooling solutions."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.primitive.patterns import SolutionPattern
+from repro.primitive.problem import PoolProblem, PrimitiveKind
+from repro.primitive.solution import Constraint, Solution
+from repro.tensors import DataType, Layout
+
+__all__ = ["build_solutions"]
+
+
+def _always(p: PoolProblem) -> bool:
+    return True
+
+
+def _window_le3(p: PoolProblem) -> bool:
+    return max(p.kernel) <= 3
+
+
+def _is_global(p: PoolProblem) -> bool:
+    return p.is_global
+
+
+def _is_2x2s2(p: PoolProblem) -> bool:
+    return p.kernel == (2, 2) and p.stride == (2, 2) and p.pad == (0, 0)
+
+
+def build_solutions() -> List[Solution]:
+    """The pooling ladder (bandwidth-bound, so efficiencies are high)."""
+    return [
+        Solution(
+            name="PoolingNaiveFwd",
+            pattern=SolutionPattern.POOLING,
+            kind=PrimitiveKind.POOLING,
+            specialization=0,
+            base_efficiency=0.45,
+            constraints=(Constraint("any_pool", _always),),
+            preferred_layout=Layout.NCHW,
+            supported_dtypes=(DataType.FP32, DataType.FP16),
+            size_multiplier=0.35,
+        ),
+        Solution(
+            name="PoolingFwdSmallWindow",
+            pattern=SolutionPattern.POOLING,
+            kind=PrimitiveKind.POOLING,
+            specialization=1,
+            base_efficiency=0.70,
+            constraints=(Constraint("window_le3", _window_le3),),
+            preferred_layout=Layout.NCHW,
+            size_multiplier=0.35,
+        ),
+        Solution(
+            name="PoolingFwdGlobal",
+            pattern=SolutionPattern.POOLING,
+            kind=PrimitiveKind.POOLING,
+            specialization=1,
+            base_efficiency=0.72,
+            constraints=(Constraint("global_window", _is_global),),
+            preferred_layout=Layout.NCHW,
+            size_multiplier=0.35,
+        ),
+        Solution(
+            name="PoolingFwd2x2s2",
+            pattern=SolutionPattern.POOLING,
+            kind=PrimitiveKind.POOLING,
+            specialization=2,
+            base_efficiency=0.85,
+            constraints=(Constraint("window_2x2s2", _is_2x2s2),),
+            preferred_layout=Layout.NCHW,
+            size_multiplier=0.35,
+        ),
+    ]

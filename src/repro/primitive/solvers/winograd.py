@@ -1,0 +1,109 @@
+"""Winograd convolution solutions (Fig. 4's worked example).
+
+The ladder mirrors the paper exactly: ``ConvWinogradNaiveFwd`` accepts any
+dimensions (generic), ``ConvBinWinogradRxSFwd`` requires a 2-D square
+filter (specialized), and ``ConvBinWinogradFwd<R,S>`` pins the exact
+filter size (highly specialized, best shared-memory layout).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.primitive.patterns import SolutionPattern
+from repro.primitive.problem import ConvProblem, PrimitiveKind
+from repro.primitive.solution import Constraint, Solution
+from repro.tensors import Layout
+
+__all__ = ["build_solutions"]
+
+
+def _is_unit_stride(p: ConvProblem) -> bool:
+    return p.stride == (1, 1)
+
+
+def _is_unit_dilation(p: ConvProblem) -> bool:
+    return p.dilation == (1, 1)
+
+
+def _is_ungrouped(p: ConvProblem) -> bool:
+    return p.group == 1
+
+def _kernel_small(p: ConvProblem) -> bool:
+    # Winograd makes no sense for pointwise filters; the transform needs
+    # at least a 2x2 tap window.
+    return max(p.kernel) <= 7 and min(p.kernel) >= 2
+
+
+def _kernel_square_le5(p: ConvProblem) -> bool:
+    return p.kernel[0] == p.kernel[1] and p.kernel[0] <= 5
+
+
+def _channels_ge8(p: ConvProblem) -> bool:
+    return p.in_channels >= 8
+
+
+_BASE = (
+    Constraint("unit_stride", _is_unit_stride),
+    Constraint("unit_dilation", _is_unit_dilation),
+    Constraint("ungrouped", _is_ungrouped),
+    Constraint("kernel_le7", _kernel_small),
+)
+
+
+def _exact_kernel(r: int, s: int) -> Constraint:
+    return Constraint(f"kernel_eq_{r}x{s}",
+                      lambda p, r=r, s=s: p.kernel == (r, s))
+
+
+def _divisible(c_mult: int, k_mult: int) -> Constraint:
+    return Constraint(
+        f"channels_div_c{c_mult}_k{k_mult}",
+        lambda p, c=c_mult, k=k_mult: (p.in_channels % c == 0
+                                       and p.out_channels % k == 0))
+
+
+def build_solutions() -> List[Solution]:
+    """The Winograd ladder: one generic, one mid, two exact-filter tips."""
+    solutions = [
+        Solution(
+            name="ConvWinogradNaiveFwd",
+            pattern=SolutionPattern.WINOGRAD,
+            kind=PrimitiveKind.CONVOLUTION,
+            specialization=0,
+            base_efficiency=0.30,
+            constraints=_BASE,
+            preferred_layout=Layout.NCHW,
+            kernels_per_launch=3,   # input/filter transform + batched GEMM
+        ),
+        Solution(
+            name="ConvBinWinogradRxSFwd",
+            pattern=SolutionPattern.WINOGRAD,
+            kind=PrimitiveKind.CONVOLUTION,
+            specialization=1,
+            base_efficiency=0.48,
+            constraints=_BASE + (
+                Constraint("kernel_square_le5", _kernel_square_le5),
+                Constraint("channels_ge8", _channels_ge8),
+            ),
+            preferred_layout=Layout.NCHW,
+            kernels_per_launch=1,   # fused single-pass binary winograd
+        ),
+    ]
+    for r, s, eff in [(3, 3, 0.68), (5, 5, 0.63)]:
+        solutions.append(Solution(
+            name=f"ConvBinWinogradFwd<{r},{s}>",
+            pattern=SolutionPattern.WINOGRAD,
+            kind=PrimitiveKind.CONVOLUTION,
+            specialization=2,
+            base_efficiency=eff,
+            constraints=_BASE + (
+                Constraint("kernel_square_le5", _kernel_square_le5),
+                Constraint("channels_ge8", _channels_ge8),
+                _exact_kernel(r, s),
+                _divisible(2, 8),
+            ),
+            preferred_layout=Layout.NCHW,
+            kernels_per_launch=1,
+        ))
+    return solutions

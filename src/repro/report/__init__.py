@@ -1,0 +1,7 @@
+"""Plain-text rendering of experiment results (tables and bar charts)."""
+
+from repro.report.tables import format_table
+from repro.report.figures import bar_chart, grouped_bars
+from repro.report.timeline import render_timeline
+
+__all__ = ["bar_chart", "format_table", "grouped_bars", "render_timeline"]

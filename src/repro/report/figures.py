@@ -1,0 +1,47 @@
+"""ASCII bar charts for figure-style results."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+__all__ = ["bar_chart", "grouped_bars"]
+
+_BAR = "#"
+
+
+def bar_chart(values: Dict[str, float], title: Optional[str] = None,
+              width: int = 40, precision: int = 2) -> str:
+    """One horizontal bar per key, scaled to the maximum value."""
+    if not values:
+        raise ValueError("bar_chart needs at least one value")
+    peak = max(values.values())
+    label_width = max(len(k) for k in values)
+    out = []
+    if title:
+        out.append(title)
+    for key, value in values.items():
+        length = 0 if peak <= 0 else int(round(width * value / peak))
+        out.append(f"{key.rjust(label_width)} | "
+                   f"{_BAR * length:<{width}} {value:.{precision}f}")
+    return "\n".join(out)
+
+
+def grouped_bars(groups: Dict[str, Dict[str, float]],
+                 title: Optional[str] = None, width: int = 30,
+                 precision: int = 2) -> str:
+    """Bars grouped by an outer key (e.g. per-model, one bar per scheme)."""
+    if not groups:
+        raise ValueError("grouped_bars needs at least one group")
+    peak = max(v for inner in groups.values() for v in inner.values())
+    series = max((len(k) for inner in groups.values() for k in inner),
+                 default=0)
+    out = []
+    if title:
+        out.append(title)
+    for group, inner in groups.items():
+        out.append(f"{group}:")
+        for key, value in inner.items():
+            length = 0 if peak <= 0 else int(round(width * value / peak))
+            out.append(f"  {key.rjust(series)} | "
+                       f"{_BAR * length:<{width}} {value:.{precision}f}")
+    return "\n".join(out)

@@ -1,0 +1,99 @@
+"""ASCII timeline (Gantt) rendering of an execution trace.
+
+Visualizes the interleaved pipeline: one row per actor (parser, loader,
+issuer, gpu, host), time bucketed into fixed-width columns, each cell
+showing the phase that dominates the bucket.  This makes the paper's
+Fig. 5 dynamics directly observable: the parser finishing early, the
+loader running continuously, and the GPU ticking along behind it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.sim.trace import Phase, TraceRecorder, merge_intervals
+
+__all__ = ["render_timeline"]
+
+# One character per phase; uppercase for the busiest phases.
+_PHASE_CHARS = {
+    Phase.PARSE: "p",
+    Phase.LOAD: "L",
+    Phase.ISSUE: "i",
+    Phase.EXEC: "X",
+    Phase.CHECK: "c",
+    Phase.OVERHEAD: "o",
+    Phase.OTHER: ".",
+}
+
+_DEFAULT_ACTOR_ORDER = ("parser", "loader", "issuer", "host", "gpu")
+
+
+def render_timeline(trace: TraceRecorder, width: int = 72,
+                    total_time: Optional[float] = None,
+                    actors: Optional[Sequence[str]] = None) -> str:
+    """Render ``trace`` as an ASCII Gantt chart.
+
+    Each column covers ``total_time / width`` seconds; a cell shows the
+    phase occupying the largest share of that bucket for that actor
+    (space when idle).  A legend and the time scale are appended.
+    """
+    if width < 10:
+        raise ValueError(f"width too small: {width}")
+    if not trace.records:
+        return "(empty trace)"
+    start, end = trace.span()
+    if total_time is not None:
+        end = start + total_time
+    span = end - start
+    if span <= 0:
+        return "(zero-length trace)"
+
+    present = {r.actor for r in trace.records}
+    if actors is None:
+        actors = ([a for a in _DEFAULT_ACTOR_ORDER if a in present]
+                  + sorted(present - set(_DEFAULT_ACTOR_ORDER)))
+    label_width = max(len(a) for a in actors)
+    bucket = span / width
+
+    lines: List[str] = []
+    for actor in actors:
+        per_phase: Dict[Phase, List[Tuple[float, float]]] = {}
+        for record in trace.records:
+            if record.actor != actor:
+                continue
+            per_phase.setdefault(record.phase, []).append(
+                (record.start, record.end))
+        merged = {phase: merge_intervals(items)
+                  for phase, items in per_phase.items()}
+        row = []
+        for column in range(width):
+            lo = start + column * bucket
+            hi = lo + bucket
+            best_phase = None
+            best_cover = 0.0
+            for phase, intervals in merged.items():
+                cover = _coverage(intervals, lo, hi)
+                if cover > best_cover:
+                    best_cover = cover
+                    best_phase = phase
+            if best_phase is None or best_cover <= 0:
+                row.append(" ")
+            else:
+                row.append(_PHASE_CHARS.get(best_phase, "?"))
+        lines.append(f"{actor.rjust(label_width)} |{''.join(row)}|")
+
+    scale = (f"{' ' * label_width}  0 ms{' ' * (width - 12)}"
+             f"{span * 1e3:6.1f} ms")
+    legend = ("legend: p=parse L=load i=issue X=gpu-exec c=check "
+              "o=overhead .=other")
+    return "\n".join(lines + [scale, legend])
+
+
+def _coverage(intervals: Sequence[Tuple[float, float]], lo: float,
+              hi: float) -> float:
+    """Measure of ``intervals`` inside the bucket [lo, hi)."""
+    total = 0.0
+    for s, e in intervals:
+        total += max(0.0, min(e, hi) - max(s, lo))
+    return total

@@ -1,0 +1,149 @@
+"""Autoscaling cluster simulator: cold starts under real request traffic.
+
+Models the serverless/spot serving loop of the paper's introduction: a
+pool of instances serves a request trace; a request landing on a warm,
+idle instance runs at hot latency, while one that must spawn a fresh
+instance pays the full cold start of the configured scheme.  Instances
+are reclaimed after a keep-alive timeout, so sparse traffic keeps
+re-triggering cold starts.
+
+The per-request service times come from the deterministic simulation
+(:class:`~repro.serving.server.InferenceServer`); the cluster layer adds
+queueing, autoscaling and keep-alive on top.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.schemes import Scheme
+from repro.serving.requests import RequestTrace
+from repro.serving.server import InferenceServer
+
+__all__ = ["ClusterConfig", "ClusterStats", "ClusterSimulator"]
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Cluster policy knobs."""
+
+    scheme: Scheme = Scheme.BASELINE
+    max_instances: int = 8
+    keep_alive_s: float = 10.0     # idle instances reclaimed after this
+
+    def __post_init__(self) -> None:
+        if self.max_instances <= 0:
+            raise ValueError("need at least one instance")
+        if self.keep_alive_s < 0:
+            raise ValueError("keep-alive must be non-negative")
+
+
+@dataclass
+class _Instance:
+    busy_until: float = 0.0
+    last_used: float = 0.0
+    warm: bool = False
+
+
+@dataclass
+class ClusterStats:
+    """Outcome of one trace replay."""
+
+    latencies: List[float] = field(default_factory=list)
+    cold_starts: int = 0
+    warm_hits: int = 0
+    queue_waits: List[float] = field(default_factory=list)
+
+    @property
+    def requests(self) -> int:
+        """Total requests served."""
+        return len(self.latencies)
+
+    @property
+    def mean_latency(self) -> float:
+        """Arithmetic mean of per-request latency."""
+        return sum(self.latencies) / len(self.latencies)
+
+    def percentile(self, q: float) -> float:
+        """The q-quantile (0..1) of request latency."""
+        if not 0 <= q <= 1:
+            raise ValueError(f"quantile out of range: {q}")
+        ordered = sorted(self.latencies)
+        index = min(len(ordered) - 1, int(q * len(ordered)))
+        return ordered[index]
+
+    @property
+    def cold_start_fraction(self) -> float:
+        """Share of requests that paid a cold start."""
+        return self.cold_starts / self.requests if self.requests else 0.0
+
+
+class ClusterSimulator:
+    """Replays a request trace against an autoscaled instance pool."""
+
+    def __init__(self, server: InferenceServer, config: ClusterConfig) -> None:
+        self.server = server
+        self.config = config
+        self._cold_cache = {}
+        self._warm_cache = {}
+
+    def _cold_time(self, model: str, batch: int) -> float:
+        key = (model, batch)
+        if key not in self._cold_cache:
+            result = self.server.serve_cold(model, self.config.scheme, batch)
+            self._cold_cache[key] = result.total_time
+        return self._cold_cache[key]
+
+    def _warm_time(self, model: str, batch: int) -> float:
+        key = (model, batch)
+        if key not in self._warm_cache:
+            self._warm_cache[key] = self.server.serve_hot(model, batch).total_time
+        return self._warm_cache[key]
+
+    def run(self, trace: RequestTrace) -> ClusterStats:
+        """Replay ``trace`` and collect per-request statistics."""
+        stats = ClusterStats()
+        instances: List[_Instance] = []
+        cold = self._cold_time(trace.model, trace.batch)
+        warm = self._warm_time(trace.model, trace.batch)
+        for arrival in trace.arrivals:
+            self._reclaim_idle(instances, arrival)
+            instance = self._pick_instance(instances, arrival)
+            if instance is None:
+                if len(instances) < self.config.max_instances:
+                    instance = _Instance()
+                    instances.append(instance)
+                else:
+                    # All instances busy at capacity: queue on the one
+                    # that frees up first.
+                    instance = min(instances, key=lambda i: i.busy_until)
+            start = max(arrival, instance.busy_until)
+            stats.queue_waits.append(start - arrival)
+            if instance.warm:
+                service = warm
+                stats.warm_hits += 1
+            else:
+                service = cold
+                stats.cold_starts += 1
+            finish = start + service
+            instance.busy_until = finish
+            instance.last_used = finish
+            instance.warm = True
+            stats.latencies.append(finish - arrival)
+        return stats
+
+    def _reclaim_idle(self, instances: List[_Instance], now: float) -> None:
+        keep_alive = self.config.keep_alive_s
+        instances[:] = [i for i in instances
+                        if i.busy_until > now
+                        or now - i.last_used <= keep_alive]
+
+    @staticmethod
+    def _pick_instance(instances: List[_Instance],
+                       now: float) -> Optional[_Instance]:
+        """The warm instance free at ``now`` that has idled longest."""
+        free = [i for i in instances if i.busy_until <= now and i.warm]
+        if not free:
+            return None
+        return min(free, key=lambda i: i.last_used)

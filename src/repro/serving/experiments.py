@@ -1,0 +1,211 @@
+"""Experiment runners: one function per figure/table of the paper.
+
+Each runner returns plain data structures (dicts keyed by model/scheme)
+that the benchmark harness prints and the integration tests assert
+against.  An :class:`ExperimentSuite` memoizes serve results so that one
+pytest/benchmark session never simulates the same (device, model, scheme,
+batch) combination twice.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.results import ExecutionResult
+from repro.core.schemes import Scheme
+from repro.models import list_models
+from repro.serving.metrics import mean
+from repro.serving.server import InferenceServer
+from repro.sim.trace import Phase
+
+__all__ = ["ExperimentSuite", "DEFAULT_BATCHES", "CONV_MODELS",
+           "TRANSFORMER_MODELS"]
+
+DEFAULT_BATCHES = (1, 4, 16, 64, 128)
+TRANSFORMER_MODELS = ("vit", "swin", "swin2")
+CONV_MODELS = tuple(m for m in list_models() if m not in TRANSFORMER_MODELS)
+
+
+class ExperimentSuite:
+    """Runs and memoizes all experiments for one device."""
+
+    def __init__(self, device: str = "MI100",
+                 models: Optional[Sequence[str]] = None) -> None:
+        self.device = device
+        self.models = list(models) if models is not None else list_models()
+        self._servers: Dict[str, InferenceServer] = {}
+        self._cold: Dict[Tuple[str, str, Scheme, int], ExecutionResult] = {}
+        self._hot: Dict[Tuple[str, str, int], ExecutionResult] = {}
+
+    # ------------------------------------------------------------------
+    # Memoized serving
+    # ------------------------------------------------------------------
+    def server(self, device: Optional[str] = None) -> InferenceServer:
+        """The (cached) inference server for ``device``."""
+        device = device or self.device
+        if device not in self._servers:
+            self._servers[device] = InferenceServer(device)
+        return self._servers[device]
+
+    def cold(self, model: str, scheme: Scheme, batch: int = 1,
+             device: Optional[str] = None) -> ExecutionResult:
+        """Memoized cold run."""
+        device = device or self.device
+        key = (device, model, scheme, batch)
+        if key not in self._cold:
+            self._cold[key] = self.server(device).serve_cold(model, scheme,
+                                                             batch)
+        return self._cold[key]
+
+    def hot(self, model: str, batch: int = 1,
+            device: Optional[str] = None) -> ExecutionResult:
+        """Memoized hot (successive-iteration) run."""
+        device = device or self.device
+        key = (device, model, batch)
+        if key not in self._hot:
+            self._hot[key] = self.server(device).serve_hot(model, batch)
+        return self._hot[key]
+
+    def speedup(self, model: str, scheme: Scheme, batch: int = 1,
+                device: Optional[str] = None) -> float:
+        """Cold-start speedup of ``scheme`` over the baseline."""
+        base = self.cold(model, Scheme.BASELINE, batch, device)
+        run = self.cold(model, scheme, batch, device)
+        return run.speedup_over(base)
+
+    # ------------------------------------------------------------------
+    # Fig. 1(a): cold/hot slowdowns per device
+    # ------------------------------------------------------------------
+    def fig1a(self, devices: Sequence[str] = ("MI100", "A100", "6900XT")
+              ) -> Dict[str, Dict[str, float]]:
+        """Cold-start slowdown (first / successive iteration) per device."""
+        out: Dict[str, Dict[str, float]] = {}
+        for device in devices:
+            per_model = {}
+            for model in self.models:
+                cold = self.cold(model, Scheme.BASELINE, device=device)
+                hot = self.hot(model, device=device)
+                per_model[model] = cold.total_time / hot.total_time
+            per_model["average"] = mean(
+                v for k, v in per_model.items() if k != "average")
+            out[device] = per_model
+        return out
+
+    # ------------------------------------------------------------------
+    # Fig. 1(b): baseline cold-start breakdown by phase
+    # ------------------------------------------------------------------
+    def fig1b(self) -> Dict[str, Dict[str, float]]:
+        """Per-model baseline breakdown into the four ordering phases."""
+        out = {}
+        for model in self.models:
+            result = self.cold(model, Scheme.BASELINE)
+            exclusive = result.trace.exclusive_fractions(
+                [Phase.EXEC, Phase.LOAD, Phase.PARSE, Phase.ISSUE],
+                total_time=result.total_time)
+            parse = exclusive[Phase.PARSE]
+            load = exclusive[Phase.LOAD]
+            execution = exclusive[Phase.EXEC]
+            issue = exclusive[Phase.ISSUE]
+            others = max(0.0, 1.0 - parse - load - execution - issue)
+            out[model] = {"model_parse": parse, "code_loading": load,
+                          "kernel_issue": issue, "gpu_execution": execution,
+                          "others": others}
+        averages = {key: mean(row[key] for row in out.values())
+                    for key in next(iter(out.values()))}
+        out["average"] = averages
+        return out
+
+    # ------------------------------------------------------------------
+    # Fig. 6(a): end-to-end cold-start speedups
+    # ------------------------------------------------------------------
+    def fig6a(self, schemes: Sequence[Scheme] = (Scheme.NNV12, Scheme.PASK,
+                                                 Scheme.IDEAL)
+              ) -> Dict[str, Dict[str, float]]:
+        """Cold-start speedups over the baseline per scheme/model."""
+        out: Dict[str, Dict[str, float]] = {}
+        for scheme in schemes:
+            per_model = {m: self.speedup(m, scheme) for m in self.models}
+            per_model["average"] = mean(
+                v for k, v in per_model.items() if k != "average")
+            out[scheme.label] = per_model
+        return out
+
+    # ------------------------------------------------------------------
+    # Fig. 6(b): GPU utilization during cold start
+    # ------------------------------------------------------------------
+    def fig6b(self, schemes: Sequence[Scheme] = (Scheme.NNV12, Scheme.PASK,
+                                                 Scheme.IDEAL)
+              ) -> Dict[str, Dict[str, float]]:
+        """GPU-active fraction of the cold start per scheme/model."""
+        out: Dict[str, Dict[str, float]] = {}
+        for scheme in schemes:
+            per_model = {m: self.cold(m, scheme).gpu_utilization
+                         for m in self.models}
+            per_model["average"] = mean(
+                v for k, v in per_model.items() if k != "average")
+            out[scheme.label] = per_model
+        return out
+
+    # ------------------------------------------------------------------
+    # Table II: speedups vs inference batch size
+    # ------------------------------------------------------------------
+    def table2(self, batches: Sequence[int] = DEFAULT_BATCHES,
+               schemes: Sequence[Scheme] = (Scheme.NNV12, Scheme.PASK,
+                                            Scheme.IDEAL)
+               ) -> Dict[str, Dict[int, float]]:
+        """Average cold-start speedup per scheme at each batch size."""
+        out: Dict[str, Dict[int, float]] = {}
+        for scheme in schemes:
+            out[scheme.label] = {
+                batch: mean(self.speedup(m, scheme, batch)
+                            for m in self.models)
+                for batch in batches
+            }
+        return out
+
+    # ------------------------------------------------------------------
+    # Fig. 7: PaSK cold-start breakdown
+    # ------------------------------------------------------------------
+    def fig7(self) -> Dict[str, Dict[str, float]]:
+        """PaSK time breakdown: compute / loading / overhead / others."""
+        out = {m: self.cold(m, Scheme.PASK).breakdown() for m in self.models}
+        out["average"] = {key: mean(row[key] for row in out.values())
+                          for key in next(iter(out.values()))}
+        return out
+
+    # ------------------------------------------------------------------
+    # Fig. 8: ablation (PaSK-I, PaSK-R normalized to PaSK)
+    # ------------------------------------------------------------------
+    def fig8(self) -> Dict[str, Dict[str, float]]:
+        """Performance of the variants normalized to full PaSK (<= ~1)."""
+        out: Dict[str, Dict[str, float]] = {}
+        for scheme in (Scheme.PASK_I, Scheme.PASK_R):
+            per_model = {}
+            for model in self.models:
+                pask = self.cold(model, Scheme.PASK)
+                variant = self.cold(model, scheme)
+                per_model[model] = pask.total_time / variant.total_time
+            per_model["average"] = mean(
+                v for k, v in per_model.items() if k != "average")
+            out[scheme.label] = per_model
+        return out
+
+    # ------------------------------------------------------------------
+    # Fig. 9: cache hit rate and lookups per query
+    # ------------------------------------------------------------------
+    def fig9(self) -> Dict[str, Dict[str, float]]:
+        """Cache statistics on the convolution models (transformers have a
+        single primitive operator and are omitted, as in the paper)."""
+        out: Dict[str, Dict[str, float]] = {}
+        conv_models = [m for m in self.models if m in CONV_MODELS]
+        for model in conv_models:
+            categorical = self.cold(model, Scheme.PASK).cache_stats
+            naive = self.cold(model, Scheme.PASK_R).cache_stats
+            out[model] = {
+                "hit_rate": categorical.hit_rate,
+                "lookups_categorical": categorical.lookups_per_query,
+                "lookups_naive": naive.lookups_per_query,
+            }
+        out["average"] = {key: mean(row[key] for row in out.values())
+                          for key in next(iter(out.values()))}
+        return out

@@ -1,0 +1,33 @@
+"""Small statistics helpers used by the experiment runners."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Sequence
+
+__all__ = ["geometric_mean", "mean", "normalize"]
+
+
+def mean(values: Iterable[float]) -> float:
+    """Arithmetic mean; raises on empty input."""
+    items = list(values)
+    if not items:
+        raise ValueError("mean of empty sequence")
+    return sum(items) / len(items)
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean; requires strictly positive values."""
+    items = list(values)
+    if not items:
+        raise ValueError("geometric mean of empty sequence")
+    if any(v <= 0 for v in items):
+        raise ValueError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in items) / len(items))
+
+
+def normalize(values: Sequence[float], reference: float) -> List[float]:
+    """Each value divided by ``reference``."""
+    if reference == 0:
+        raise ValueError("cannot normalize by zero")
+    return [v / reference for v in values]

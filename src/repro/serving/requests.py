@@ -1,0 +1,88 @@
+"""Request traces: deterministic workload generation.
+
+The paper motivates PASK with spot serving, serverless scaling and edge
+computing, and cites cloud traces with several seconds between requests
+landing on the same instance (Sec. VI).  This module generates
+reproducible arrival traces for the cluster simulator.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import List, Tuple
+
+__all__ = ["RequestTrace", "poisson_trace", "burst_trace", "periodic_trace"]
+
+
+@dataclass(frozen=True)
+class RequestTrace:
+    """A sequence of request arrival times for one model."""
+
+    model: str
+    arrivals: Tuple[float, ...]
+    batch: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.arrivals:
+            raise ValueError("a trace needs at least one request")
+        if any(t < 0 for t in self.arrivals):
+            raise ValueError("negative arrival time")
+        if list(self.arrivals) != sorted(self.arrivals):
+            raise ValueError("arrivals must be sorted")
+        if self.batch <= 0:
+            raise ValueError("batch must be positive")
+
+    def __len__(self) -> int:
+        return len(self.arrivals)
+
+    @property
+    def duration(self) -> float:
+        """Time of the last arrival."""
+        return self.arrivals[-1]
+
+    @property
+    def mean_interarrival(self) -> float:
+        """Average gap between consecutive requests."""
+        if len(self.arrivals) < 2:
+            return 0.0
+        gaps = [b - a for a, b in zip(self.arrivals, self.arrivals[1:])]
+        return sum(gaps) / len(gaps)
+
+
+def poisson_trace(model: str, rate_hz: float, duration_s: float,
+                  seed: int = 0, batch: int = 1) -> RequestTrace:
+    """Poisson arrivals at ``rate_hz`` for ``duration_s`` (deterministic
+    per seed; always contains at least the t=0 request)."""
+    if rate_hz <= 0 or duration_s <= 0:
+        raise ValueError("rate and duration must be positive")
+    rng = random.Random(seed)
+    arrivals: List[float] = [0.0]
+    t = 0.0
+    while True:
+        t += -math.log(1.0 - rng.random()) / rate_hz
+        if t > duration_s:
+            break
+        arrivals.append(t)
+    return RequestTrace(model, tuple(arrivals), batch)
+
+
+def burst_trace(model: str, burst_size: int, spacing_s: float = 0.0,
+                batch: int = 1) -> RequestTrace:
+    """A spike: ``burst_size`` requests arriving ~simultaneously."""
+    if burst_size <= 0:
+        raise ValueError("burst_size must be positive")
+    if spacing_s < 0:
+        raise ValueError("spacing must be non-negative")
+    arrivals = tuple(i * spacing_s for i in range(burst_size))
+    return RequestTrace(model, arrivals, batch)
+
+
+def periodic_trace(model: str, period_s: float, count: int,
+                   batch: int = 1) -> RequestTrace:
+    """Evenly spaced requests (an edge-device sensor loop)."""
+    if period_s <= 0 or count <= 0:
+        raise ValueError("period and count must be positive")
+    arrivals = tuple(i * period_s for i in range(count))
+    return RequestTrace(model, arrivals, batch)

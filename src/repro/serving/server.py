@@ -1,0 +1,213 @@
+"""The inference server: end-to-end cold and hot runs.
+
+``InferenceServer`` owns the offline side (library, find-db, model
+registry with per-policy lowered variants) and spins up a fresh simulated
+runtime per request -- a cold start is literally a new runtime with no
+loaded modules, matching the preemptive/serverless/edge scenarios of the
+paper's introduction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Union
+
+from repro.core.results import ExecutionResult
+from repro.core.schemes import Scheme, build_executor, program_code_objects
+from repro.engine.program import Program
+from repro.engine.registry import ModelRegistry
+from repro.gpu.device import DeviceSpec, get_device
+from repro.gpu.runtime import HipRuntime
+from repro.graph import Graph
+from repro.primitive.blas import BlasLibrary
+from repro.primitive.library import MIOpenLibrary
+from repro.sim.core import Environment
+
+__all__ = ["InferenceServer", "ServeResult", "serve_cold", "serve_hot"]
+
+ServeResult = ExecutionResult
+
+
+class InferenceServer:
+    """Offline-prepared serving stack for a set of models on one device."""
+
+    def __init__(self, device: Union[str, DeviceSpec] = "MI100",
+                 upload_weights: bool = False) -> None:
+        self.device = get_device(device) if isinstance(device, str) else device
+        self.upload_weights = upload_weights
+        self.library = MIOpenLibrary(self.device)
+        self.blas = BlasLibrary(self.device)
+        self.registry = ModelRegistry(self.library)
+        self._graphs: Dict[str, Graph] = {}
+
+    # ------------------------------------------------------------------
+    # Offline: model registration
+    # ------------------------------------------------------------------
+    def register_model(self, graph: Graph) -> None:
+        """Make a model graph available for serving under its name."""
+        self._graphs[graph.name] = graph
+
+    def _program_key(self, model: str, scheme: Scheme, batch: int) -> str:
+        policy = "native" if scheme is Scheme.NNV12 else "default"
+        return f"{model}@{policy}@b{batch}"
+
+    def _lowered(self, model: str, scheme: Scheme, batch: int) -> Program:
+        """The lowered program for (model, scheme policy, batch); compiles
+        and caches it in the registry on first use."""
+        key = self._program_key(model, scheme, batch)
+        if key not in self.registry:
+            graph = self._resolve_graph(model)
+            self.registry.compile_and_register(
+                graph, key=key, options=scheme.lowering_options(batch))
+        program = self.registry.load(key)
+        if self.upload_weights:
+            program.metadata["upload_weights"] = True
+        return program
+
+    def _resolve_graph(self, model: str) -> Graph:
+        if model in self._graphs:
+            return self._graphs[model]
+        # Fall back to the built-in model zoo.
+        from repro.models import build_model
+        graph = build_model(model)
+        self._graphs[model] = graph
+        return graph
+
+    # ------------------------------------------------------------------
+    # Online: serving
+    # ------------------------------------------------------------------
+    def serve_cold(self, model: str, scheme: Scheme = Scheme.BASELINE,
+                   batch: int = 1) -> ExecutionResult:
+        """Serve one request on a fresh instance (no loaded kernels)."""
+        program = self._lowered(model, scheme, batch)
+        env = Environment()
+        runtime = HipRuntime(env, self.device)
+        executor = build_executor(scheme)
+
+        outcome: Dict[str, object] = {}
+
+        def driver():
+            stats = yield from executor(env, runtime, self.library,
+                                        self.blas, program)
+            outcome.update(stats or {})
+
+        process = env.process(driver(), name=f"serve-{model}")
+        env.run(until=process)
+        return ExecutionResult(
+            scheme=scheme.label, model=model, batch=batch,
+            total_time=env.now, trace=runtime.trace,
+            loads=runtime.load_count, loaded_bytes=runtime.loaded_bytes,
+            milestone=outcome.get("milestone"),
+            cache_stats=outcome.get("cache_stats"),
+            reused_layers=outcome.get("reused_layers", 0),
+            skipped_loads=outcome.get("skipped_loads", 0),
+            metadata={"device": self.device.name,
+                      "instructions": len(program)},
+        )
+
+    def serve_session(self, model: str, scheme: Scheme = Scheme.PASK,
+                      n_requests: int = 3, interval_s: float = 0.05,
+                      interval_preload: bool = True,
+                      batch: int = 1) -> List[ExecutionResult]:
+        """Serve consecutive requests on one warm instance (Sec. VI).
+
+        The runtime persists across requests, so every code object loaded
+        by request *i* benefits request *i+1*.  With ``interval_preload``
+        the idle gap between requests is used to load the desired
+        solutions PASK skipped, so later requests run their optimal
+        kernels -- the paper's inter-request loading discussion.
+        """
+        if n_requests < 1:
+            raise ValueError("need at least one request")
+        if interval_s < 0:
+            raise ValueError("interval must be non-negative")
+        program = self._lowered(model, scheme, batch)
+        env = Environment()
+        runtime = HipRuntime(env, self.device)
+        executor = build_executor(scheme)
+        results: List[ExecutionResult] = []
+
+        def session():
+            from repro.core.preloader import preload_during_interval
+            from repro.sim.trace import TraceRecorder
+            for request in range(n_requests):
+                trace = TraceRecorder()
+                runtime.trace = trace
+                runtime.stream.trace = trace
+                loads_before = runtime.load_count
+                start = self.env_now(env)
+                stats = yield from executor(env, runtime, self.library,
+                                            self.blas, program)
+                stats = stats or {}
+                results.append(ExecutionResult(
+                    scheme=scheme.label, model=model, batch=batch,
+                    total_time=env.now - start, trace=trace,
+                    loads=runtime.load_count - loads_before,
+                    loaded_bytes=runtime.loaded_bytes,
+                    milestone=stats.get("milestone"),
+                    cache_stats=stats.get("cache_stats"),
+                    reused_layers=stats.get("reused_layers", 0),
+                    skipped_loads=stats.get("skipped_loads", 0),
+                    metadata={"request": request,
+                              "device": self.device.name},
+                ))
+                if request == n_requests - 1:
+                    break
+                deadline = env.now + interval_s
+                if interval_preload:
+                    pending = stats.get("skipped_desired", [])
+                    yield from preload_during_interval(env, runtime,
+                                                       pending, deadline)
+                remaining = deadline - env.now
+                if remaining > 0:
+                    yield env.timeout(remaining)
+
+        process = env.process(session(), name=f"session-{model}")
+        env.run(until=process)
+        return results
+
+    @staticmethod
+    def env_now(env: Environment) -> float:
+        """Current simulated time (hook point for tests)."""
+        return env.now
+
+    def serve_hot(self, model: str, batch: int = 1) -> ExecutionResult:
+        """A successive-iteration run: program parsed, kernels resident.
+
+        This is the denominator of Fig. 1(a)'s cold/hot slowdowns.
+        """
+        program = self._lowered(model, Scheme.BASELINE, batch)
+        env = Environment()
+        runtime = HipRuntime(env, self.device)
+        runtime.preload(program_code_objects(program, self.library, self.blas))
+
+        def driver():
+            from repro.core.schemes import _issue_instruction
+            bundle = program.engine_bundle
+            for instr in program.instructions:
+                yield from _issue_instruction(env, runtime, self.library,
+                                              self.blas, instr,
+                                              actor="host", lazy=True,
+                                              engine_bundle=bundle)
+            yield from runtime.synchronize()
+
+        process = env.process(driver(), name=f"hot-{model}")
+        env.run(until=process)
+        return ExecutionResult(
+            scheme="Hot", model=model, batch=batch, total_time=env.now,
+            trace=runtime.trace, loads=runtime.load_count,
+            loaded_bytes=runtime.loaded_bytes,
+            metadata={"device": self.device.name,
+                      "instructions": len(program)},
+        )
+
+
+def serve_cold(model: str, scheme: Scheme = Scheme.BASELINE, batch: int = 1,
+               device: Union[str, DeviceSpec] = "MI100") -> ExecutionResult:
+    """One-shot convenience wrapper around :class:`InferenceServer`."""
+    return InferenceServer(device).serve_cold(model, scheme, batch)
+
+
+def serve_hot(model: str, batch: int = 1,
+              device: Union[str, DeviceSpec] = "MI100") -> ExecutionResult:
+    """One-shot hot (successive-iteration) run."""
+    return InferenceServer(device).serve_hot(model, batch)

@@ -1,0 +1,121 @@
+"""Runtime validation of the reproduction's acceptance criteria.
+
+``repro validate`` runs the cheap subset of DESIGN.md's shape checks and
+reports PASS/FAIL per criterion -- a smoke test that the calibrated cost
+model still reproduces the paper's qualitative results after local
+modifications.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Tuple
+
+from repro.serving.experiments import CONV_MODELS, ExperimentSuite, \
+    TRANSFORMER_MODELS
+from repro.serving.metrics import mean
+
+__all__ = ["Criterion", "validate", "CRITERIA"]
+
+
+@dataclass(frozen=True)
+class Criterion:
+    """One named acceptance check."""
+
+    name: str
+    description: str
+    check: Callable[[ExperimentSuite], bool]
+
+
+def _fig6a_ordering(suite: ExperimentSuite) -> bool:
+    data = suite.fig6a()
+    return (data["Ideal"]["average"] > data["PaSK"]["average"]
+            > data["NNV12"]["average"] > 1.0)
+
+
+def _fig6a_pask_band(suite: ExperimentSuite) -> bool:
+    return 3.0 <= suite.fig6a()["PaSK"]["average"] <= 7.0
+
+
+def _fig6a_layer_trend(suite: ExperimentSuite) -> bool:
+    pask = suite.fig6a()["PaSK"]
+    return all(pask[m] > pask["alex"] for m in ("eff", "reg", "ssd", "unet"))
+
+
+def _fig6a_transformers_least(suite: ExperimentSuite) -> bool:
+    pask = suite.fig6a()["PaSK"]
+    worst_transformer = max(pask[m] for m in TRANSFORMER_MODELS)
+    return worst_transformer < mean(pask[m] for m in CONV_MODELS)
+
+
+def _fig6b_utilization(suite: ExperimentSuite) -> bool:
+    data = suite.fig6b()
+    return (data["Ideal"]["average"] > data["PaSK"]["average"]
+            > data["NNV12"]["average"])
+
+
+def _fig1b_loading_dominates(suite: ExperimentSuite) -> bool:
+    data = suite.fig1b()
+    return (data["average"]["code_loading"] > 0.55
+            and data["average"]["gpu_execution"] < 0.15)
+
+
+def _fig8_variants_below_pask(suite: ExperimentSuite) -> bool:
+    data = suite.fig8()
+    return all(v <= 1.0 + 1e-9 for rows in data.values()
+               for v in rows.values())
+
+
+def _fig9_cache(suite: ExperimentSuite) -> bool:
+    data = suite.fig9()
+    return (0.50 <= data["average"]["hit_rate"] <= 0.95
+            and data["average"]["lookups_categorical"]
+            < data["average"]["lookups_naive"])
+
+
+def _table2_monotone(suite: ExperimentSuite) -> bool:
+    data = suite.table2(batches=(1, 16, 128))
+    for per_batch in data.values():
+        values = [per_batch[b] for b in (1, 16, 128)]
+        if values != sorted(values, reverse=True):
+            return False
+    return True
+
+
+def _fig7_overhead(suite: ExperimentSuite) -> bool:
+    return suite.fig7()["average"]["pask_overhead"] < 0.06
+
+
+CRITERIA: List[Criterion] = [
+    Criterion("fig6a-ordering",
+              "Ideal > PaSK > NNV12 > Baseline on average", _fig6a_ordering),
+    Criterion("fig6a-pask-band",
+              "PaSK average speedup within 3-7x (paper 5.62x)",
+              _fig6a_pask_band),
+    Criterion("fig6a-layer-trend",
+              "models with more primitive layers gain more than alex",
+              _fig6a_layer_trend),
+    Criterion("fig6a-transformers",
+              "transformer models gain least", _fig6a_transformers_least),
+    Criterion("fig6b-utilization",
+              "GPU utilization: Ideal > PaSK > NNV12", _fig6b_utilization),
+    Criterion("fig1b-loading",
+              "baseline cold start dominated by code loading",
+              _fig1b_loading_dominates),
+    Criterion("fig8-ablation",
+              "PaSK-I and PaSK-R never beat full PaSK",
+              _fig8_variants_below_pask),
+    Criterion("fig9-cache",
+              "hit rate in band; categorical < naive lookups", _fig9_cache),
+    Criterion("table2-monotone",
+              "speedups decrease monotonically with batch size",
+              _table2_monotone),
+    Criterion("fig7-overhead",
+              "PASK runtime overhead below 6%", _fig7_overhead),
+]
+
+
+def validate(suite: ExperimentSuite) -> List[Tuple[Criterion, bool]]:
+    """Run every criterion; returns [(criterion, passed)]."""
+    return [(criterion, bool(criterion.check(suite)))
+            for criterion in CRITERIA]

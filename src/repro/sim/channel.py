@@ -1,0 +1,123 @@
+"""Single-producer-single-consumer channels.
+
+The paper's implementation coordinates the parse/load/issue host threads
+with SPSC channels (Sec. III-D); this module provides the simulated
+equivalent.  ``put`` and ``get`` return events to be yielded from a
+process.  A channel can be *closed* by the producer; pending and
+subsequent ``get`` calls then resolve to :data:`ChannelClosed`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Optional, Tuple
+
+from repro.sim.core import Environment, Event, SimulationError
+
+__all__ = ["Channel", "ChannelClosed"]
+
+
+class _ChannelClosedType:
+    """Sentinel delivered to getters of a closed, drained channel."""
+
+    _instance: Optional["_ChannelClosedType"] = None
+
+    def __new__(cls) -> "_ChannelClosedType":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "ChannelClosed"
+
+
+ChannelClosed = _ChannelClosedType()
+
+
+class Channel:
+    """FIFO channel with optional bounded capacity.
+
+    ``capacity=None`` means unbounded (puts never block).  With a bounded
+    capacity a ``put`` blocks until a slot frees up, which is how
+    back-pressure between the parse, load and issue threads is modelled.
+    """
+
+    def __init__(self, env: Environment, capacity: Optional[int] = None,
+                 name: str = "channel") -> None:
+        if capacity is not None and capacity < 1:
+            raise SimulationError(f"capacity must be >= 1, got {capacity!r}")
+        self.env = env
+        self.capacity = capacity
+        self.name = name
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self._putters: Deque[Tuple[Event, Any]] = deque()
+        self._closed = False
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called."""
+        return self._closed
+
+    def put(self, item: Any) -> Event:
+        """Enqueue ``item``; the returned event triggers once accepted."""
+        if self._closed:
+            raise SimulationError(f"put() on closed channel {self.name!r}")
+        event = self.env.event()
+        if self._getters:
+            # Hand the item straight to the oldest waiting getter.
+            getter = self._getters.popleft()
+            getter.succeed(item)
+            event.succeed()
+        elif self.capacity is None or len(self._items) < self.capacity:
+            self._items.append(item)
+            event.succeed()
+        else:
+            self._putters.append((event, item))
+        return event
+
+    def get(self) -> Event:
+        """Dequeue an item; the returned event triggers with the item.
+
+        On a closed and drained channel the event triggers with
+        :data:`ChannelClosed` instead.
+        """
+        event = self.env.event()
+        if self._items:
+            event.succeed(self._items.popleft())
+            self._admit_waiting_putter()
+        elif self._closed:
+            event.succeed(ChannelClosed)
+        else:
+            self._getters.append(event)
+        return event
+
+    def close(self) -> None:
+        """Mark the channel closed; wakes getters once items drain."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._putters:
+            raise SimulationError(
+                f"close() on channel {self.name!r} with blocked putters")
+        if not self._items:
+            while self._getters:
+                self._getters.popleft().succeed(ChannelClosed)
+
+    def _admit_waiting_putter(self) -> None:
+        if self._putters and (self.capacity is None
+                              or len(self._items) < self.capacity):
+            event, item = self._putters.popleft()
+            self._items.append(item)
+            event.succeed()
+        if self._closed and not self._items:
+            while self._getters:
+                self._getters.popleft().succeed(ChannelClosed)
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return (f"<Channel {self.name} {state} items={len(self._items)} "
+                f"getters={len(self._getters)} putters={len(self._putters)}>")

@@ -1,0 +1,344 @@
+"""Deterministic discrete-event simulation kernel.
+
+The kernel follows the classic event-queue design: an
+:class:`Environment` owns a priority queue of scheduled events; processes
+are Python generators that yield events and are resumed when those events
+trigger.  Ties in time are broken by a monotonically increasing sequence
+number, so runs are fully deterministic.
+
+Only the features needed by the reproduction are implemented, which keeps
+the kernel small enough to test exhaustively:
+
+- :class:`Event` with ``succeed``/``fail``,
+- :class:`Timeout`,
+- :class:`Process` (a generator; also an event that triggers on return),
+- :class:`AllOf` / :class:`AnyOf` combinators,
+- process interruption (used for cancelling speculative loads).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
+
+__all__ = [
+    "SimulationError",
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "Interrupt",
+    "AllOf",
+    "AnyOf",
+]
+
+
+class SimulationError(Exception):
+    """Raised for illegal uses of the simulation kernel."""
+
+
+class Interrupt(Exception):
+    """Raised inside a process that another process interrupted.
+
+    The ``cause`` attribute carries the value passed to
+    :meth:`Process.interrupt`.
+    """
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A condition that may trigger at some simulated time.
+
+    An event is *triggered* once :meth:`succeed` or :meth:`fail` has been
+    called (directly or by the environment) and *processed* once its
+    callbacks have run.  Processes wait on events by ``yield``-ing them.
+    """
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = None
+        self._exception: Optional[BaseException] = None
+        self._triggered = False
+
+    @property
+    def triggered(self) -> bool:
+        """Whether the event has a value (or exception) and is scheduled."""
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        """Whether the event's callbacks have already been invoked."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """Whether the event triggered successfully (no exception)."""
+        if not self._triggered:
+            raise SimulationError("event has not been triggered yet")
+        return self._exception is None
+
+    @property
+    def value(self) -> Any:
+        """The event's value; raises the failure exception if it failed."""
+        if not self._triggered:
+            raise SimulationError("event has not been triggered yet")
+        if self._exception is not None:
+            raise self._exception
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._triggered = True
+        self._value = value
+        self.env._schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception propagated to waiters."""
+        if self._triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise SimulationError("fail() requires an exception instance")
+        self._triggered = True
+        self._exception = exception
+        self.env._schedule(self)
+        return self
+
+    def _add_callback(self, callback: Callable[["Event"], None]) -> None:
+        if self.callbacks is None:
+            # Already processed: run the callback immediately so late
+            # waiters still observe the value.
+            callback(self)
+        else:
+            self.callbacks.append(callback)
+
+    def __repr__(self) -> str:
+        state = "triggered" if self._triggered else "pending"
+        return f"<{type(self).__name__} {state} at t={self.env.now:g}>"
+
+
+class Timeout(Event):
+    """An event that triggers ``delay`` time units after creation."""
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        super().__init__(env)
+        self.delay = delay
+        self._triggered = True
+        self._value = value
+        env._schedule(self, delay)
+
+
+class Process(Event):
+    """A running generator; also an event that triggers when it returns."""
+
+    def __init__(self, env: "Environment", generator: Generator[Event, Any, Any],
+                 name: Optional[str] = None) -> None:
+        if not hasattr(generator, "send"):
+            raise SimulationError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._target: Optional[Event] = None
+        self._interrupts: List[Interrupt] = []
+        # Bootstrap: resume the generator at the current time.
+        bootstrap = Event(env)
+        bootstrap._triggered = True
+        env._schedule(bootstrap)
+        bootstrap._add_callback(self._resume)
+
+    @property
+    def is_alive(self) -> bool:
+        """Whether the underlying generator has not yet finished."""
+        return not self._triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if self._triggered:
+            raise SimulationError(f"{self!r} has already terminated")
+        self._interrupts.append(Interrupt(cause))
+        # Detach from the event currently waited on; resume immediately.
+        trigger = Event(self.env)
+        trigger._triggered = True
+        self.env._schedule(trigger)
+        trigger._add_callback(self._resume)
+
+    def _resume(self, event: Event) -> None:
+        if self._triggered:
+            return
+        # Ignore stale wakeups from an event we stopped waiting for
+        # (e.g. after an interrupt detached us from it).
+        if self._interrupts:
+            exc: Optional[BaseException] = self._interrupts.pop(0)
+        elif event is not self._target and self._target is not None:
+            return
+        elif event._exception is not None:
+            exc = event._exception
+        else:
+            exc = None
+        self._target = None
+        try:
+            if exc is not None:
+                next_event = self._generator.throw(exc)
+            else:
+                next_event = self._generator.send(event._value)
+        except StopIteration as stop:
+            self._value = stop.value
+            self._triggered = True
+            self.env._schedule(self)
+            return
+        except BaseException as failure:  # propagate to waiters
+            self._exception = failure
+            self._triggered = True
+            self.env._schedule(self)
+            if not self.callbacks:
+                raise
+            return
+        if not isinstance(next_event, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded {next_event!r}, expected an Event")
+        self._target = next_event
+        next_event._add_callback(self._resume)
+
+    def __repr__(self) -> str:
+        state = "finished" if self._triggered else "alive"
+        return f"<Process {self.name} {state}>"
+
+
+class AllOf(Event):
+    """Triggers once every constituent event has triggered successfully."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env)
+        self._pending = list(events)
+        self._results: List[Any] = [None] * len(self._pending)
+        self._remaining = len(self._pending)
+        if self._remaining == 0:
+            self.succeed([])
+            return
+        for index, event in enumerate(self._pending):
+            event._add_callback(self._make_callback(index))
+
+    def _make_callback(self, index: int) -> Callable[[Event], None]:
+        def on_done(event: Event) -> None:
+            if self._triggered:
+                return
+            if event._exception is not None:
+                self.fail(event._exception)
+                return
+            self._results[index] = event._value
+            self._remaining -= 1
+            if self._remaining == 0:
+                self.succeed(list(self._results))
+        return on_done
+
+
+class AnyOf(Event):
+    """Triggers as soon as any constituent event triggers."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env)
+        events = list(events)
+        if not events:
+            raise SimulationError("AnyOf requires at least one event")
+        for event in events:
+            event._add_callback(self._on_done)
+
+    def _on_done(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if event._exception is not None:
+            self.fail(event._exception)
+        else:
+            self.succeed(event._value)
+
+
+class Environment:
+    """The simulation environment: clock plus event queue."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._queue: List[Tuple[float, int, Event]] = []
+        self._sequence = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time (seconds by convention)."""
+        return self._now
+
+    def _schedule(self, event: Event, delay: float = 0.0) -> None:
+        heapq.heappush(self._queue, (self._now + delay, self._sequence, event))
+        self._sequence += 1
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Return an event triggering ``delay`` time units from now."""
+        return Timeout(self, delay, value)
+
+    def event(self) -> Event:
+        """Return a fresh, untriggered event."""
+        return Event(self)
+
+    def process(self, generator: Generator[Event, Any, Any],
+                name: Optional[str] = None) -> Process:
+        """Start ``generator`` as a process; returns the process event."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Event triggering when all ``events`` have succeeded."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Event triggering when any of ``events`` triggers."""
+        return AnyOf(self, events)
+
+    def step(self) -> None:
+        """Process the next scheduled event."""
+        if not self._queue:
+            raise SimulationError("no more events scheduled")
+        time, _seq, event = heapq.heappop(self._queue)
+        if time < self._now:
+            raise SimulationError("event scheduled in the past")
+        self._now = time
+        callbacks = event.callbacks
+        event.callbacks = None
+        if callbacks:
+            for callback in callbacks:
+                callback(event)
+
+    def run(self, until: Optional[Any] = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be ``None`` (run until the queue drains), a number
+        (run until that simulated time) or an :class:`Event` (run until it
+        is processed, returning its value).
+        """
+        if isinstance(until, Event):
+            stop_event = until
+            while not stop_event.processed:
+                if not self._queue:
+                    raise SimulationError(
+                        "simulation ran out of events before the awaited "
+                        f"event triggered: {stop_event!r}")
+                self.step()
+            return stop_event.value
+        if until is not None:
+            horizon = float(until)
+            if horizon < self._now:
+                raise SimulationError("cannot run into the past")
+            while self._queue and self._queue[0][0] <= horizon:
+                self.step()
+            self._now = horizon
+            return None
+        while self._queue:
+            self.step()
+        return None
+
+    def __repr__(self) -> str:
+        return f"<Environment t={self._now:g} queued={len(self._queue)}>"

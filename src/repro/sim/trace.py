@@ -1,0 +1,190 @@
+"""Execution tracing for breakdown and utilization metrics.
+
+Every timed activity in the simulation (parsing a layer, loading a code
+object, checking a solution's applicability, a kernel running on the GPU)
+records a :class:`TraceRecord`.  The figures of the paper are aggregations
+over such traces:
+
+- Fig. 1(b) / Fig. 7: per-phase time breakdowns,
+- Fig. 6(b): GPU utilization = merged EXEC interval length / total time.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = ["Phase", "TraceRecord", "TraceRecorder", "merge_intervals",
+           "subtract_intervals"]
+
+
+class Phase(enum.Enum):
+    """Execution-ordering phases an activity can belong to.
+
+    The first four mirror the cold-start breakdown of Fig. 1(b); CHECK and
+    OVERHEAD separate the costs PASK itself introduces (Fig. 7).
+    """
+
+    PARSE = "parse"          # model de-serialization / layer parsing
+    LOAD = "load"            # kernel code-object loading
+    ISSUE = "issue"          # host-side kernel launch / runtime dispatch
+    EXEC = "exec"            # GPU computation
+    CHECK = "check"          # solution applicability checking (PASK lookup)
+    OVERHEAD = "overhead"    # other PASK bookkeeping (cache maintenance)
+    OTHER = "other"          # host-device sync, allocation, misc
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One timed activity."""
+
+    start: float
+    end: float
+    actor: str
+    phase: Phase
+    label: str = ""
+    meta: Tuple[Tuple[str, Any], ...] = ()
+
+    @property
+    def duration(self) -> float:
+        """Interval length in seconds."""
+        return self.end - self.start
+
+
+def merge_intervals(intervals: Iterable[Tuple[float, float]]) -> List[Tuple[float, float]]:
+    """Merge overlapping ``(start, end)`` intervals; returns sorted result."""
+    ordered = sorted((s, e) for s, e in intervals if e > s)
+    merged: List[Tuple[float, float]] = []
+    for start, end in ordered:
+        if merged and start <= merged[-1][1]:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+        else:
+            merged.append((start, end))
+    return merged
+
+
+def subtract_intervals(base: List[Tuple[float, float]],
+                       remove: List[Tuple[float, float]]
+                       ) -> List[Tuple[float, float]]:
+    """Portions of merged ``base`` intervals not covered by merged
+    ``remove`` intervals (both inputs must be sorted and disjoint)."""
+    out: List[Tuple[float, float]] = []
+    for start, end in base:
+        cursor = start
+        for r_start, r_end in remove:
+            if r_end <= cursor or r_start >= end:
+                continue
+            if r_start > cursor:
+                out.append((cursor, min(r_start, end)))
+            cursor = max(cursor, r_end)
+            if cursor >= end:
+                break
+        if cursor < end:
+            out.append((cursor, end))
+    return out
+
+
+@dataclass
+class TraceRecorder:
+    """Collects trace records and computes the paper's aggregate metrics."""
+
+    records: List[TraceRecord] = field(default_factory=list)
+
+    def record(self, start: float, end: float, actor: str, phase: Phase,
+               label: str = "", **meta: Any) -> TraceRecord:
+        """Append a record; ``end`` must not precede ``start``."""
+        if end < start:
+            raise ValueError(f"record ends before it starts: {start} > {end}")
+        rec = TraceRecord(start, end, actor, phase, label,
+                          tuple(sorted(meta.items())))
+        self.records.append(rec)
+        return rec
+
+    def filtered(self, phase: Optional[Phase] = None,
+                 actor: Optional[str] = None) -> List[TraceRecord]:
+        """Records matching the given phase and/or actor."""
+        out = self.records
+        if phase is not None:
+            out = [r for r in out if r.phase is phase]
+        if actor is not None:
+            out = [r for r in out if r.actor == actor]
+        return list(out)
+
+    def total(self, phase: Optional[Phase] = None,
+              actor: Optional[str] = None) -> float:
+        """Summed durations of matching records (may double-count overlap)."""
+        return sum(r.duration for r in self.filtered(phase, actor))
+
+    def busy_time(self, phase: Optional[Phase] = None,
+                  actor: Optional[str] = None) -> float:
+        """Length of the merged union of matching intervals (no overlap)."""
+        intervals = [(r.start, r.end) for r in self.filtered(phase, actor)]
+        return sum(e - s for s, e in merge_intervals(intervals))
+
+    def span(self) -> Tuple[float, float]:
+        """``(earliest start, latest end)`` over all records."""
+        if not self.records:
+            return (0.0, 0.0)
+        return (min(r.start for r in self.records),
+                max(r.end for r in self.records))
+
+    def breakdown(self, phases: Sequence[Phase],
+                  total_time: Optional[float] = None) -> Dict[Phase, float]:
+        """Fractions of ``total_time`` spent per phase (busy-time based).
+
+        Without an explicit ``total_time`` the full trace span is used.
+        Fractions need not sum to 1: phases may overlap each other and idle
+        gaps are not attributed.
+        """
+        if total_time is None:
+            start, end = self.span()
+            total_time = end - start
+        if total_time <= 0:
+            return {phase: 0.0 for phase in phases}
+        return {phase: self.busy_time(phase=phase) / total_time
+                for phase in phases}
+
+    def exclusive_fractions(self, priorities: Sequence[Phase],
+                            total_time: Optional[float] = None
+                            ) -> Dict[Phase, float]:
+        """Wall-clock fractions with each instant attributed to exactly
+        one phase, earlier entries of ``priorities`` winning overlaps.
+
+        This is how the paper's breakdowns count time: phases overlap
+        under interleaved execution, but a wall-clock second belongs to
+        whichever activity dominates it (GPU compute first, then loading,
+        then bookkeeping).  Unattributed time is simply absent from the
+        result; the caller usually assigns the remainder to "others".
+        """
+        if total_time is None:
+            start, end = self.span()
+            total_time = end - start
+        if total_time <= 0:
+            return {phase: 0.0 for phase in priorities}
+        claimed: List[Tuple[float, float]] = []
+        out: Dict[Phase, float] = {}
+        for phase in priorities:
+            mine = merge_intervals(
+                (r.start, r.end) for r in self.filtered(phase=phase))
+            exclusive = subtract_intervals(mine, claimed)
+            out[phase] = sum(e - s for s, e in exclusive) / total_time
+            claimed = merge_intervals(claimed + mine)
+        return out
+
+    def utilization(self, actor: str = "gpu",
+                    total_time: Optional[float] = None) -> float:
+        """Fraction of time ``actor`` spent in EXEC (GPU utilization)."""
+        if total_time is None:
+            start, end = self.span()
+            total_time = end - start
+        if total_time <= 0:
+            return 0.0
+        return self.busy_time(phase=Phase.EXEC, actor=actor) / total_time
+
+    def clear(self) -> None:
+        """Drop all records."""
+        self.records.clear()

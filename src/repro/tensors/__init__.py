@@ -1,0 +1,14 @@
+"""Tensor descriptors: data types, memory layouts and shapes.
+
+These describe the *problems* handed to the primitive library (Sec. II-A:
+"sets the tensor descriptors needed by the primitive library with input
+problem").  No tensor data is materialized -- the reproduction is a timing
+simulation -- but sizes, dtypes and layouts drive the cost models and the
+solution applicability constraints.
+"""
+
+from repro.tensors.dtype import DataType
+from repro.tensors.layout import Layout, layout_transform_time
+from repro.tensors.shape import TensorDesc
+
+__all__ = ["DataType", "Layout", "TensorDesc", "layout_transform_time"]

@@ -1,0 +1,34 @@
+"""Numeric data types supported by the simulated stack."""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["DataType"]
+
+
+class DataType(enum.Enum):
+    """Tensor element types, with their storage width in bytes.
+
+    Mixed-precision specialization (Sec. VI "More factors for kernel
+    specialization") makes the dtype part of a solution's constraint set,
+    so it must be part of the problem descriptor as well.
+    """
+
+    FP32 = ("fp32", 4)
+    FP16 = ("fp16", 2)
+    BF16 = ("bf16", 2)
+    INT8 = ("int8", 1)
+    INT32 = ("int32", 4)
+
+    def __init__(self, label: str, size: int) -> None:
+        self.label = label
+        self.size_bytes = size
+
+    @property
+    def is_low_precision(self) -> bool:
+        """Whether this dtype is narrower than 32 bits."""
+        return self.size_bytes < 4
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.label

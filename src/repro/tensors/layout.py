@@ -1,0 +1,37 @@
+"""Tensor memory layouts and the cost of interchanging them.
+
+Layout transforms (NCHW <-> NHWC) matter twice in the paper: they are the
+overhead NNV12 optimizes away, and they are extra kernels a *solution* may
+carry (footnote 2: a solution may contain kernels "to transform input/output
+tensor layout/precision").
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["Layout", "layout_transform_time"]
+
+
+class Layout(enum.Enum):
+    """Supported 4-D tensor memory layouts."""
+
+    NCHW = "NCHW"
+    NHWC = "NHWC"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+def layout_transform_time(num_bytes: int, mem_bandwidth_gbps: float) -> float:
+    """Seconds for one layout interchange of ``num_bytes`` of tensor data.
+
+    A transform reads and writes every element once; effective bandwidth is
+    derated because the access pattern is strided on one side.
+    """
+    if num_bytes < 0:
+        raise ValueError(f"negative tensor size: {num_bytes}")
+    if mem_bandwidth_gbps <= 0:
+        raise ValueError(f"non-positive bandwidth: {mem_bandwidth_gbps}")
+    effective_bw = mem_bandwidth_gbps * 1e9 * 0.35  # strided derating
+    return 2.0 * num_bytes / effective_bw

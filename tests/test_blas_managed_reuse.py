@@ -1,0 +1,70 @@
+"""Cross-shape GEMM kernel reuse under the managed-BLAS extension.
+
+Under ``manage_blas=True`` PASK applies Algorithm 1 to the BLAS library:
+a generic GEMM binary loaded for one odd shape can serve another odd
+shape of the same (BLAS) pattern, skipping its load.
+"""
+
+import pytest
+
+from repro.core.middleware import PaskConfig, PaskMiddleware
+from repro.engine.instruction import Instruction, InstrKind
+from repro.engine.program import Program
+from repro.gpu import HipRuntime, MI100
+from repro.primitive import BlasLibrary, GemmProblem, MIOpenLibrary
+from repro.sim import Environment
+
+LIBRARY = MIOpenLibrary(MI100)
+BLAS = BlasLibrary(MI100)
+
+# Odd shapes: nothing divisible, so the generic kernel is the only
+# applicable BLAS solution for both.
+GEMM_A = GemmProblem(197, 391, 53)
+GEMM_B = GemmProblem(311, 203, 97)
+
+
+def gemm_program(problems):
+    instructions = tuple(
+        Instruction(i, f"g{i}", InstrKind.BLAS_GEMM, problem=p)
+        for i, p in enumerate(problems))
+    return Program("gemms", instructions)
+
+
+def run(config, problems):
+    env = Environment()
+    runtime = HipRuntime(env, MI100)
+    middleware = PaskMiddleware(env, runtime, LIBRARY, BLAS, config)
+    outcome = {}
+
+    def driver():
+        stats = yield from middleware.execute(gemm_program(problems))
+        outcome.update(stats)
+
+    process = env.process(driver())
+    env.run(until=process)
+    outcome["loads"] = runtime.load_count
+    return outcome
+
+
+def test_both_shapes_pick_generic():
+    assert BLAS.find_best(GEMM_A).name == "BlasGemmGeneric"
+    assert BLAS.find_best(GEMM_B).name == "BlasGemmGeneric"
+    # But their binaries differ: per-configuration Tensile-style images.
+    assert (BLAS.find_best(GEMM_A).code_object_for(GEMM_A).name
+            != BLAS.find_best(GEMM_B).code_object_for(GEMM_B).name)
+
+
+def test_managed_blas_reuses_generic_across_shapes():
+    # Repeat B enough times that the milestone passes before it arrives.
+    outcome = run(PaskConfig(manage_blas=True),
+                  [GEMM_A, GEMM_A, GEMM_A, GEMM_B, GEMM_B])
+    assert outcome["reused_layers"] >= 1
+    # One generic binary for A; B reuses it -- no second generic load.
+    assert outcome["loads"] == 1
+
+
+def test_stock_pask_loads_both():
+    outcome = run(PaskConfig(manage_blas=False),
+                  [GEMM_A, GEMM_A, GEMM_A, GEMM_B, GEMM_B])
+    assert outcome["reused_layers"] == 0
+    assert outcome["loads"] == 2

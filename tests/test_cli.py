@@ -1,0 +1,80 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve", "res"])
+        assert args.scheme == "baseline"
+        assert args.batch == 1
+        assert args.device == "MI100"
+
+    def test_bad_scheme_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "res", "--scheme", "magic"])
+
+    def test_bad_device_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "res", "--device", "H100"])
+
+
+class TestCommands:
+    def test_models(self, capsys):
+        assert main(["models"]) == 0
+        out = capsys.readouterr().out
+        assert "alexnet" in out
+        assert "swin_v2_b" in out
+
+    def test_serve_cold(self, capsys):
+        assert main(["serve", "alex", "--scheme", "pask"]) == 0
+        out = capsys.readouterr().out
+        assert "cold start under PaSK" in out
+        assert "loads:" in out
+
+    def test_serve_hot(self, capsys):
+        assert main(["serve", "alex", "--hot"]) == 0
+        assert "hot run" in capsys.readouterr().out
+
+    def test_serve_batch(self, capsys):
+        assert main(["serve", "alex", "--batch", "4"]) == 0
+        assert "batch 4" in capsys.readouterr().out
+
+    def test_experiment_fig9(self, capsys):
+        assert main(["experiment", "fig9"]) == 0
+        out = capsys.readouterr().out
+        assert "hit_rate" in out
+        assert "average" in out
+
+    def test_experiment_table2_smoke(self, capsys):
+        # table2 sweeps batches and is slow; keep to parser sanity only.
+        args = build_parser().parse_args(["experiment", "table2"])
+        assert args.name == "table2"
+
+    def test_session(self, capsys):
+        assert main(["session", "alex", "--requests", "2",
+                     "--interval-ms", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "request 0" in out and "request 1" in out
+
+    def test_session_no_preload(self, capsys):
+        assert main(["session", "alex", "--requests", "2",
+                     "--no-preload"]) == 0
+        assert "interval preload off" in capsys.readouterr().out
+
+    def test_cluster(self, capsys):
+        assert main(["cluster", "alex", "--rate", "10", "--duration", "1",
+                     "--scheme", "ideal"]) == 0
+        out = capsys.readouterr().out
+        assert "cold starts" in out
+        assert "p99" in out

@@ -1,0 +1,139 @@
+"""Focused tests for the PASK middleware's interleaved pipeline."""
+
+import pytest
+
+from repro.core.middleware import PaskConfig, PaskMiddleware
+from repro.engine import LoweringOptions, lower
+from repro.gpu import HipRuntime, MI100
+from repro.graph import GraphBuilder
+from repro.primitive import BlasLibrary, MIOpenLibrary
+from repro.sim import Environment, Phase
+
+LIBRARY = MIOpenLibrary(MI100)
+BLAS = BlasLibrary(MI100)
+
+
+def repeated_conv_graph(n_convs=8, channels=32):
+    """Many same-bucket 3x3 convs: maximal reuse opportunity."""
+    b = GraphBuilder("repeat")
+    x = b.input("x", (1, channels, 56, 56))
+    for i in range(n_convs):
+        # Alternate channel counts so the exact signatures differ while
+        # the kernel-config bucket stays the same.
+        out = channels * (2 if i % 2 else 1)
+        x = b.conv(x, out, 3, pad=1, name=f"c{i}")
+        x = b.relu(x, name=f"r{i}")
+    b.output(x)
+    return b.finish()
+
+
+def run_middleware(program, config=None):
+    env = Environment()
+    runtime = HipRuntime(env, MI100)
+    middleware = PaskMiddleware(env, runtime, LIBRARY, BLAS, config)
+    outcome = {}
+
+    def driver():
+        stats = yield from middleware.execute(program)
+        outcome.update(stats)
+
+    process = env.process(driver())
+    env.run(until=process)
+    return env, runtime, middleware, outcome
+
+
+@pytest.fixture(scope="module")
+def program():
+    return lower(repeated_conv_graph(), LIBRARY)
+
+
+class TestPipeline:
+    def test_executes_every_instruction(self, program):
+        env, runtime, middleware, outcome = run_middleware(program)
+        # All primitive layers must have run kernels on the GPU.
+        exec_records = runtime.trace.filtered(phase=Phase.EXEC, actor="gpu")
+        assert len(exec_records) >= len(program.primitive_instructions)
+
+    def test_parse_load_issue_threads_traced(self, program):
+        env, runtime, middleware, outcome = run_middleware(program)
+        actors = {r.actor for r in runtime.trace.records}
+        assert {"parser", "loader", "gpu"} <= actors
+
+    def test_parsing_overlaps_loading(self, program):
+        env, runtime, middleware, outcome = run_middleware(program)
+        parse = runtime.trace.filtered(phase=Phase.PARSE)
+        load = runtime.trace.filtered(phase=Phase.LOAD)
+        first_load_start = min(r.start for r in load)
+        last_parse_end = max(r.end for r in parse)
+        assert first_load_start < last_parse_end
+
+    def test_milestone_and_reuse(self, program):
+        env, runtime, middleware, outcome = run_middleware(program)
+        assert outcome["milestone"] is not None
+        assert outcome["reused_layers"] > 0
+        assert outcome["skipped_loads"] == outcome["reused_layers"]
+
+    def test_reuse_disabled_loads_everything(self, program):
+        _, runtime_on, _, on = run_middleware(program)
+        _, runtime_off, _, off = run_middleware(
+            program, PaskConfig(reuse_enabled=False))
+        assert off["reused_layers"] == 0
+        assert runtime_off.load_count > runtime_on.load_count
+
+    def test_reuse_finishes_faster(self, program):
+        env_on, *_ = run_middleware(program)
+        env_off, *_ = run_middleware(program, PaskConfig(reuse_enabled=False))
+        assert env_on.now < env_off.now
+
+    def test_naive_cache_config(self, program):
+        _, _, middleware, outcome = run_middleware(
+            program, PaskConfig(categorical_cache=False))
+        from repro.core.cache import NaiveSolutionCache
+        assert isinstance(middleware.cache, NaiveSolutionCache)
+        assert outcome["cache_stats"].queries > 0
+
+    def test_check_time_recorded_for_queries(self, program):
+        env, runtime, middleware, outcome = run_middleware(program)
+        if outcome["cache_stats"].total_lookups:
+            assert runtime.trace.busy_time(phase=Phase.CHECK) > 0
+
+    def test_deterministic(self, program):
+        env_a, runtime_a, _, a = run_middleware(program)
+        env_b, runtime_b, _, b = run_middleware(program)
+        assert env_a.now == env_b.now
+        assert runtime_a.load_count == runtime_b.load_count
+        assert a["milestone"] == b["milestone"]
+
+
+class TestReuseCorrectness:
+    def test_reused_layers_execute_on_gpu(self, program):
+        env, runtime, middleware, outcome = run_middleware(program)
+        reused_execs = [r for r in runtime.trace.filtered(phase=Phase.EXEC)
+                        if "reused" in r.label]
+        assert len(reused_execs) >= outcome["reused_layers"]
+
+    def test_cache_contains_only_loaded_binaries(self, program):
+        env, runtime, middleware, outcome = run_middleware(program)
+        for entry in middleware.cache.entries():
+            assert runtime.is_loaded(entry.key)
+
+
+class TestSmallPrograms:
+    def test_single_instruction_program(self):
+        b = GraphBuilder("one")
+        x = b.input("x", (1, 8, 16, 16))
+        b.output(b.conv(x, 8, 3, pad=1))
+        program = lower(b.finish(), LIBRARY)
+        env, runtime, middleware, outcome = run_middleware(program)
+        assert runtime.load_count >= 1
+
+    def test_noop_only_tail(self):
+        b = GraphBuilder("tail")
+        x = b.input("x", (1, 8, 16, 16))
+        y = b.conv(x, 8, 3, pad=1)
+        y = b.flatten(y)
+        y = b.reshape(y, (8, -1))
+        b.output(y)
+        program = lower(b.finish(), LIBRARY)
+        env, runtime, middleware, outcome = run_middleware(program)
+        assert env.now > 0

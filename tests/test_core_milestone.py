@@ -1,0 +1,85 @@
+"""Unit tests for the milestone tracker."""
+
+import pytest
+
+from repro.core.milestone import MilestoneTracker
+
+
+def test_initial_state():
+    t = MilestoneTracker(10)
+    assert not t.parse_done
+    assert not t.reached
+    assert t.milestone is None
+
+
+def test_rejects_empty_program():
+    with pytest.raises(ValueError):
+        MilestoneTracker(0)
+
+
+def test_parse_done_after_all_layers():
+    t = MilestoneTracker(3)
+    for _ in range(3):
+        t.record_parsed()
+    assert t.parse_done
+
+
+def test_over_parsing_rejected():
+    t = MilestoneTracker(1)
+    t.record_parsed()
+    with pytest.raises(ValueError):
+        t.record_parsed()
+
+
+def test_not_reached_before_parse_done():
+    t = MilestoneTracker(5)
+    t.record_parsed()
+    t.record_executed(3)
+    assert not t.check(next_index=4, gpu_idle=True)
+
+
+def test_not_reached_while_gpu_busy():
+    t = MilestoneTracker(3)
+    for _ in range(3):
+        t.record_parsed()
+    t.record_executed(1)
+    assert not t.check(next_index=2, gpu_idle=False)
+
+
+def test_reached_when_pipeline_drained():
+    t = MilestoneTracker(5)
+    for _ in range(5):
+        t.record_parsed()
+    t.record_executed(1)
+    # Layer 2 is in flight at the same instant; layer 3 is next.
+    assert t.check(next_index=3, gpu_idle=True)
+    assert t.reached
+    assert t.milestone == 2
+
+
+def test_latches_once():
+    t = MilestoneTracker(5)
+    for _ in range(5):
+        t.record_parsed()
+    t.record_executed(2)
+    assert t.check(next_index=4, gpu_idle=True)
+    first = t.milestone
+    # Later checks keep the original milestone even with new progress.
+    t.record_executed(4)
+    assert t.check(next_index=5, gpu_idle=True)
+    assert t.milestone == first
+
+
+def test_executed_through_is_monotonic():
+    t = MilestoneTracker(5)
+    t.record_executed(3)
+    t.record_executed(1)
+    assert t.executed_through == 3
+
+
+def test_milestone_zero_for_immediate_drain():
+    t = MilestoneTracker(2)
+    t.record_parsed()
+    t.record_parsed()
+    assert t.check(next_index=0, gpu_idle=True)
+    assert t.milestone == 0

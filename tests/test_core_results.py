@@ -1,0 +1,63 @@
+"""Unit tests for ExecutionResult metrics."""
+
+import pytest
+
+from repro.core.results import ExecutionResult
+from repro.sim import Phase, TraceRecorder
+
+
+def make_result(total=10.0):
+    trace = TraceRecorder()
+    trace.record(0.0, 2.0, "gpu", Phase.EXEC)
+    trace.record(2.0, 8.0, "loader", Phase.LOAD)
+    trace.record(8.0, 8.5, "loader", Phase.CHECK)
+    trace.record(8.5, 8.6, "loader", Phase.OVERHEAD)
+    return ExecutionResult(scheme="PaSK", model="m", batch=1,
+                           total_time=total, trace=trace)
+
+
+class TestExecutionResult:
+    def test_gpu_utilization(self):
+        assert make_result().gpu_utilization == pytest.approx(0.2)
+
+    def test_phase_fraction(self):
+        result = make_result()
+        assert result.phase_fraction(Phase.LOAD) == pytest.approx(0.6)
+        assert result.phase_fraction(Phase.PARSE) == 0.0
+
+    def test_phase_fraction_zero_total(self):
+        result = make_result(total=0.0)
+        assert result.phase_fraction(Phase.LOAD) == 0.0
+
+    def test_breakdown_sums_to_one(self):
+        breakdown = make_result().breakdown()
+        assert sum(breakdown.values()) == pytest.approx(1.0)
+        assert breakdown["gpu_compute"] == pytest.approx(0.2)
+        assert breakdown["solution_loading"] == pytest.approx(0.6)
+        assert breakdown["pask_overhead"] == pytest.approx(0.06)
+        assert breakdown["others"] == pytest.approx(0.14)
+
+    def test_breakdown_overlap_attributed_exclusively(self):
+        trace = TraceRecorder()
+        trace.record(0.0, 10.0, "loader", Phase.LOAD)
+        trace.record(0.0, 10.0, "gpu", Phase.EXEC)
+        result = ExecutionResult(scheme="x", model="m", batch=1,
+                                 total_time=10.0, trace=trace)
+        breakdown = result.breakdown()
+        assert breakdown["gpu_compute"] == pytest.approx(1.0)
+        assert breakdown["solution_loading"] == pytest.approx(0.0)
+
+    def test_speedup_over(self):
+        fast = make_result(total=5.0)
+        slow = make_result(total=10.0)
+        assert fast.speedup_over(slow) == pytest.approx(2.0)
+        assert slow.speedup_over(fast) == pytest.approx(0.5)
+
+    def test_speedup_over_zero_time_rejected(self):
+        zero = make_result(total=0.0)
+        with pytest.raises(ValueError):
+            zero.speedup_over(make_result())
+
+    def test_repr_mentions_model_and_scheme(self):
+        text = repr(make_result())
+        assert "m/PaSK" in text

@@ -1,0 +1,86 @@
+"""Tests for the per-model engine JIT bundle and the occupancy model."""
+
+import pytest
+
+from repro.engine import InstrKind, LoweringOptions, lower
+from repro.gpu import MI100
+from repro.graph import GraphBuilder
+from repro.primitive import MIOpenLibrary
+from repro.primitive.perf_model import occupancy
+
+LIBRARY = MIOpenLibrary(MI100)
+
+
+def graph_with_engine_kernels():
+    b = GraphBuilder("bundle_test")
+    x = b.input("x", (1, 8, 16, 16))
+    y = b.conv(x, 8, 3, pad=1)
+    z = b.add(y, x, name="add1")
+    z = b.softmax(z, name="sm1")
+    b.output(z)
+    return b.finish()
+
+
+class TestEngineBundle:
+    def test_bundle_exists_with_engine_kernels(self):
+        program = lower(graph_with_engine_kernels(), LIBRARY)
+        bundle = program.engine_bundle
+        assert bundle is not None
+        assert bundle.name.startswith("mgx_jit_bundle_test")
+
+    def test_bundle_has_one_symbol_per_distinct_kernel(self):
+        program = lower(graph_with_engine_kernels(), LIBRARY)
+        engine_kernels = {i.engine_kernel.name
+                          for i in program.of_kind(InstrKind.ENGINE_KERNEL)}
+        assert {s.name for s in program.engine_bundle.symbols} == engine_kernels
+
+    def test_no_bundle_without_engine_kernels(self):
+        b = GraphBuilder("pure_conv")
+        x = b.input("x", (1, 8, 16, 16))
+        b.output(b.conv(x, 8, 3, pad=1))
+        program = lower(b.finish(), LIBRARY)
+        assert program.engine_bundle is None
+
+    def test_bundle_size_grows_with_kernels(self):
+        small = lower(graph_with_engine_kernels(), LIBRARY)
+        b = GraphBuilder("bundle_test")   # same name, more kernels
+        x = b.input("x", (1, 8, 16, 16))
+        y = b.conv(x, 8, 3, pad=1)
+        z = b.add(y, x)
+        z = b.softmax(z)
+        z = b.layernorm(z)
+        z = b.mul(z, x)
+        b.output(z)
+        large = lower(b.finish(), LIBRARY)
+        assert (large.engine_bundle.size_bytes
+                > small.engine_bundle.size_bytes)
+
+    def test_bundle_deterministic_across_recomputation(self):
+        program = lower(graph_with_engine_kernels(), LIBRARY)
+        a = program.engine_bundle
+        b = program.engine_bundle
+        assert a.name == b.name
+        assert a.size_bytes == b.size_bytes
+
+    def test_bundle_name_depends_on_batch(self):
+        g = graph_with_engine_kernels()
+        p1 = lower(g, LIBRARY, LoweringOptions(batch=1))
+        p8 = lower(g, LIBRARY, LoweringOptions(batch=8))
+        assert p1.engine_bundle.name != p8.engine_bundle.name
+
+
+class TestOccupancy:
+    def test_floor_for_tiny_kernels(self):
+        assert occupancy(0) == pytest.approx(0.30)
+
+    def test_saturates_at_knee(self):
+        assert occupancy(40e6) == pytest.approx(1.0)
+        assert occupancy(1e9) == 1.0
+
+    def test_monotone(self):
+        values = [occupancy(b) for b in (0, 1e6, 1e7, 4e7, 1e8)]
+        assert values == sorted(values)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            occupancy(-1)

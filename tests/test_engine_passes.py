@@ -1,0 +1,200 @@
+"""Unit tests for the graph optimization passes."""
+
+import pytest
+
+from repro.engine.passes import (
+    CommonSubexpressionElimination,
+    ConvFusion,
+    DeadCodeElimination,
+    IdentityElimination,
+    default_passes,
+    run_passes,
+)
+from repro.graph import GraphBuilder
+
+
+def conv_bn_relu_graph():
+    b = GraphBuilder("cbr")
+    x = b.input("x", (1, 3, 32, 32))
+    y = b.conv(x, 8, 3, pad=1, name="c1")
+    y = b.batchnorm(y, name="bn1")
+    y = b.relu(y, name="r1")
+    b.output(y)
+    return b.finish()
+
+
+class TestDeadCodeElimination:
+    def test_removes_unreachable_chain(self):
+        b = GraphBuilder()
+        x = b.input("x", (1, 3, 8, 8))
+        live = b.conv(x, 4, 3, pad=1, name="live")
+        dead = b.conv(x, 4, 3, pad=1, name="dead")
+        b.relu(dead, name="dead_relu")
+        b.output(live)
+        g = b.finish()
+        out = DeadCodeElimination().run(g)
+        assert {n.name for n in out} == {"live"}
+
+    def test_keeps_everything_when_all_live(self):
+        g = conv_bn_relu_graph()
+        out = DeadCodeElimination().run(g)
+        assert out is g  # unchanged graphs returned as-is
+
+    def test_transitively_dead_inputs_removed(self):
+        b = GraphBuilder()
+        x = b.input("x", (1, 3, 8, 8))
+        a = b.conv(x, 4, 3, pad=1, name="a")
+        bb = b.relu(a, name="b")
+        b.relu(bb, name="c")  # dead tail
+        b.output(bb)
+        g = b.finish()
+        out = DeadCodeElimination().run(g)
+        assert {n.name for n in out} == {"a", "b"}
+
+
+class TestCSE:
+    def test_merges_identical_convs(self):
+        b = GraphBuilder()
+        x = b.input("x", (1, 3, 8, 8))
+        # Two identical pools on the same input (weights would differ for
+        # convs, so pools are the realistic duplicated subexpression).
+        p1 = b.maxpool(x, 2, name="p1")
+        p2 = b.maxpool(x, 2, name="p2")
+        y = b.add(b.relu(p1), b.relu(p2))
+        b.output(y)
+        g = b.finish()
+        out = CommonSubexpressionElimination().run(g)
+        pools = [n for n in out if n.op == "MaxPool"]
+        assert len(pools) == 1
+        out.validate()
+
+    def test_merges_chained_duplicates(self):
+        b = GraphBuilder()
+        x = b.input("x", (1, 3, 8, 8))
+        r1 = b.relu(x, name="r1")
+        r2 = b.relu(x, name="r2")
+        s1 = b.sigmoid(r1, name="s1")
+        s2 = b.sigmoid(r2, name="s2")
+        b.output(b.add(s1, s2))
+        g = b.finish()
+        out = CommonSubexpressionElimination().run(g)
+        assert len([n for n in out if n.op == "Relu"]) == 1
+        assert len([n for n in out if n.op == "Sigmoid"]) == 1
+
+    def test_distinct_attrs_not_merged(self):
+        b = GraphBuilder()
+        x = b.input("x", (1, 3, 8, 8))
+        p1 = b.maxpool(x, 2, name="p1")
+        p2 = b.avgpool(x, 2, name="p2")
+        b.output(b.add(p1, p2))
+        g = b.finish()
+        out = CommonSubexpressionElimination().run(g)
+        assert len(out) == len(g)
+
+    def test_graph_output_producers_kept(self):
+        b = GraphBuilder()
+        x = b.input("x", (1, 3, 8, 8))
+        r1 = b.relu(x, name="r1")
+        r2 = b.relu(x, name="r2")
+        b.output(r1)
+        b.output(r2)
+        g = b.finish()
+        out = CommonSubexpressionElimination().run(g)
+        assert len([n for n in out if n.op == "Relu"]) == 2
+
+
+class TestIdentityElimination:
+    def test_drops_identity_and_dropout(self):
+        b = GraphBuilder()
+        x = b.input("x", (1, 3, 8, 8))
+        y = b.identity(x, name="id1")
+        y = b.dropout(y, name="drop1")
+        y = b.relu(y, name="r1")
+        b.output(y)
+        g = b.finish()
+        out = IdentityElimination().run(g)
+        assert {n.name for n in out} == {"r1"}
+        assert out.node("r1").inputs == ("x",)
+
+    def test_keeps_identity_producing_graph_output(self):
+        b = GraphBuilder()
+        x = b.input("x", (1, 3, 8, 8))
+        y = b.identity(x, name="id1")
+        b.output(y)
+        g = b.finish()
+        out = IdentityElimination().run(g)
+        assert {n.name for n in out} == {"id1"}
+
+
+class TestConvFusion:
+    def test_fuses_conv_bn_relu(self):
+        g = conv_bn_relu_graph()
+        out = ConvFusion().run(g)
+        assert len(out) == 1
+        conv = out.node("c1")
+        assert conv.attr("fused_batchnorm") is True
+        assert conv.attr("fused_activation") == "relu"
+        assert conv.outputs == ("r1_out",)
+        out.validate()
+
+    def test_fuses_conv_relu_without_bn(self):
+        b = GraphBuilder()
+        x = b.input("x", (1, 3, 8, 8))
+        y = b.conv(x, 4, 3, pad=1, name="c1")
+        y = b.relu(y, name="r1")
+        b.output(y)
+        out = ConvFusion().run(b.finish())
+        assert len(out) == 1
+        assert out.node("c1").attr("fused_activation") == "relu"
+
+    def test_no_fusion_across_multi_consumer_tensor(self):
+        b = GraphBuilder()
+        x = b.input("x", (1, 4, 8, 8))
+        y = b.conv(x, 4, 3, pad=1, name="c1")
+        r = b.relu(y, name="r1")
+        z = b.add(y, r)  # conv output consumed twice
+        b.output(z)
+        out = ConvFusion().run(b.finish())
+        assert len(out) == 3
+
+    def test_no_fusion_when_intermediate_is_output(self):
+        b = GraphBuilder()
+        x = b.input("x", (1, 4, 8, 8))
+        y = b.conv(x, 4, 3, pad=1, name="c1")
+        r = b.relu(y, name="r1")
+        b.output(y)
+        b.output(r)
+        out = ConvFusion().run(b.finish())
+        assert len(out) == 2
+
+    def test_gelu_not_fused(self):
+        b = GraphBuilder()
+        x = b.input("x", (1, 4, 8, 8))
+        y = b.conv(x, 4, 3, pad=1, name="c1")
+        y = b.gelu(y, name="g1")
+        b.output(y)
+        out = ConvFusion().run(b.finish())
+        assert len(out) == 2
+
+
+class TestPipeline:
+    def test_default_pipeline_order(self):
+        names = [p.name for p in default_passes()]
+        assert names == ["identity-elimination",
+                         "common-subexpression-elimination",
+                         "dead-code-elimination", "conv-fusion"]
+
+    def test_run_passes_end_to_end(self):
+        b = GraphBuilder()
+        x = b.input("x", (1, 3, 32, 32))
+        y = b.identity(x)
+        y = b.conv(y, 8, 3, pad=1, name="c1")
+        y = b.batchnorm(y)
+        y = b.relu(y)
+        b.conv(x, 8, 5, pad=2, name="dead_conv")
+        b.output(y)
+        g = b.finish()
+        out = run_passes(g)
+        assert len(out) == 1
+        assert out.nodes[0].op == "Conv"
+        out.validate()

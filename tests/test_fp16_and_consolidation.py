@@ -1,0 +1,99 @@
+"""Tests for the fp16 solver ladder and NNV12's bucket consolidation."""
+
+import pytest
+
+from repro.engine import LoweringOptions, lower
+from repro.gpu import MI100
+from repro.graph import GraphBuilder
+from repro.primitive import ConvProblem, MIOpenLibrary
+from repro.primitive.solvers.fp16 import build_solutions as fp16_solutions
+from repro.tensors import DataType
+
+LIBRARY = MIOpenLibrary(MI100)
+
+FP16_3X3 = ConvProblem(1, 64, 56, 56, 64, (3, 3), pad=(1, 1),
+                       dtype=DataType.FP16)
+FP16_ODD = ConvProblem(1, 7, 30, 30, 11, (3, 3), pad=(1, 1),
+                       dtype=DataType.FP16)
+FP32_3X3 = ConvProblem(1, 64, 56, 56, 64, (3, 3), pad=(1, 1))
+
+
+class TestFp16Ladder:
+    def test_dedicated_fp16_solutions_exist(self):
+        names = {s.name for s in fp16_solutions()}
+        assert names == {"ConvGemmFwdFp16", "ConvImplicitGemmMfmaFp16Fwd"}
+
+    def test_fp16_only(self):
+        for solution in fp16_solutions():
+            assert solution.is_applicable(FP16_3X3) or \
+                solution.name == "ConvImplicitGemmMfmaFp16Fwd"
+            assert not solution.is_applicable(FP32_3X3)
+
+    def test_fp16_universal_fallback(self):
+        generic = next(s for s in fp16_solutions()
+                       if s.name == "ConvGemmFwdFp16")
+        assert generic.is_applicable(FP16_ODD)
+
+    def test_find_best_serves_fp16(self):
+        best = LIBRARY.find_best(FP16_3X3)
+        assert best.is_applicable(FP16_3X3)
+        assert DataType.FP16 in best.supported_dtypes
+
+    def test_fp32_solutions_reject_fp16(self):
+        wino = LIBRARY.solution_by_name("ConvBinWinogradFwd<3,3>")
+        assert not wino.is_applicable(FP16_3X3)
+
+
+class TestBucketConsolidation:
+    def build_graph(self):
+        b = GraphBuilder("consolidate")
+        x = b.input("x", (1, 32, 56, 56))
+        for i in range(4):
+            # Same kernel-config bucket, different exact shapes.
+            x = b.conv(x, 32 if i % 2 else 64, 3, pad=1, name=f"c{i}")
+        b.output(x)
+        return b.finish()
+
+    def test_consolidated_layers_share_one_binary(self):
+        program = lower(self.build_graph(), LIBRARY,
+                        LoweringOptions(consolidate_buckets=True,
+                                        native_layout_only=True))
+        solutions = {}
+        for instr in program.primitive_instructions:
+            solution = LIBRARY.solution_by_name(instr.solution_name)
+            co = solution.code_object_for(instr.problem)
+            solutions.setdefault(co.name, []).append(instr.name)
+        # All four convolutions share a single bucket-level binary.
+        assert len(solutions) == 1
+        (members,) = solutions.values()
+        assert len(members) == 4
+
+    def test_default_lowering_loads_per_shape(self):
+        program = lower(self.build_graph(), LIBRARY)
+        binaries = set()
+        for instr in program.primitive_instructions:
+            solution = LIBRARY.solution_by_name(instr.solution_name)
+            binaries.add(solution.code_object_for(instr.problem).name)
+        assert len(binaries) >= 2
+
+    def test_consolidation_requires_group_of_two(self):
+        b = GraphBuilder("solo")
+        x = b.input("x", (1, 32, 56, 56))
+        x = b.conv(x, 64, 3, pad=1, name="only")
+        b.output(x)
+        program = lower(b.finish(), LIBRARY,
+                        LoweringOptions(consolidate_buckets=True,
+                                        native_layout_only=True))
+        instr = program.primitive_instructions[0]
+        solution = LIBRARY.solution_by_name(instr.solution_name)
+        # A singleton keeps the per-problem optimal pick (no sharing win).
+        best = LIBRARY.find_best(instr.problem, native_layout_only=True)
+        assert solution.name == best.name
+
+    def test_consolidated_solution_is_bucket_level(self):
+        program = lower(self.build_graph(), LIBRARY,
+                        LoweringOptions(consolidate_buckets=True,
+                                        native_layout_only=True))
+        for instr in program.primitive_instructions:
+            solution = LIBRARY.solution_by_name(instr.solution_name)
+            assert solution.specialization <= 1

@@ -1,0 +1,155 @@
+"""Unit tests for the graph container and builder."""
+
+import pytest
+
+from repro.graph import Graph, GraphBuilder, GraphError, Node
+from repro.tensors import DataType, TensorDesc
+
+
+def simple_graph():
+    b = GraphBuilder("toy")
+    x = b.input("x", (1, 3, 32, 32))
+    y = b.conv(x, out_channels=8, kernel=3, pad=1, name="c1")
+    y = b.relu(y, name="r1")
+    b.output(y)
+    return b.finish()
+
+
+class TestGraph:
+    def test_build_and_validate(self):
+        g = simple_graph()
+        assert len(g) == 2
+        assert g.inputs == ["x"]
+        assert len(g.outputs) == 1
+        g.validate()
+
+    def test_shapes_inferred_on_insert(self):
+        g = simple_graph()
+        assert g.desc("c1_out").dims == (1, 8, 32, 32)
+        assert g.desc("r1_out").dims == (1, 8, 32, 32)
+
+    def test_conv_declares_weight_initializer(self):
+        g = simple_graph()
+        assert "c1_w" in g.initializers
+        assert g.desc("c1_w").dims == (8, 3, 3, 3)
+
+    def test_producer_and_consumers(self):
+        g = simple_graph()
+        assert g.producer("c1_out").name == "c1"
+        assert g.producer("x") is None
+        assert [n.name for n in g.consumers("c1_out")] == ["r1"]
+
+    def test_node_lookup(self):
+        g = simple_graph()
+        assert g.node("c1").op == "Conv"
+        with pytest.raises(KeyError):
+            g.node("missing")
+
+    def test_undefined_input_rejected(self):
+        g = Graph()
+        with pytest.raises(GraphError, match="undefined tensors"):
+            g.add_node(Node("n", "Relu", ("ghost",), ("out",)))
+
+    def test_duplicate_node_name_rejected(self):
+        g = Graph()
+        g.add_input("x", TensorDesc((1, 2)))
+        g.add_node(Node("n", "Relu", ("x",), ("a",)))
+        with pytest.raises(GraphError, match="duplicate node"):
+            g.add_node(Node("n", "Relu", ("a",), ("b",)))
+
+    def test_duplicate_tensor_rejected(self):
+        g = Graph()
+        g.add_input("x", TensorDesc((1, 2)))
+        with pytest.raises(GraphError, match="declared twice"):
+            g.add_input("x", TensorDesc((1, 2)))
+
+    def test_mark_unknown_output_rejected(self):
+        g = Graph()
+        with pytest.raises(GraphError):
+            g.mark_output("nope")
+
+    def test_validate_requires_outputs(self):
+        g = Graph()
+        g.add_input("x", TensorDesc((1,)))
+        with pytest.raises(GraphError, match="no outputs"):
+            g.validate()
+
+    def test_rebuild_preserves_structure(self):
+        g = simple_graph()
+        g2 = g.rebuild(g.nodes)
+        assert len(g2) == len(g)
+        assert g2.outputs == g.outputs
+        assert g2.desc("c1_out") == g.desc("c1_out")
+
+    def test_rebuild_rejects_broken_nodes(self):
+        g = simple_graph()
+        with pytest.raises(GraphError):
+            g.rebuild(g.nodes[1:])  # drops the conv producing r1's input
+
+    def test_stats(self):
+        g = simple_graph()
+        stats = g.stats()
+        assert stats["nodes"] == 2
+        assert stats["per_op"] == {"Conv": 1, "Relu": 1}
+
+
+class TestBuilder:
+    def test_residual_block(self):
+        b = GraphBuilder()
+        x = b.input("x", (1, 64, 56, 56))
+        y = b.conv(x, 64, 3, pad=1)
+        y = b.batchnorm(y)
+        y = b.relu(y)
+        y = b.conv(y, 64, 3, pad=1)
+        y = b.add(y, x)
+        y = b.relu(y)
+        b.output(y)
+        g = b.finish()
+        assert g.desc(g.outputs[0]).dims == (1, 64, 56, 56)
+
+    def test_classifier_head(self):
+        b = GraphBuilder()
+        x = b.input("x", (2, 512, 7, 7))
+        y = b.global_avgpool(x)
+        y = b.flatten(y)
+        y = b.gemm(y, out_features=1000)
+        y = b.softmax(y)
+        b.output(y)
+        g = b.finish()
+        assert g.desc(g.outputs[0]).dims == (2, 1000)
+
+    def test_gemm_weight_shape(self):
+        b = GraphBuilder()
+        x = b.input("x", (1, 128))
+        b.output(b.gemm(x, out_features=64, name="fc"))
+        g = b.finish()
+        assert g.desc("fc_w").dims == (128, 64)
+
+    def test_auto_names_unique(self):
+        b = GraphBuilder()
+        x = b.input("x", (1, 4, 8, 8))
+        for _ in range(5):
+            x = b.relu(x)
+        b.output(x)
+        g = b.finish()
+        assert len({node.name for node in g}) == 5
+
+    def test_dtype_propagates(self):
+        b = GraphBuilder(dtype=DataType.FP16)
+        x = b.input("x", (1, 3, 8, 8))
+        y = b.conv(x, 4, 3, pad=1)
+        b.output(y)
+        g = b.finish()
+        assert g.desc(y).dtype is DataType.FP16
+
+    def test_concat_and_resize_unet_style(self):
+        b = GraphBuilder()
+        x = b.input("x", (1, 64, 32, 32))
+        down = b.maxpool(x, 2)
+        down = b.conv(down, 128, 3, pad=1)
+        up = b.resize(down, 2.0)
+        merged = b.concat([up, x], axis=1)
+        b.output(b.conv(merged, 64, 3, pad=1))
+        g = b.finish()
+        assert g.desc("concat_1_out" if "concat_1_out" in g.tensors
+                      else g.nodes[-2].outputs[0]).dims[1] == 192

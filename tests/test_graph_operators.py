@@ -1,0 +1,203 @@
+"""Unit tests for operator shape inference and cost estimation."""
+
+import pytest
+
+from repro.graph import Node, OpCategory, infer_shapes, node_flops, \
+    node_memory_bytes, op_category, supported_ops
+from repro.tensors import DataType, TensorDesc
+
+
+def n(op, attrs=None, inputs=("x",), outputs=("y",)):
+    return Node("test", op, tuple(inputs), tuple(outputs), attrs or {})
+
+
+def t(*dims, dtype=DataType.FP32):
+    return TensorDesc(tuple(dims), dtype)
+
+
+class TestConv:
+    def test_basic_shape(self):
+        node = n("Conv", {"out_channels": 64, "kernel_shape": 3, "strides": 1,
+                          "pads": 1})
+        [out] = infer_shapes(node, [t(1, 3, 224, 224), t(64, 3, 3, 3)])
+        assert out.dims == (1, 64, 224, 224)
+
+    def test_strided_shape(self):
+        node = n("Conv", {"out_channels": 64, "kernel_shape": 7, "strides": 2,
+                          "pads": 3})
+        [out] = infer_shapes(node, [t(1, 3, 224, 224), t(64, 3, 7, 7)])
+        assert out.dims == (1, 64, 112, 112)
+
+    def test_dilated_shape(self):
+        node = n("Conv", {"out_channels": 8, "kernel_shape": 3, "strides": 1,
+                          "pads": 2, "dilations": 2})
+        [out] = infer_shapes(node, [t(1, 4, 32, 32), t(8, 4, 3, 3)])
+        assert out.dims == (1, 8, 32, 32)
+
+    def test_grouped_conv(self):
+        node = n("Conv", {"out_channels": 32, "kernel_shape": 3, "strides": 1,
+                          "pads": 1, "group": 32})
+        [out] = infer_shapes(node, [t(1, 32, 56, 56), t(32, 1, 3, 3)])
+        assert out.dims == (1, 32, 56, 56)
+
+    def test_group_divisibility_enforced(self):
+        node = n("Conv", {"out_channels": 30, "kernel_shape": 3, "group": 4})
+        with pytest.raises(ValueError):
+            infer_shapes(node, [t(1, 32, 8, 8), t(30, 8, 3, 3)])
+
+    def test_collapsed_output_rejected(self):
+        node = n("Conv", {"out_channels": 8, "kernel_shape": 9})
+        with pytest.raises(ValueError):
+            infer_shapes(node, [t(1, 3, 4, 4), t(8, 3, 9, 9)])
+
+    def test_flops_formula(self):
+        node = n("Conv", {"out_channels": 64, "kernel_shape": 3, "strides": 1,
+                          "pads": 1})
+        inputs = [t(1, 16, 32, 32), t(64, 16, 3, 3)]
+        outputs = infer_shapes(node, inputs)
+        expected = 2.0 * 64 * 32 * 32 * 16 * 3 * 3
+        assert node_flops(node, inputs, outputs) == pytest.approx(expected)
+
+    def test_grouped_flops_scaled(self):
+        attrs = {"out_channels": 32, "kernel_shape": 3, "strides": 1, "pads": 1}
+        dense = n("Conv", dict(attrs, group=1))
+        grouped = n("Conv", dict(attrs, group=32))
+        dense_in = [t(1, 32, 8, 8), t(32, 32, 3, 3)]
+        grouped_in = [t(1, 32, 8, 8), t(32, 1, 3, 3)]
+        f_dense = node_flops(dense, dense_in, infer_shapes(dense, dense_in))
+        f_grouped = node_flops(grouped, grouped_in,
+                               infer_shapes(grouped, grouped_in))
+        assert f_dense == pytest.approx(32 * f_grouped)
+
+
+class TestPooling:
+    def test_maxpool_defaults_stride_to_kernel(self):
+        node = n("MaxPool", {"kernel_shape": 2})
+        [out] = infer_shapes(node, [t(1, 64, 112, 112)])
+        assert out.dims == (1, 64, 56, 56)
+
+    def test_global_avgpool(self):
+        node = n("GlobalAveragePool")
+        [out] = infer_shapes(node, [t(2, 512, 7, 7)])
+        assert out.dims == (2, 512, 1, 1)
+
+    def test_pool_requires_rank4(self):
+        with pytest.raises(ValueError):
+            infer_shapes(n("MaxPool", {"kernel_shape": 2}), [t(3, 4)])
+
+
+class TestActivationsAndNorms:
+    @pytest.mark.parametrize("op", ["Relu", "Sigmoid", "Silu", "Gelu", "Tanh",
+                                    "BatchNormalization", "Softmax",
+                                    "LayerNormalization"])
+    def test_shape_preserving(self, op):
+        [out] = infer_shapes(n(op), [t(2, 8, 4, 4)])
+        assert out.dims == (2, 8, 4, 4)
+
+    def test_gelu_costlier_than_relu(self):
+        x = [t(1, 100)]
+        relu = n("Relu")
+        gelu = n("Gelu")
+        assert node_flops(gelu, x, x) > node_flops(relu, x, x)
+
+
+class TestGemmMatmul:
+    def test_gemm_shape_and_flops(self):
+        node = n("Gemm", {"out_features": 1000})
+        inputs = [t(4, 512), t(512, 1000)]
+        [out] = infer_shapes(node, inputs)
+        assert out.dims == (4, 1000)
+        assert node_flops(node, inputs, [out]) == pytest.approx(
+            2.0 * 4 * 1000 * 512)
+
+    def test_matmul_batched(self):
+        node = n("MatMul", inputs=("a", "b"))
+        inputs = [t(8, 12, 197, 64), t(8, 12, 64, 197)]
+        [out] = infer_shapes(node, inputs)
+        assert out.dims == (8, 12, 197, 197)
+
+    def test_matmul_mismatch_rejected(self):
+        node = n("MatMul", inputs=("a", "b"))
+        with pytest.raises(ValueError):
+            infer_shapes(node, [t(2, 3), t(4, 5)])
+
+
+class TestShapeOps:
+    def test_flatten(self):
+        [out] = infer_shapes(n("Flatten", {"axis": 1}), [t(2, 512, 7, 7)])
+        assert out.dims == (2, 512 * 49)
+
+    def test_reshape_with_minus_one(self):
+        [out] = infer_shapes(n("Reshape", {"shape": (2, -1)}), [t(2, 3, 4)])
+        assert out.dims == (2, 12)
+
+    def test_reshape_bad_count_rejected(self):
+        with pytest.raises(ValueError):
+            infer_shapes(n("Reshape", {"shape": (5, 5)}), [t(2, 3, 4)])
+
+    def test_transpose_default_reverses(self):
+        [out] = infer_shapes(n("Transpose"), [t(2, 3, 4)])
+        assert out.dims == (4, 3, 2)
+
+    def test_transpose_perm(self):
+        [out] = infer_shapes(n("Transpose", {"perm": (0, 2, 1)}), [t(2, 3, 4)])
+        assert out.dims == (2, 4, 3)
+
+    def test_concat(self):
+        node = n("Concat", {"axis": 1}, inputs=("a", "b"))
+        [out] = infer_shapes(node, [t(1, 3, 8, 8), t(1, 5, 8, 8)])
+        assert out.dims == (1, 8, 8, 8)
+
+    def test_concat_mismatch_rejected(self):
+        node = n("Concat", {"axis": 1}, inputs=("a", "b"))
+        with pytest.raises(ValueError):
+            infer_shapes(node, [t(1, 3, 8, 8), t(1, 5, 9, 8)])
+
+    def test_resize(self):
+        [out] = infer_shapes(n("Resize", {"scale": 2.0}), [t(1, 8, 14, 14)])
+        assert out.dims == (1, 8, 28, 28)
+
+    def test_slice(self):
+        [out] = infer_shapes(n("Slice", {"axis": 1, "size": 2}), [t(1, 8, 4, 4)])
+        assert out.dims == (1, 2, 4, 4)
+
+
+class TestBroadcast:
+    def test_add_same_shape(self):
+        node = n("Add", inputs=("a", "b"))
+        [out] = infer_shapes(node, [t(2, 3), t(2, 3)])
+        assert out.dims == (2, 3)
+
+    def test_add_broadcast(self):
+        node = n("Add", inputs=("a", "b"))
+        [out] = infer_shapes(node, [t(2, 8, 4, 4), t(8, 1, 1)])
+        assert out.dims == (2, 8, 4, 4)
+
+    def test_add_incompatible_rejected(self):
+        node = n("Add", inputs=("a", "b"))
+        with pytest.raises(ValueError):
+            infer_shapes(node, [t(2, 3), t(2, 4)])
+
+
+class TestRegistry:
+    def test_unknown_op_raises(self):
+        with pytest.raises(KeyError, match="unsupported operator"):
+            infer_shapes(n("FancyOp"), [t(1)])
+
+    def test_categories(self):
+        assert op_category("Conv") is OpCategory.CONV
+        assert op_category("MaxPool") is OpCategory.POOL
+        assert op_category("Relu") is OpCategory.ACTIVATION
+        assert op_category("Gemm") is OpCategory.GEMM
+        assert op_category("MatMul") is OpCategory.GEMM
+        assert op_category("Flatten") is OpCategory.SHAPE
+
+    def test_supported_ops_nonempty_sorted(self):
+        ops = supported_ops()
+        assert "Conv" in ops
+        assert ops == sorted(ops)
+
+    def test_memory_bytes(self):
+        node = n("Relu")
+        x = [t(1, 10)]
+        assert node_memory_bytes(node, x, x) == 2 * 40

@@ -1,0 +1,127 @@
+"""Tests for the model zoo (Table I)."""
+
+import pytest
+
+from repro.engine import InstrKind, lower
+from repro.gpu import MI100
+from repro.models import MODEL_INFO, build_model, list_models
+from repro.primitive import MIOpenLibrary
+
+
+@pytest.fixture(scope="module")
+def library():
+    return MIOpenLibrary(MI100)
+
+
+@pytest.fixture(scope="module")
+def lowered(library):
+    return {abbr: lower(build_model(abbr), library) for abbr in list_models()}
+
+
+def test_twelve_models_in_table_order():
+    assert list_models() == ["alex", "vgg", "res", "reg", "eff", "rcnn",
+                             "ssd", "fcn", "unet", "vit", "swin", "swin2"]
+
+
+def test_lookup_by_abbreviation_and_full_name():
+    assert build_model("res").name == "resnet34"
+    assert build_model("resnet34").name == "resnet34"
+
+
+def test_unknown_model_rejected():
+    with pytest.raises(KeyError, match="known models"):
+        build_model("bert")
+
+
+def test_model_info_rows():
+    info = MODEL_INFO["eff"]
+    assert info.full_name == "efficientnet_b7"
+    assert info.model_type == "Img. Rec."
+    assert info.paper_primitive_layers == 58
+
+
+@pytest.mark.parametrize("abbr", list_models())
+def test_models_build_and_validate(abbr):
+    graph = build_model(abbr)
+    graph.validate()
+    assert len(graph) > 5
+
+
+@pytest.mark.parametrize("abbr", list_models())
+def test_models_lower_cleanly(abbr, lowered):
+    program = lowered[abbr]
+    assert len(program) > 0
+    for instr in program.primitive_instructions:
+        assert instr.solution_name
+
+
+def test_transformers_have_one_primitive_layer(lowered):
+    for abbr in ("vit", "swin", "swin2"):
+        assert len(lowered[abbr].distinct_primitive_problems) == 1
+        assert len(lowered[abbr].distinct_conv_problems) == 1
+
+
+def test_transformers_are_blas_dominated(lowered):
+    for abbr in ("vit", "swin", "swin2"):
+        stats = lowered[abbr].stats()
+        assert stats["per_kind"]["blas"] > 50
+
+
+def test_primitive_layer_counts_track_table1(lowered):
+    """Distinct primitive problems should track Table I's ordering and
+    rough magnitude (the builders approximate the PyTorch zoo exports)."""
+    counts = {abbr: len(lowered[abbr].distinct_primitive_problems)
+              for abbr in list_models()}
+    paper = {abbr: MODEL_INFO[abbr].paper_primitive_layers
+             for abbr in list_models()}
+    # Magnitude: within a factor of 2 of the paper's count.
+    for abbr in list_models():
+        assert paper[abbr] / 2 <= counts[abbr] <= paper[abbr] * 2, \
+            f"{abbr}: {counts[abbr]} vs paper {paper[abbr]}"
+    # Ordering of the extremes.
+    assert counts["eff"] == max(counts.values())
+    assert counts["vit"] == counts["swin"] == counts["swin2"] == 1
+    assert counts["alex"] < counts["eff"]
+
+
+def test_alexnet_has_five_conv_problems(lowered):
+    assert len(lowered["alex"].distinct_conv_problems) == 5
+
+
+def test_vgg_has_thirteen_conv_instructions(lowered):
+    convs = [i for i in lowered["vgg"].primitive_instructions
+             if i.problem.kind.value == "convolution"]
+    assert len(convs) == 13
+
+
+def test_depthwise_present_in_efficientnet(lowered):
+    assert any(getattr(p, "is_depthwise", False)
+               for p in lowered["eff"].distinct_conv_problems)
+
+
+def test_grouped_convs_in_regnet(lowered):
+    assert any(getattr(p, "group", 1) > 1
+               for p in lowered["reg"].distinct_conv_problems)
+
+
+def test_ssd_uses_dilated_conv(lowered):
+    assert any(getattr(p, "dilation", (1, 1)) != (1, 1)
+               for p in lowered["ssd"].distinct_conv_problems)
+
+
+def test_detection_models_have_multiple_outputs():
+    assert len(build_model("ssd").outputs) == 12
+    assert len(build_model("rcnn").outputs) == 4
+
+
+def test_unet_decoder_restores_resolution():
+    graph = build_model("unet")
+    out = graph.desc(graph.outputs[0])
+    assert out.dims[2:] == (224, 224)
+
+
+def test_fcn_output_is_class_map():
+    graph = build_model("fcn")
+    out = graph.desc(graph.outputs[0])
+    assert out.dims[1] == 21
+    assert out.dims[2:] == (224, 224)

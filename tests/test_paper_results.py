@@ -1,0 +1,197 @@
+"""Paper-shape regression tests: every figure/table's qualitative claims.
+
+These pin the *shape* of each reproduced result (orderings, trends,
+rough magnitudes) per DESIGN.md's acceptance criteria -- not the paper's
+absolute numbers, which came from real hardware.
+"""
+
+import pytest
+
+from repro.core.schemes import Scheme
+from repro.serving.experiments import CONV_MODELS, ExperimentSuite, \
+    TRANSFORMER_MODELS
+from repro.serving.metrics import mean
+
+SUITE = ExperimentSuite("MI100")
+
+
+@pytest.fixture(scope="module")
+def fig1a():
+    return SUITE.fig1a()
+
+
+@pytest.fixture(scope="module")
+def fig1b():
+    return SUITE.fig1b()
+
+
+@pytest.fixture(scope="module")
+def fig6a():
+    return SUITE.fig6a()
+
+
+@pytest.fixture(scope="module")
+def fig6b():
+    return SUITE.fig6b()
+
+
+@pytest.fixture(scope="module")
+def table2():
+    return SUITE.table2(batches=(1, 16, 128))
+
+
+@pytest.fixture(scope="module")
+def fig7():
+    return SUITE.fig7()
+
+
+@pytest.fixture(scope="module")
+def fig8():
+    return SUITE.fig8()
+
+
+@pytest.fixture(scope="module")
+def fig9():
+    return SUITE.fig9()
+
+
+class TestFig1a:
+    def test_slowdowns_in_band(self, fig1a):
+        """Average cold/hot slowdown per device within 15-40x."""
+        for device, rows in fig1a.items():
+            assert 15 <= rows["average"] <= 45, (device, rows["average"])
+
+    def test_device_ordering(self, fig1a):
+        """Consumer card worst, A100 best (paper: 31.3/23.7/19.5)."""
+        assert (fig1a["6900XT"]["average"] > fig1a["MI100"]["average"]
+                > fig1a["A100"]["average"])
+
+    def test_every_model_slows_down_substantially(self, fig1a):
+        for model, value in fig1a["MI100"].items():
+            if model == "average":
+                continue
+            assert value > 3, (model, value)
+
+
+class TestFig1b:
+    def test_code_loading_dominates(self, fig1b):
+        assert fig1b["average"]["code_loading"] > 0.55
+
+    def test_gpu_execution_minor(self, fig1b):
+        assert fig1b["average"]["gpu_execution"] < 0.15
+
+    def test_fractions_sum_to_one(self, fig1b):
+        for model, row in fig1b.items():
+            assert sum(row.values()) == pytest.approx(1.0, abs=1e-6), model
+
+
+class TestFig6a:
+    def test_scheme_ordering_on_average(self, fig6a):
+        assert (fig6a["Ideal"]["average"] > fig6a["PaSK"]["average"]
+                > fig6a["NNV12"]["average"] > 1.0)
+
+    def test_pask_average_band(self, fig6a):
+        """PaSK average speedup in the 3-7x band (paper: 5.62x)."""
+        assert 3.0 <= fig6a["PaSK"]["average"] <= 7.0
+
+    def test_nnv12_average_band(self, fig6a):
+        """NNV12 average speedup near the paper's 3.04x."""
+        assert 2.0 <= fig6a["NNV12"]["average"] <= 4.0
+
+    def test_ideal_average_band(self, fig6a):
+        """Ideal average speedup near the paper's 7.75x."""
+        assert 6.0 <= fig6a["Ideal"]["average"] <= 11.0
+
+    def test_more_primitive_layers_more_speedup(self, fig6a):
+        """eff/reg/ssd/unet benefit more than alex (the paper's trend)."""
+        pask = fig6a["PaSK"]
+        for big in ("eff", "reg", "ssd", "unet"):
+            assert pask[big] > pask["alex"]
+
+    def test_transformers_gain_least(self, fig6a):
+        pask = fig6a["PaSK"]
+        worst_transformer = max(pask[m] for m in TRANSFORMER_MODELS)
+        conv_average = mean(pask[m] for m in CONV_MODELS)
+        assert worst_transformer < conv_average
+
+
+class TestFig6b:
+    def test_utilization_ordering(self, fig6b):
+        assert (fig6b["Ideal"]["average"] > fig6b["PaSK"]["average"]
+                > fig6b["NNV12"]["average"])
+
+    def test_nnv12_utilization_low(self, fig6b):
+        assert fig6b["NNV12"]["average"] < 0.25
+
+    def test_ideal_utilization_substantial(self, fig6b):
+        assert fig6b["Ideal"]["average"] > 0.20
+
+
+class TestTable2:
+    def test_speedups_decrease_with_batch(self, table2):
+        for scheme, per_batch in table2.items():
+            batches = sorted(per_batch)
+            values = [per_batch[b] for b in batches]
+            assert values == sorted(values, reverse=True), (scheme, per_batch)
+
+    def test_ordering_holds_at_every_batch(self, table2):
+        for batch in (1, 16, 128):
+            assert (table2["Ideal"][batch] > table2["PaSK"][batch]
+                    > table2["NNV12"][batch] > 1.0)
+
+
+class TestFig7:
+    def test_pask_overhead_small(self, fig7):
+        """Paper: 1.3% on average; we accept anything below 6%."""
+        assert fig7["average"]["pask_overhead"] < 0.06
+
+    def test_loading_share_reduced_but_present(self, fig7):
+        """Paper reports 11.2%; our PaSK stays load-bound (see
+        EXPERIMENTS.md) so we only pin that loading remains present and
+        clearly below the baseline's ~90% share."""
+        assert 0.30 < fig7["average"]["solution_loading"] < 0.85
+
+    def test_transformer_loading_share_larger(self, fig7):
+        transformer = mean(fig7[m]["solution_loading"]
+                           for m in TRANSFORMER_MODELS)
+        conv = mean(fig7[m]["solution_loading"] for m in CONV_MODELS)
+        assert transformer > conv
+
+    def test_fractions_sum_to_one(self, fig7):
+        for model, row in fig7.items():
+            assert sum(row.values()) == pytest.approx(1.0, abs=1e-6), model
+
+
+class TestFig8:
+    def test_variants_never_beat_full_pask(self, fig8):
+        for scheme, rows in fig8.items():
+            for model, value in rows.items():
+                assert value <= 1.0 + 1e-9, (scheme, model, value)
+
+    def test_variants_meaningfully_slower_on_average(self, fig8):
+        assert fig8["PaSK-I"]["average"] < 0.85
+        assert fig8["PaSK-R"]["average"] < 0.85
+
+    def test_transformers_show_nuances_only(self, fig8):
+        """Transformer models barely differ between PaSK and PaSK-I."""
+        for model in TRANSFORMER_MODELS:
+            assert fig8["PaSK-I"][model] > 0.95
+
+
+class TestFig9:
+    def test_hit_rate_band(self, fig9):
+        """Paper: 69.7% average hit rate; we accept 0.5-0.95."""
+        assert 0.50 <= fig9["average"]["hit_rate"] <= 0.95
+
+    def test_categorical_fewer_lookups_than_naive(self, fig9):
+        assert (fig9["average"]["lookups_categorical"]
+                < fig9["average"]["lookups_naive"])
+
+    def test_lookups_magnitude(self, fig9):
+        """Paper: 1.22 vs 1.89 lookups/query; accept ~0.5-5."""
+        assert 0.3 <= fig9["average"]["lookups_categorical"] <= 2.5
+        assert 0.8 <= fig9["average"]["lookups_naive"] <= 5.0
+
+    def test_deeper_models_hit_more_than_alexnet(self, fig9):
+        assert fig9["eff"]["hit_rate"] > fig9["alex"]["hit_rate"]
+        assert fig9["reg"]["hit_rate"] > fig9["alex"]["hit_rate"]

@@ -1,0 +1,77 @@
+"""Property-based tests on the optimization passes.
+
+Invariants: passes preserve graph validity and output shapes, and the
+whole pipeline is idempotent (a second application changes nothing).
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.engine.passes import run_passes
+from repro.graph import GraphBuilder
+
+_ACTIVATIONS = ["Relu", "Sigmoid", "Silu", "Gelu"]
+
+
+@st.composite
+def random_cnn(draw):
+    """A random small CNN with optional BN/activation/identity noise and
+    occasionally dead branches."""
+    b = GraphBuilder("rand")
+    x = b.input("x", (1, 4, 16, 16))
+    depth = draw(st.integers(1, 5))
+    for i in range(depth):
+        channels = draw(st.sampled_from([4, 8, 16]))
+        x = b.conv(x, channels, 3, pad=1, name=f"conv{i}")
+        if draw(st.booleans()):
+            x = b.batchnorm(x, name=f"bn{i}")
+        if draw(st.booleans()):
+            kind = draw(st.sampled_from(_ACTIVATIONS))
+            x = b.activation(x, kind, name=f"act{i}")
+        if draw(st.booleans()):
+            x = b.identity(x, name=f"id{i}")
+        if draw(st.booleans()):
+            # Dead branch: computed but never used.
+            b.relu(b.conv(x, 4, 1, name=f"dead{i}"), name=f"deadr{i}")
+    b.output(x)
+    return b.finish()
+
+
+@given(random_cnn())
+@settings(max_examples=40, deadline=None)
+def test_passes_preserve_validity_and_output_shape(graph):
+    before = graph.desc(graph.outputs[0])
+    optimized = run_passes(graph)
+    optimized.validate()
+    assert optimized.outputs == graph.outputs
+    assert optimized.desc(optimized.outputs[0]) == before
+
+
+@given(random_cnn())
+@settings(max_examples=40, deadline=None)
+def test_pipeline_idempotent(graph):
+    once = run_passes(graph)
+    twice = run_passes(once)
+    assert [n.name for n in twice] == [n.name for n in once]
+    assert [n.op for n in twice] == [n.op for n in once]
+    for a, b in zip(once, twice):
+        assert a.attrs == b.attrs
+        assert a.inputs == b.inputs
+
+
+@given(random_cnn())
+@settings(max_examples=40, deadline=None)
+def test_passes_never_grow_the_graph(graph):
+    optimized = run_passes(graph)
+    assert len(optimized) <= len(graph)
+
+
+@given(random_cnn())
+@settings(max_examples=40, deadline=None)
+def test_dead_branches_removed(graph):
+    optimized = run_passes(graph)
+    for node in optimized:
+        # Every node must reach an output.
+        reaches = any(out in optimized.outputs for out in node.outputs) or \
+            any(node.outputs[0] in consumer.inputs
+                for consumer in optimized.nodes)
+        assert reaches, node

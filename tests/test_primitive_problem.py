@@ -1,0 +1,119 @@
+"""Unit tests for primitive problem descriptors."""
+
+import pytest
+
+from repro.primitive import (
+    ActivationProblem,
+    ConvProblem,
+    GemmProblem,
+    PoolProblem,
+    PrimitiveKind,
+)
+from repro.tensors import DataType
+
+
+class TestConvProblem:
+    def test_out_spatial(self):
+        p = ConvProblem(1, 3, 224, 224, 64, (7, 7), (2, 2), (3, 3))
+        assert p.out_spatial == (112, 112)
+
+    def test_out_spatial_unit(self):
+        p = ConvProblem(1, 16, 32, 32, 32, (3, 3), pad=(1, 1))
+        assert p.out_spatial == (32, 32)
+
+    def test_flops(self):
+        p = ConvProblem(1, 16, 32, 32, 64, (3, 3), pad=(1, 1))
+        assert p.flops == pytest.approx(2 * 64 * 32 * 32 * 16 * 9)
+
+    def test_grouped_flops(self):
+        dense = ConvProblem(1, 32, 8, 8, 32, (3, 3), pad=(1, 1))
+        dw = ConvProblem(1, 32, 8, 8, 32, (3, 3), pad=(1, 1), group=32)
+        assert dense.flops == pytest.approx(32 * dw.flops)
+
+    def test_depthwise_and_pointwise_flags(self):
+        dw = ConvProblem(1, 32, 8, 8, 32, (3, 3), pad=(1, 1), group=32)
+        pw = ConvProblem(1, 32, 8, 8, 64, (1, 1))
+        assert dw.is_depthwise and not dw.is_pointwise
+        assert pw.is_pointwise and not pw.is_depthwise
+
+    def test_with_batch(self):
+        p = ConvProblem(1, 3, 32, 32, 8, (3, 3))
+        p4 = p.with_batch(4)
+        assert p4.batch == 4
+        assert p4.flops == pytest.approx(4 * p.flops)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ConvProblem(0, 3, 32, 32, 8, (3, 3))
+        with pytest.raises(ValueError):
+            ConvProblem(1, 3, 32, 32, 8, (3, 3), pad=(-1, 0))
+        with pytest.raises(ValueError):
+            ConvProblem(1, 3, 32, 32, 8, (3, 3), group=2)
+
+    def test_collapsed_output_raises_on_access(self):
+        p = ConvProblem(1, 3, 2, 2, 8, (5, 5))
+        with pytest.raises(ValueError):
+            _ = p.out_spatial
+
+    def test_hashable(self):
+        a = ConvProblem(1, 3, 32, 32, 8, (3, 3))
+        b = ConvProblem(1, 3, 32, 32, 8, (3, 3))
+        assert a == b and hash(a) == hash(b)
+
+    def test_kind(self):
+        p = ConvProblem(1, 3, 32, 32, 8, (3, 3))
+        assert p.kind is PrimitiveKind.CONVOLUTION
+
+
+class TestPoolProblem:
+    def test_out_spatial_and_flops(self):
+        p = PoolProblem(1, 64, 112, 112, (2, 2), (2, 2))
+        assert p.out_spatial == (56, 56)
+        assert p.flops == pytest.approx(64 * 56 * 56 * 4)
+
+    def test_global_flag(self):
+        p = PoolProblem(1, 512, 7, 7, (7, 7), (1, 1), mode="avg")
+        assert p.is_global
+
+    def test_mode_validation(self):
+        with pytest.raises(ValueError):
+            PoolProblem(1, 8, 8, 8, (2, 2), (2, 2), mode="median")
+
+    def test_with_batch(self):
+        p = PoolProblem(1, 8, 8, 8, (2, 2), (2, 2))
+        assert p.with_batch(16).batch == 16
+
+
+class TestActivationProblem:
+    def test_flops_scale_by_kind(self):
+        relu = ActivationProblem(1000, "relu")
+        gelu = ActivationProblem(1000, "gelu")
+        assert gelu.flops > relu.flops
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ActivationProblem(0, "relu")
+        with pytest.raises(ValueError):
+            ActivationProblem(10, "")
+
+    def test_with_batch_scales_extent(self):
+        p = ActivationProblem(100, "relu")
+        assert p.with_batch(8).numel == 800
+
+
+class TestGemmProblem:
+    def test_flops(self):
+        p = GemmProblem(128, 256, 512)
+        assert p.flops == pytest.approx(2 * 128 * 256 * 512)
+
+    def test_batched_flops(self):
+        p = GemmProblem(64, 64, 64, batch=12)
+        assert p.flops == pytest.approx(12 * 2 * 64 ** 3)
+
+    def test_bytes_moved(self):
+        p = GemmProblem(2, 3, 4, dtype=DataType.FP32)
+        assert p.bytes_moved == (2 * 4 + 4 * 3 + 2 * 3) * 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GemmProblem(0, 1, 1)

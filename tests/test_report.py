@@ -1,0 +1,59 @@
+"""Tests for the ASCII report renderers."""
+
+import pytest
+
+from repro.report import bar_chart, format_table, grouped_bars
+
+
+class TestFormatTable:
+    def test_basic_table(self):
+        text = format_table(["a", "b"], [[1, 2.5], ["xy", 3.25]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "2.50" in lines[2]
+        assert "3.25" in lines[3]
+
+    def test_title(self):
+        text = format_table(["x"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_precision(self):
+        text = format_table(["x"], [[1.23456]], precision=4)
+        assert "1.2346" in text
+
+    def test_column_width_adapts(self):
+        text = format_table(["h"], [["wide-content"]])
+        header, sep, row = text.splitlines()
+        assert len(header) == len(sep) == len(row)
+
+    def test_row_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+
+class TestBarChart:
+    def test_bars_scale_to_peak(self):
+        text = bar_chart({"small": 1.0, "big": 2.0}, width=10)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 5
+        assert lines[1].count("#") == 10
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart({})
+
+    def test_zero_values(self):
+        text = bar_chart({"z": 0.0})
+        assert "#" not in text
+
+
+class TestGroupedBars:
+    def test_groups_render(self):
+        text = grouped_bars({"m1": {"a": 1.0, "b": 2.0},
+                             "m2": {"a": 0.5}}, width=8)
+        assert "m1:" in text and "m2:" in text
+        assert text.count("|") == 3
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            grouped_bars({})

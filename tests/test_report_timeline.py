@@ -1,0 +1,76 @@
+"""Tests for the ASCII timeline renderer."""
+
+import pytest
+
+from repro.core.schemes import Scheme
+from repro.report import render_timeline
+from repro.serving.experiments import ExperimentSuite
+from repro.sim import Phase, TraceRecorder
+
+
+class TestRenderTimeline:
+    def test_empty_trace(self):
+        assert render_timeline(TraceRecorder()) == "(empty trace)"
+
+    def test_width_validation(self):
+        t = TraceRecorder()
+        t.record(0, 1, "gpu", Phase.EXEC)
+        with pytest.raises(ValueError):
+            render_timeline(t, width=5)
+
+    def test_rows_per_actor(self):
+        t = TraceRecorder()
+        t.record(0, 1, "parser", Phase.PARSE)
+        t.record(0, 2, "loader", Phase.LOAD)
+        t.record(1, 2, "gpu", Phase.EXEC)
+        text = render_timeline(t, width=20)
+        lines = text.splitlines()
+        assert lines[0].strip().startswith("parser")
+        assert lines[1].strip().startswith("loader")
+        assert lines[2].strip().startswith("gpu")
+        assert "legend" in lines[-1]
+
+    def test_phase_characters(self):
+        t = TraceRecorder()
+        t.record(0, 10, "loader", Phase.LOAD)
+        text = render_timeline(t, width=10)
+        loader_row = text.splitlines()[0]
+        assert loader_row.count("L") == 10
+
+    def test_idle_renders_blank(self):
+        t = TraceRecorder()
+        t.record(0, 1, "gpu", Phase.EXEC)
+        t.record(9, 10, "gpu", Phase.EXEC)
+        text = render_timeline(t, width=10)
+        gpu_row = text.splitlines()[0]
+        cells = gpu_row.split("|")[1]
+        assert cells[0] == "X" and cells[-1] == "X"
+        assert " " in cells
+
+    def test_dominant_phase_wins_bucket(self):
+        t = TraceRecorder()
+        t.record(0.0, 0.9, "loader", Phase.LOAD)
+        t.record(0.9, 1.0, "loader", Phase.CHECK)
+        text = render_timeline(t, width=10)
+        cells = text.splitlines()[0].split("|")[1]
+        assert cells.count("L") == 9
+        assert cells.count("c") == 1
+
+    def test_real_pask_trace_shows_interleaving(self):
+        suite = ExperimentSuite("MI100")
+        result = suite.cold("vgg", Scheme.PASK)
+        text = render_timeline(result.trace, total_time=result.total_time)
+        lines = {line.split("|")[0].strip(): line for line in
+                 text.splitlines() if "|" in line}
+        assert "parser" in lines and "loader" in lines and "gpu" in lines
+        parser_cells = lines["parser"].split("|")[1]
+        loader_cells = lines["loader"].split("|")[1]
+        # The parser finishes well before the loader does.
+        assert parser_cells.rstrip().count("p") < len(
+            loader_cells.rstrip())
+
+    def test_scale_line_shows_duration(self):
+        t = TraceRecorder()
+        t.record(0, 0.010, "gpu", Phase.EXEC)
+        text = render_timeline(t, width=20)
+        assert "10.0 ms" in text

@@ -1,0 +1,115 @@
+"""Tests for request traces and the autoscaling cluster simulator."""
+
+import pytest
+
+from repro.core.schemes import Scheme
+from repro.serving.cluster import ClusterConfig, ClusterSimulator
+from repro.serving.requests import RequestTrace, burst_trace, \
+    periodic_trace, poisson_trace
+from repro.serving.server import InferenceServer
+
+
+@pytest.fixture(scope="module")
+def server():
+    return InferenceServer("MI100")
+
+
+class TestTraces:
+    def test_poisson_deterministic_per_seed(self):
+        a = poisson_trace("alex", rate_hz=5, duration_s=10, seed=7)
+        b = poisson_trace("alex", rate_hz=5, duration_s=10, seed=7)
+        c = poisson_trace("alex", rate_hz=5, duration_s=10, seed=8)
+        assert a.arrivals == b.arrivals
+        assert a.arrivals != c.arrivals
+
+    def test_poisson_rate_roughly_respected(self):
+        trace = poisson_trace("alex", rate_hz=10, duration_s=100, seed=1)
+        assert 700 < len(trace) < 1300
+        assert trace.mean_interarrival == pytest.approx(0.1, rel=0.3)
+
+    def test_poisson_validation(self):
+        with pytest.raises(ValueError):
+            poisson_trace("alex", rate_hz=0, duration_s=1)
+
+    def test_burst(self):
+        trace = burst_trace("alex", 5)
+        assert len(trace) == 5
+        assert trace.duration == 0.0
+        spaced = burst_trace("alex", 3, spacing_s=0.01)
+        assert spaced.arrivals == (0.0, 0.01, 0.02)
+
+    def test_periodic(self):
+        trace = periodic_trace("alex", period_s=2.0, count=4)
+        assert trace.arrivals == (0.0, 2.0, 4.0, 6.0)
+        assert trace.mean_interarrival == pytest.approx(2.0)
+
+    def test_trace_validation(self):
+        with pytest.raises(ValueError):
+            RequestTrace("m", ())
+        with pytest.raises(ValueError):
+            RequestTrace("m", (1.0, 0.5))
+        with pytest.raises(ValueError):
+            RequestTrace("m", (-1.0,))
+        with pytest.raises(ValueError):
+            RequestTrace("m", (0.0,), batch=0)
+
+
+class TestClusterConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClusterConfig(max_instances=0)
+        with pytest.raises(ValueError):
+            ClusterConfig(keep_alive_s=-1)
+
+
+class TestClusterSimulator:
+    def test_first_request_is_cold(self, server):
+        sim = ClusterSimulator(server, ClusterConfig())
+        stats = sim.run(periodic_trace("alex", period_s=1.0, count=1))
+        assert stats.cold_starts == 1
+        assert stats.warm_hits == 0
+
+    def test_spaced_requests_stay_warm(self, server):
+        sim = ClusterSimulator(server, ClusterConfig(keep_alive_s=10.0))
+        stats = sim.run(periodic_trace("alex", period_s=1.0, count=5))
+        assert stats.cold_starts == 1
+        assert stats.warm_hits == 4
+
+    def test_keep_alive_expiry_forces_cold_starts(self, server):
+        sim = ClusterSimulator(server, ClusterConfig(keep_alive_s=0.5))
+        stats = sim.run(periodic_trace("alex", period_s=2.0, count=4))
+        assert stats.cold_starts == 4
+
+    def test_burst_spawns_parallel_cold_instances(self, server):
+        sim = ClusterSimulator(server, ClusterConfig(max_instances=4))
+        stats = sim.run(burst_trace("alex", 4))
+        assert stats.cold_starts == 4
+        # All four run in parallel: no queueing.
+        assert max(stats.queue_waits) == 0.0
+
+    def test_capacity_limit_queues_requests(self, server):
+        sim = ClusterSimulator(server, ClusterConfig(max_instances=1))
+        stats = sim.run(burst_trace("alex", 3))
+        assert stats.cold_starts == 1
+        assert stats.warm_hits == 2
+        assert stats.queue_waits[1] > 0
+
+    def test_pask_reduces_tail_latency(self, server):
+        trace = poisson_trace("res", rate_hz=30.0, duration_s=2.0, seed=3)
+        baseline = ClusterSimulator(
+            server, ClusterConfig(scheme=Scheme.BASELINE, max_instances=4,
+                                  keep_alive_s=0.3)).run(trace)
+        pask = ClusterSimulator(
+            server, ClusterConfig(scheme=Scheme.PASK, max_instances=4,
+                                  keep_alive_s=0.3)).run(trace)
+        assert pask.percentile(0.99) < baseline.percentile(0.99)
+        assert pask.mean_latency < baseline.mean_latency
+
+    def test_stats_helpers(self, server):
+        sim = ClusterSimulator(server, ClusterConfig())
+        stats = sim.run(periodic_trace("alex", period_s=1.0, count=3))
+        assert stats.requests == 3
+        assert 0 < stats.cold_start_fraction <= 1
+        assert stats.percentile(0.0) <= stats.percentile(1.0)
+        with pytest.raises(ValueError):
+            stats.percentile(1.5)

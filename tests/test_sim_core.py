@@ -1,0 +1,368 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.sim import (
+    AllOf,
+    Environment,
+    Event,
+    Interrupt,
+    SimulationError,
+    Timeout,
+)
+
+
+def test_clock_starts_at_zero():
+    env = Environment()
+    assert env.now == 0.0
+
+
+def test_timeout_advances_clock():
+    env = Environment()
+    done = {}
+
+    def proc():
+        yield env.timeout(2.5)
+        done["t"] = env.now
+
+    env.process(proc())
+    env.run()
+    assert done["t"] == 2.5
+    assert env.now == 2.5
+
+
+def test_timeout_carries_value():
+    env = Environment()
+    seen = {}
+
+    def proc():
+        value = yield env.timeout(1.0, value="payload")
+        seen["value"] = value
+
+    env.process(proc())
+    env.run()
+    assert seen["value"] == "payload"
+
+
+def test_negative_delay_rejected():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.timeout(-1.0)
+
+
+def test_sequential_timeouts_accumulate():
+    env = Environment()
+    times = []
+
+    def proc():
+        for delay in (1.0, 2.0, 3.0):
+            yield env.timeout(delay)
+            times.append(env.now)
+
+    env.process(proc())
+    env.run()
+    assert times == [1.0, 3.0, 6.0]
+
+
+def test_two_processes_interleave_deterministically():
+    env = Environment()
+    order = []
+
+    def proc(name, delay):
+        for _ in range(3):
+            yield env.timeout(delay)
+            order.append((name, env.now))
+
+    env.process(proc("a", 1.0))
+    env.process(proc("b", 1.5))
+    env.run()
+    # At t=3.0 both fire; b's timeout was scheduled earlier (t=1.5 vs t=2.0)
+    # so FIFO tie-breaking runs b first.
+    assert order == [("a", 1.0), ("b", 1.5), ("a", 2.0), ("b", 3.0),
+                     ("a", 3.0), ("b", 4.5)]
+
+
+def test_event_succeed_wakes_waiter():
+    env = Environment()
+    gate = env.event()
+    seen = {}
+
+    def waiter():
+        value = yield gate
+        seen["value"] = value
+        seen["time"] = env.now
+
+    def opener():
+        yield env.timeout(4.0)
+        gate.succeed(42)
+
+    env.process(waiter())
+    env.process(opener())
+    env.run()
+    assert seen == {"value": 42, "time": 4.0}
+
+
+def test_event_double_trigger_rejected():
+    env = Environment()
+    event = env.event()
+    event.succeed(1)
+    with pytest.raises(SimulationError):
+        event.succeed(2)
+
+
+def test_event_fail_propagates_into_process():
+    env = Environment()
+    gate = env.event()
+    caught = {}
+
+    def waiter():
+        try:
+            yield gate
+        except RuntimeError as exc:
+            caught["exc"] = str(exc)
+
+    env.process(waiter())
+    gate.fail(RuntimeError("boom"))
+    env.run()
+    assert caught["exc"] == "boom"
+
+
+def test_yield_already_triggered_event():
+    env = Environment()
+    event = env.event()
+    event.succeed("early")
+    seen = {}
+
+    def proc():
+        value = yield event
+        seen["value"] = value
+
+    env.process(proc())
+    env.run()
+    assert seen["value"] == "early"
+
+
+def test_process_return_value_via_run_until():
+    env = Environment()
+
+    def proc():
+        yield env.timeout(1.0)
+        return "result"
+
+    process = env.process(proc())
+    assert env.run(until=process) == "result"
+
+
+def test_process_waits_on_other_process():
+    env = Environment()
+    log = []
+
+    def child():
+        yield env.timeout(2.0)
+        return "child-done"
+
+    def parent():
+        result = yield env.process(child())
+        log.append((result, env.now))
+
+    env.process(parent())
+    env.run()
+    assert log == [("child-done", 2.0)]
+
+
+def test_run_until_time_stops_clock_exactly():
+    env = Environment()
+
+    def proc():
+        while True:
+            yield env.timeout(1.0)
+
+    env.process(proc())
+    env.run(until=10.5)
+    assert env.now == 10.5
+
+
+def test_run_until_event_never_triggering_raises():
+    env = Environment()
+    event = env.event()
+    with pytest.raises(SimulationError):
+        env.run(until=event)
+
+
+def test_all_of_collects_values_in_order():
+    env = Environment()
+    results = {}
+
+    def proc():
+        values = yield env.all_of([env.timeout(3.0, "slow"),
+                                   env.timeout(1.0, "fast")])
+        results["values"] = values
+        results["time"] = env.now
+
+    env.process(proc())
+    env.run()
+    assert results == {"values": ["slow", "fast"], "time": 3.0}
+
+
+def test_all_of_empty_triggers_immediately():
+    env = Environment()
+    combined = AllOf(env, [])
+    assert combined.triggered
+    assert combined.value == []
+
+
+def test_any_of_returns_first_value():
+    env = Environment()
+    seen = {}
+
+    def proc():
+        value = yield env.any_of([env.timeout(3.0, "slow"),
+                                  env.timeout(1.0, "fast")])
+        seen["value"] = value
+        seen["time"] = env.now
+
+    env.process(proc())
+    env.run()
+    assert seen == {"value": "fast", "time": 1.0}
+
+
+def test_interrupt_raises_inside_process():
+    env = Environment()
+    log = []
+
+    def victim():
+        try:
+            yield env.timeout(100.0)
+        except Interrupt as interrupt:
+            log.append(("interrupted", interrupt.cause, env.now))
+
+    def attacker(target):
+        yield env.timeout(5.0)
+        target.interrupt(cause="stop")
+
+    target = env.process(victim())
+    env.process(attacker(target))
+    env.run()
+    assert log == [("interrupted", "stop", 5.0)]
+
+
+def test_interrupted_process_can_keep_running():
+    env = Environment()
+    log = []
+
+    def victim():
+        try:
+            yield env.timeout(100.0)
+        except Interrupt:
+            pass
+        yield env.timeout(1.0)
+        log.append(env.now)
+
+    def attacker(target):
+        yield env.timeout(2.0)
+        target.interrupt()
+
+    target = env.process(victim())
+    env.process(attacker(target))
+    env.run()
+    assert log == [3.0]
+
+
+def test_interrupt_finished_process_rejected():
+    env = Environment()
+
+    def quick():
+        yield env.timeout(1.0)
+
+    process = env.process(quick())
+    env.run()
+    with pytest.raises(SimulationError):
+        process.interrupt()
+
+
+def test_stale_wakeup_after_interrupt_is_ignored():
+    env = Environment()
+    log = []
+
+    def victim():
+        try:
+            yield env.timeout(10.0)
+        except Interrupt:
+            log.append(("interrupted", env.now))
+        yield env.timeout(100.0)
+        log.append(("resumed", env.now))
+
+    def attacker(target):
+        yield env.timeout(4.0)
+        target.interrupt()
+
+    target = env.process(victim())
+    env.process(attacker(target))
+    env.run()
+    # The stale timeout at t=10 must not wake the process early.
+    assert log == [("interrupted", 4.0), ("resumed", 104.0)]
+
+
+def test_process_exception_propagates_to_waiting_parent():
+    env = Environment()
+    caught = {}
+
+    def child():
+        yield env.timeout(1.0)
+        raise ValueError("child failed")
+
+    def parent():
+        try:
+            yield env.process(child())
+        except ValueError as exc:
+            caught["exc"] = str(exc)
+
+    env.process(parent())
+    env.run()
+    assert caught["exc"] == "child failed"
+
+
+def test_yield_non_event_raises():
+    env = Environment()
+
+    def bad():
+        yield 42
+
+    env.process(bad())
+    with pytest.raises(SimulationError):
+        env.run()
+
+
+def test_is_alive_transitions():
+    env = Environment()
+
+    def proc():
+        yield env.timeout(1.0)
+
+    process = env.process(proc())
+    assert process.is_alive
+    env.run()
+    assert not process.is_alive
+
+
+def test_event_value_before_trigger_rejected():
+    env = Environment()
+    event = env.event()
+    with pytest.raises(SimulationError):
+        _ = event.value
+    with pytest.raises(SimulationError):
+        _ = event.ok
+
+
+def test_tie_breaking_is_fifo():
+    env = Environment()
+    order = []
+
+    def proc(name):
+        yield env.timeout(1.0)
+        order.append(name)
+
+    for name in ("first", "second", "third"):
+        env.process(proc(name))
+    env.run()
+    assert order == ["first", "second", "third"]

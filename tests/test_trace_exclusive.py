@@ -1,0 +1,81 @@
+"""Tests for exclusive wall-clock attribution in the trace recorder."""
+
+import pytest
+
+from repro.sim import Phase, TraceRecorder
+from repro.sim.trace import subtract_intervals
+
+
+class TestSubtractIntervals:
+    def test_no_overlap(self):
+        assert subtract_intervals([(0, 2)], [(3, 4)]) == [(0, 2)]
+
+    def test_full_cover(self):
+        assert subtract_intervals([(1, 2)], [(0, 3)]) == []
+
+    def test_partial_front(self):
+        assert subtract_intervals([(0, 4)], [(0, 1)]) == [(1, 4)]
+
+    def test_partial_back(self):
+        assert subtract_intervals([(0, 4)], [(3, 5)]) == [(0, 3)]
+
+    def test_hole_in_middle(self):
+        assert subtract_intervals([(0, 10)], [(3, 5)]) == [(0, 3), (5, 10)]
+
+    def test_multiple_holes(self):
+        assert subtract_intervals([(0, 10)], [(1, 2), (4, 6)]) == \
+            [(0, 1), (2, 4), (6, 10)]
+
+    def test_empty_base(self):
+        assert subtract_intervals([], [(0, 1)]) == []
+
+
+class TestExclusiveFractions:
+    def test_non_overlapping_phases(self):
+        t = TraceRecorder()
+        t.record(0, 6, "loader", Phase.LOAD)
+        t.record(6, 8, "gpu", Phase.EXEC)
+        fractions = t.exclusive_fractions([Phase.EXEC, Phase.LOAD],
+                                          total_time=8.0)
+        assert fractions[Phase.EXEC] == pytest.approx(0.25)
+        assert fractions[Phase.LOAD] == pytest.approx(0.75)
+
+    def test_overlap_attributed_to_higher_priority(self):
+        t = TraceRecorder()
+        t.record(0, 10, "loader", Phase.LOAD)
+        t.record(2, 6, "gpu", Phase.EXEC)
+        fractions = t.exclusive_fractions([Phase.EXEC, Phase.LOAD],
+                                          total_time=10.0)
+        assert fractions[Phase.EXEC] == pytest.approx(0.4)
+        assert fractions[Phase.LOAD] == pytest.approx(0.6)  # 10 - 4 overlap
+
+    def test_priority_order_matters(self):
+        t = TraceRecorder()
+        t.record(0, 10, "loader", Phase.LOAD)
+        t.record(2, 6, "gpu", Phase.EXEC)
+        load_first = t.exclusive_fractions([Phase.LOAD, Phase.EXEC],
+                                           total_time=10.0)
+        assert load_first[Phase.LOAD] == pytest.approx(1.0)
+        assert load_first[Phase.EXEC] == pytest.approx(0.0)
+
+    def test_fractions_never_exceed_one(self):
+        t = TraceRecorder()
+        t.record(0, 5, "a", Phase.LOAD)
+        t.record(0, 5, "b", Phase.PARSE)
+        t.record(0, 5, "gpu", Phase.EXEC)
+        fractions = t.exclusive_fractions(
+            [Phase.EXEC, Phase.LOAD, Phase.PARSE], total_time=5.0)
+        assert sum(fractions.values()) <= 1.0 + 1e-9
+        assert fractions[Phase.EXEC] == pytest.approx(1.0)
+        assert fractions[Phase.PARSE] == pytest.approx(0.0)
+
+    def test_zero_total(self):
+        t = TraceRecorder()
+        assert t.exclusive_fractions([Phase.EXEC]) == {Phase.EXEC: 0.0}
+
+    def test_same_phase_overlap_not_double_counted(self):
+        t = TraceRecorder()
+        t.record(0, 4, "a", Phase.LOAD)
+        t.record(2, 6, "b", Phase.LOAD)
+        fractions = t.exclusive_fractions([Phase.LOAD], total_time=6.0)
+        assert fractions[Phase.LOAD] == pytest.approx(1.0)
