@@ -8,6 +8,9 @@ Commands
 - ``session MODEL`` — consecutive requests on one instance, with or
   without Sec. VI interval preloading.
 - ``cluster MODEL`` — replay a Poisson trace against an autoscaled pool.
+- ``chaos MODEL`` — the same stack under seeded fault injection:
+  load/launch faults with retry, loader stalls with reactive fallback,
+  and instance crash/restart churn during a trace replay.
 """
 
 from __future__ import annotations
@@ -88,6 +91,31 @@ def build_parser() -> argparse.ArgumentParser:
         "validate", help="check the reproduction's acceptance criteria")
     validate.add_argument("--device", default="MI100",
                           choices=["MI100", "A100", "6900XT"])
+
+    chaos = sub.add_parser(
+        "chaos", help="run the serving stack under seeded fault injection")
+    chaos.add_argument("model")
+    chaos.add_argument("--scheme", default="pask", choices=sorted(_SCHEMES))
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument("--load-failure-rate", type=float, default=0.15)
+    chaos.add_argument("--launch-failure-rate", type=float, default=0.05)
+    chaos.add_argument("--stall-rate", type=float, default=0.20,
+                       help="loader-thread stall probability per layer")
+    chaos.add_argument("--stall-ms", type=float, default=2.0)
+    chaos.add_argument("--load-timeout-ms", type=float, default=1.0,
+                       help="loader gives up and falls back to the "
+                            "reactive path beyond this stall")
+    chaos.add_argument("--crash-rate", type=float, default=0.08,
+                       help="instance crash probability per request")
+    chaos.add_argument("--rate", type=float, default=20.0,
+                       help="cluster replay: requests per second")
+    chaos.add_argument("--duration", type=float, default=4.0)
+    chaos.add_argument("--instances", type=int, default=4)
+    chaos.add_argument("--keep-alive", type=float, default=0.5)
+    chaos.add_argument("--device", default="MI100",
+                       choices=["MI100", "A100", "6900XT"])
+    chaos.add_argument("--timeline", action="store_true",
+                       help="render the faulted cold start as a Gantt")
     return parser
 
 
@@ -197,6 +225,64 @@ def _cmd_cluster(args, out) -> int:
     return 0
 
 
+def _cmd_chaos(args, out) -> int:
+    from repro.sim.faults import FaultPlan
+
+    plan = FaultPlan(
+        seed=args.seed,
+        load_failure_rate=args.load_failure_rate,
+        launch_failure_rate=args.launch_failure_rate,
+        loader_stall_rate=args.stall_rate,
+        loader_stall_s=args.stall_ms / 1e3,
+        load_timeout_s=args.load_timeout_ms / 1e3,
+        crash_rate=args.crash_rate,
+    )
+    scheme = _SCHEMES[args.scheme]
+    server = InferenceServer(args.device)
+
+    # One faulted cold start vs the fault-free reference.
+    reference = server.serve_cold(args.model, scheme)
+    result = server.serve_cold(args.model, scheme, faults=plan)
+    counters = result.faults
+    out(f"{args.model} cold start under {scheme.label} with faults "
+        f"(seed {args.seed}):")
+    status = "FAILED" if result.failed else "completed"
+    out(f"  request {status}: {result.total_time * 1e3:.2f} ms "
+        f"(fault-free {reference.total_time * 1e3:.2f} ms)")
+    out(f"  load faults: {counters.load_faults}  "
+        f"launch faults: {counters.launch_faults}  "
+        f"retries: {counters.retries}")
+    out(f"  loader stalls: {counters.loader_stalls}  "
+        f"fallbacks to reactive path: {counters.fallbacks}")
+    if args.timeline:
+        from repro.report import render_timeline
+        out("")
+        out(render_timeline(result.trace, total_time=result.total_time))
+
+    # Trace replay with instance crash/restart churn.
+    trace = poisson_trace(args.model, args.rate, args.duration,
+                          seed=args.seed)
+    config = ClusterConfig(scheme=scheme, max_instances=args.instances,
+                           keep_alive_s=args.keep_alive, faults=plan)
+    stats = ClusterSimulator(server, config).run(trace)
+    out("")
+    out(f"{len(trace)} requests replayed on {args.instances} instances "
+        f"with crash rate {args.crash_rate:g}:")
+    out(f"  crashes: {stats.faults.crashes}  reroutes: "
+        f"{stats.faults.reroutes}  explicitly failed: {stats.failed}")
+    out(f"  availability: {stats.availability:.1%}  cold starts: "
+        f"{stats.cold_starts} ({stats.cold_start_fraction:.0%})")
+    if stats.latencies:
+        out(f"  latency mean {stats.mean_latency * 1e3:.2f} ms, "
+            f"p99 {stats.percentile(0.99) * 1e3:.2f} ms")
+    lost = len(trace) - stats.requests
+    if lost:
+        out(f"  ERROR: {lost} requests lost (neither completed nor failed)")
+        return 1
+    out("  no lost requests: every request completed or explicitly failed")
+    return 0
+
+
 def _cmd_validate(args, out) -> int:
     from repro.serving.validation import validate
     suite = ExperimentSuite(args.device)
@@ -230,6 +316,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_cluster(args, out)
     if args.command == "validate":
         return _cmd_validate(args, out)
+    if args.command == "chaos":
+        return _cmd_chaos(args, out)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

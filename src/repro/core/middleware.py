@@ -30,17 +30,23 @@ from repro.gpu.runtime import HipRuntime
 from repro.primitive.blas import BlasLibrary
 from repro.primitive.library import MIOpenLibrary
 from repro.primitive.perf_model import kernel_time
-from repro.sim.channel import Channel, ChannelClosed
+from repro.sim.channel import Channel, ChannelClosed, ChannelClosedError
 from repro.sim.core import Environment
+from repro.sim.faults import LoadFault
 from repro.sim.trace import Phase
 
-__all__ = ["PaskConfig", "PaskMiddleware", "PLAN_DESIRED", "PLAN_REUSE"]
+__all__ = ["PaskConfig", "PaskMiddleware", "PLAN_DESIRED", "PLAN_REUSE",
+           "PLAN_FALLBACK"]
 
 PLAN_DESIRED = "desired"
 PLAN_REUSE = "reuse"
 PLAN_ENGINE = "engine"
 PLAN_BLAS = "blas"
 PLAN_NOOP = "noop"
+# The proactive loader gave up on this layer (load fault after retries,
+# or an injected stall exceeded the load timeout); the issuer executes
+# it through the reactive lazy launch path instead.
+PLAN_FALLBACK = "fallback"
 
 _ENGINE_KERNEL_EFFICIENCY = 0.60
 _CACHE_OP_OVERHEAD_S = 2e-6
@@ -152,20 +158,59 @@ class PaskMiddleware:
             self.runtime.trace.record(start, self.env.now, "parser",
                                       Phase.PARSE, instr.name)
             self.tracker.record_parsed()
-            yield out.put(instr)
+            try:
+                yield out.put(instr)
+            except ChannelClosedError:
+                # Downstream crashed and closed the channel; stop parsing.
+                return
         out.close()
 
     # ------------------------------------------------------------------
     # Loader thread
     # ------------------------------------------------------------------
     def _loader(self, inbox: Channel, out: Channel):
-        while True:
-            instr = yield inbox.get()
-            if instr is ChannelClosed:
-                out.close()
-                return
-            plan = yield from self._plan_instruction(instr)
-            yield out.put(plan)
+        try:
+            while True:
+                instr = yield inbox.get()
+                if instr is ChannelClosed:
+                    return
+                fallback = yield from self._loader_stall(instr)
+                if fallback:
+                    plan = (instr, PLAN_FALLBACK, None)
+                else:
+                    plan = yield from self._plan_instruction(instr)
+                yield out.put(plan)
+        finally:
+            # Close unconditionally so a crashed loader never leaves the
+            # issuer parked on a pending get.
+            out.close()
+
+    def _loader_stall(self, instr: Instruction):
+        """Injected loader-thread stall (``pask.loader``); returns True
+        when the stall exceeds the load timeout and the layer must take
+        the reactive fallback path."""
+        faults = self.runtime.faults
+        if faults is None:
+            return False
+        stall = faults.loader_stall()
+        if stall <= 0:
+            return False
+        timeout = faults.plan.load_timeout_s
+        start = self.env.now
+        if timeout is not None and stall > timeout:
+            # Wait only until the load-timeout budget fires, then hand
+            # the layer to the reactive path instead of blocking on it.
+            yield self.env.timeout(timeout)
+            self.runtime.trace.record(start, self.env.now, "loader",
+                                      Phase.FAULT,
+                                      f"{instr.name}/load-timeout")
+            faults.counters.fallbacks += 1
+            return True
+        yield self.env.timeout(stall)
+        self.runtime.trace.record(start, self.env.now, "loader",
+                                  Phase.FAULT, f"{instr.name}/loader-stall")
+        faults.counters.loader_stalls += 1
+        return False
 
     def _plan_instruction(self, instr: Instruction):
         """Decide how ``instr`` executes; perform proactive loads."""
@@ -181,8 +226,12 @@ class PaskMiddleware:
                                                    instr.problem)
             return plan
         if instr.kind is InstrKind.ENGINE_KERNEL:
-            yield from self.runtime.module_load(self._engine_bundle,
-                                                actor="loader")
+            try:
+                yield from self.runtime.module_load(self._engine_bundle,
+                                                    actor="loader")
+            except LoadFault:
+                self._count_fallback()
+                return (instr, PLAN_FALLBACK, None)
             return (instr, PLAN_ENGINE, None)
 
         desired = self.library.solution_by_name(instr.solution_name)
@@ -199,7 +248,11 @@ class PaskMiddleware:
 
         if self.runtime.is_loaded(main_co.name):
             # Desired solution already resident (Algorithm 1 line 3).
-            yield from self._load_all(casts)
+            try:
+                yield from self._load_all(casts)
+            except LoadFault:
+                self._count_fallback()
+                return (instr, PLAN_FALLBACK, None)
             self._cache_insert(LoadedInstance(desired, problem))
             return (instr, PLAN_DESIRED, desired)
 
@@ -242,21 +295,33 @@ class PaskMiddleware:
                 # The substitute's binary is resident; only layout casts
                 # for the *new* problem may still need loading, which is
                 # far cheaper than loading the desired solution chain.
-                yield from self._load_all(
-                    instance.solution.transform_code_objects(run_problem))
+                try:
+                    yield from self._load_all(
+                        instance.solution.transform_code_objects(run_problem))
+                except LoadFault:
+                    self._count_fallback()
+                    return (instr, PLAN_FALLBACK, None)
                 self.shared.reused_layers += 1
                 self.shared.skipped_loads += 1
                 self.shared.skipped_desired.append((desired, problem))
                 return (instr, PLAN_REUSE, (instance, run_problem))
 
         # No substitute: load the desired solution from scratch.
-        yield from self._load_all((main_co,) + casts)
+        try:
+            yield from self._load_all((main_co,) + casts)
+        except LoadFault:
+            self._count_fallback()
+            return (instr, PLAN_FALLBACK, None)
         self._cache_insert(LoadedInstance(desired, problem))
         return (instr, PLAN_DESIRED, desired)
 
     def _load_all(self, code_objects):
         for code_object in code_objects:
             yield from self.runtime.module_load(code_object, actor="loader")
+
+    def _count_fallback(self) -> None:
+        if self.runtime.faults is not None:
+            self.runtime.faults.counters.fallbacks += 1
 
     def _cache_insert(self, instance: LoadedInstance):
         self.cache.insert(instance)
@@ -302,10 +367,38 @@ class PaskMiddleware:
                     self.runtime, run_problem, instance.solution,
                     tuned_for=instance.tuned_for, actor="issuer",
                     label=f"{instr.name}/reused", lazy=False)
+            elif plan is PLAN_FALLBACK:
+                completion = yield from self._issue_reactive(instr)
             else:  # pragma: no cover - defensive
                 raise RuntimeError(f"unknown plan {plan!r}")
             if completion is not None:
                 self._watch_completion(completion, instr.index)
+
+    def _issue_reactive(self, instr: Instruction):
+        """Execute ``instr`` through the reactive lazy launch path --
+        the fallback when the proactive loader gave up on it."""
+        if instr.kind is InstrKind.NOOP:
+            self.tracker.record_executed(instr.index)
+            return None
+        if instr.kind is InstrKind.BLAS_GEMM:
+            completion = yield from self.blas.run_gemm(
+                self.runtime, instr.problem, actor="issuer",
+                label=instr.name)
+            return completion
+        if instr.kind is InstrKind.ENGINE_KERNEL:
+            kernel = instr.engine_kernel
+            duration = kernel_time(kernel.flops, kernel.bytes_moved,
+                                   _ENGINE_KERNEL_EFFICIENCY,
+                                   self.runtime.device)
+            completion = yield from self.runtime.launch_kernel(
+                self._engine_bundle, kernel.name, duration,
+                actor="issuer", label=f"{instr.name}/fallback", lazy=True)
+            return completion
+        desired = self.library.solution_by_name(instr.solution_name)
+        completion = yield from self.library.run_solution(
+            self.runtime, instr.problem, desired, actor="issuer",
+            label=f"{instr.name}/fallback", lazy=True)
+        return completion
 
     def _watch_completion(self, completion, index: int):
         tracker = self.tracker

@@ -16,6 +16,7 @@ from repro.gpu.runtime import HipRuntime
 from repro.primitive.problem import Problem
 from repro.primitive.solution import Solution
 from repro.sim.core import Environment
+from repro.sim.faults import LoadFault
 
 __all__ = ["preload_during_interval"]
 
@@ -26,8 +27,10 @@ def preload_during_interval(env: Environment, runtime: HipRuntime,
     """Load skipped solutions until ``deadline`` (generator).
 
     Loads are only started if they can finish before the deadline (a new
-    request must never wait on background loading).  Returns the number
-    of code objects loaded.
+    request must never wait on background loading).  A load that faults
+    out (``repro.sim.faults``) is abandoned -- the next request falls
+    back to the reactive path for that solution, it never kills the
+    session.  Returns the number of code objects loaded.
     """
     loaded = 0
     for solution, problem in pending:
@@ -38,7 +41,12 @@ def preload_during_interval(env: Environment, runtime: HipRuntime,
                 continue
             if env.now + load_time(code_object, runtime.device) > deadline:
                 return loaded
-            yield from runtime.module_load(code_object,
-                                           actor="interval-preloader")
+            try:
+                yield from runtime.module_load(code_object,
+                                               actor="interval-preloader")
+            except LoadFault:
+                if runtime.faults is not None:
+                    runtime.faults.counters.fallbacks += 1
+                continue
             loaded += 1
     return loaded

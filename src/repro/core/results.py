@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
 
 from repro.core.cache import CacheStats
+from repro.sim.faults import FaultCounters
 from repro.sim.trace import Phase, TraceRecorder
 
 __all__ = ["ExecutionResult"]
@@ -26,6 +27,11 @@ class ExecutionResult:
     cache_stats: Optional[CacheStats] = None
     reused_layers: int = 0
     skipped_loads: int = 0
+    # Fault-injection outcome: counters when a FaultPlan was threaded
+    # through the run, and whether the request explicitly failed after
+    # all mitigation (retries, fallbacks) was exhausted.
+    faults: Optional[FaultCounters] = None
+    failed: bool = False
     metadata: Dict[str, Any] = field(default_factory=dict)
 
     @property

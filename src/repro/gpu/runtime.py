@@ -25,6 +25,7 @@ from repro.gpu.device import DeviceSpec
 from repro.gpu.loader import load_time, symbol_resolve_time
 from repro.gpu.stream import Stream
 from repro.sim.core import Environment, Event
+from repro.sim.faults import FaultInjector, FaultPlan, LaunchFault, LoadFault
 from repro.sim.trace import Phase, TraceRecorder
 
 __all__ = ["HipModule", "HipRuntime", "KernelNotLoadedError"]
@@ -52,11 +53,17 @@ class HipRuntime:
     """Simulated HIP host runtime bound to one device and one stream."""
 
     def __init__(self, env: Environment, device: DeviceSpec,
-                 trace: Optional[TraceRecorder] = None) -> None:
+                 trace: Optional[TraceRecorder] = None,
+                 faults: Optional[object] = None) -> None:
         self.env = env
         self.device = device
         self.trace = trace if trace is not None else TraceRecorder()
-        self.stream = Stream(env, self.trace)
+        # ``faults`` may be a FaultPlan (a fresh per-run injector is
+        # derived) or an already-bound FaultInjector (shared cursor).
+        if isinstance(faults, FaultPlan):
+            faults = faults.injector()
+        self.faults: Optional[FaultInjector] = faults
+        self.stream = Stream(env, self.trace, faults=self.faults)
         self._modules: Dict[str, HipModule] = {}
         self._pending: Dict[str, Event] = {}
         self.load_count = 0
@@ -100,9 +107,36 @@ class HipRuntime:
             return self._modules[name]
         done = self.env.event()
         self._pending[name] = done
-        start = self.env.now
         duration = load_time(code_object, self.device, reactive=reactive)
         try:
+            attempt = 1
+            while self.faults is not None and self.faults.load_fails():
+                # Injected transient load failure: bill the partial
+                # progress, then either back off and retry or give up.
+                counters = self.faults.counters
+                counters.load_faults += 1
+                fault_start = self.env.now
+                progress = duration * self.faults.plan.load_failure_progress
+                if progress > 0:
+                    yield self.env.timeout(progress)
+                self.trace.record(fault_start, self.env.now, actor,
+                                  Phase.FAULT, f"{name}/load-fault",
+                                  attempt=attempt)
+                if attempt >= self.faults.plan.max_load_attempts:
+                    error = LoadFault(
+                        f"load of {name!r} failed after {attempt} attempts")
+                    done.fail(error)
+                    raise error
+                backoff = self.faults.load_backoff(attempt)
+                retry_start = self.env.now
+                if backoff > 0:
+                    yield self.env.timeout(backoff)
+                self.trace.record(retry_start, self.env.now, actor,
+                                  Phase.RETRY, f"{name}/load-retry",
+                                  attempt=attempt)
+                counters.load_retries += 1
+                attempt += 1
+            start = self.env.now
             yield self.env.timeout(duration)
         finally:
             del self._pending[name]
@@ -175,6 +209,23 @@ class HipRuntime:
                                         reactive=True)
         module = self._modules[name]
         yield from self.get_function(module, symbol_name, actor=actor)
+        attempt = 1
+        while self.faults is not None and self.faults.launch_fails():
+            # Injected transient launch error: the failed driver call
+            # still costs a launch round-trip before the host re-issues.
+            counters = self.faults.counters
+            counters.launch_faults += 1
+            fault_start = self.env.now
+            yield self.env.timeout(self.device.kernel_launch_overhead_s)
+            self.trace.record(fault_start, self.env.now, actor, Phase.FAULT,
+                              f"{label or symbol_name}/launch-fault",
+                              attempt=attempt)
+            if attempt >= self.faults.plan.max_launch_attempts:
+                raise LaunchFault(
+                    f"launch of {symbol_name!r} failed after "
+                    f"{attempt} attempts")
+            counters.launch_retries += 1
+            attempt += 1
         start = self.env.now
         yield self.env.timeout(self.device.kernel_launch_overhead_s)
         self.trace.record(start, self.env.now, actor, Phase.ISSUE,

@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.sim.core import Environment, Event
+from repro.sim.faults import FaultInjector
 from repro.sim.trace import Phase, TraceRecorder
 
 __all__ = ["Stream"]
@@ -20,10 +21,12 @@ class Stream:
     """A single in-order execution queue on one GPU."""
 
     def __init__(self, env: Environment, trace: Optional[TraceRecorder] = None,
-                 name: str = "stream0") -> None:
+                 name: str = "stream0",
+                 faults: Optional[FaultInjector] = None) -> None:
         self.env = env
         self.trace = trace
         self.name = name
+        self.faults = faults
         self._available_at = 0.0
         self._kernels_executed = 0
 
@@ -47,6 +50,16 @@ class Stream:
         if duration < 0:
             raise ValueError(f"negative kernel duration {duration!r}")
         start = max(self.env.now, self._available_at)
+        if self.faults is not None:
+            # Injected device-side stall (``stream.enqueue``): the kernel
+            # sits in the queue before executing, visibly in the trace.
+            stall = self.faults.exec_stall()
+            if stall > 0:
+                if self.trace is not None:
+                    self.trace.record(start, start + stall, "gpu",
+                                      Phase.FAULT, f"{label}/exec-stall")
+                self.faults.counters.exec_stalls += 1
+                start += stall
         end = start + duration
         self._available_at = end
         self._kernels_executed += 1

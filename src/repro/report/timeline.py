@@ -24,6 +24,8 @@ _PHASE_CHARS = {
     Phase.CHECK: "c",
     Phase.OVERHEAD: "o",
     Phase.OTHER: ".",
+    Phase.FAULT: "!",
+    Phase.RETRY: "r",
 }
 
 _DEFAULT_ACTOR_ORDER = ("parser", "loader", "issuer", "host", "gpu")
@@ -86,7 +88,7 @@ def render_timeline(trace: TraceRecorder, width: int = 72,
     scale = (f"{' ' * label_width}  0 ms{' ' * (width - 12)}"
              f"{span * 1e3:6.1f} ms")
     legend = ("legend: p=parse L=load i=issue X=gpu-exec c=check "
-              "o=overhead .=other")
+              "o=overhead .=other !=fault r=retry")
     return "\n".join(lines + [scale, legend])
 
 

@@ -1,18 +1,23 @@
 """Serving harness: cold/hot runs, metrics, and experiment runners."""
 
 from repro.serving.server import InferenceServer, ServeResult, serve_cold, serve_hot
-from repro.serving.metrics import geometric_mean, mean
+from repro.serving.metrics import FaultCounters, availability, \
+    geometric_mean, mean
 from repro.serving.requests import RequestTrace, burst_trace, \
     periodic_trace, poisson_trace
 from repro.serving.cluster import ClusterConfig, ClusterSimulator, ClusterStats
+from repro.sim.faults import FaultPlan
 
 __all__ = [
     "ClusterConfig",
     "ClusterSimulator",
     "ClusterStats",
+    "FaultCounters",
+    "FaultPlan",
     "InferenceServer",
     "RequestTrace",
     "ServeResult",
+    "availability",
     "burst_trace",
     "geometric_mean",
     "mean",

@@ -20,6 +20,7 @@ from typing import List, Optional
 from repro.core.schemes import Scheme
 from repro.serving.requests import RequestTrace
 from repro.serving.server import InferenceServer
+from repro.sim.faults import FaultCounters, FaultInjector, FaultPlan
 
 __all__ = ["ClusterConfig", "ClusterStats", "ClusterSimulator"]
 
@@ -31,6 +32,9 @@ class ClusterConfig:
     scheme: Scheme = Scheme.BASELINE
     max_instances: int = 8
     keep_alive_s: float = 10.0     # idle instances reclaimed after this
+    # Optional fault plan: instance crash/restart churn during the
+    # replay (``cluster.request`` injection point).
+    faults: Optional[FaultPlan] = None
 
     def __post_init__(self) -> None:
         if self.max_instances <= 0:
@@ -54,11 +58,25 @@ class ClusterStats:
     cold_starts: int = 0
     warm_hits: int = 0
     queue_waits: List[float] = field(default_factory=list)
+    failed: int = 0   # requests explicitly failed (reroute budget spent)
+    faults: FaultCounters = field(default_factory=FaultCounters)
+
+    @property
+    def completed(self) -> int:
+        """Requests that finished successfully."""
+        return len(self.latencies)
 
     @property
     def requests(self) -> int:
-        """Total requests served."""
-        return len(self.latencies)
+        """Total requests accounted for (completed + explicitly failed)."""
+        return len(self.latencies) + self.failed
+
+    @property
+    def availability(self) -> float:
+        """Fraction of requests that completed successfully."""
+        if not self.requests:
+            return 1.0
+        return self.completed / self.requests
 
     @property
     def mean_latency(self) -> float:
@@ -102,35 +120,77 @@ class ClusterSimulator:
         return self._warm_cache[key]
 
     def run(self, trace: RequestTrace) -> ClusterStats:
-        """Replay ``trace`` and collect per-request statistics."""
+        """Replay ``trace`` and collect per-request statistics.
+
+        With a fault plan configured, instances may crash mid-request
+        (``cluster.request`` injection point): the request is rerouted
+        to another instance (up to ``max_reroutes`` times before it is
+        *explicitly failed*), and the crashed instance restarts cold --
+        its PASK cache is gone, so the next request it serves pays the
+        full cold start again.  Every request is therefore accounted
+        for: ``stats.completed + stats.failed == len(trace)``.
+        """
         stats = ClusterStats()
+        injector: Optional[FaultInjector] = (
+            self.config.faults.injector()
+            if self.config.faults is not None else None)
         instances: List[_Instance] = []
         cold = self._cold_time(trace.model, trace.batch)
         warm = self._warm_time(trace.model, trace.batch)
         for arrival in trace.arrivals:
-            self._reclaim_idle(instances, arrival)
-            instance = self._pick_instance(instances, arrival)
-            if instance is None:
-                if len(instances) < self.config.max_instances:
-                    instance = _Instance()
-                    instances.append(instance)
-                else:
-                    # All instances busy at capacity: queue on the one
-                    # that frees up first.
-                    instance = min(instances, key=lambda i: i.busy_until)
-            start = max(arrival, instance.busy_until)
-            stats.queue_waits.append(start - arrival)
-            if instance.warm:
-                service = warm
-                stats.warm_hits += 1
-            else:
-                service = cold
-                stats.cold_starts += 1
-            finish = start + service
-            instance.busy_until = finish
-            instance.last_used = finish
-            instance.warm = True
-            stats.latencies.append(finish - arrival)
+            now = arrival
+            attempts = 0
+            while True:
+                self._reclaim_idle(instances, now)
+                instance = self._pick_instance(instances, now)
+                if instance is None:
+                    if len(instances) < self.config.max_instances:
+                        instance = _Instance()
+                        instances.append(instance)
+                    else:
+                        # All instances busy at capacity: queue on the
+                        # one that frees up first.
+                        instance = min(instances, key=lambda i: i.busy_until)
+                start = max(now, instance.busy_until)
+                if attempts == 0:
+                    stats.queue_waits.append(start - arrival)
+                warm_attempt = instance.warm
+                service = warm if warm_attempt else cold
+                crash_at = (injector.crash_point(service)
+                            if injector is not None else None)
+                if crash_at is None:
+                    if warm_attempt:
+                        stats.warm_hits += 1
+                    else:
+                        stats.cold_starts += 1
+                    finish = start + service
+                    instance.busy_until = finish
+                    instance.last_used = finish
+                    instance.warm = True
+                    stats.latencies.append(finish - arrival)
+                    if injector is not None:
+                        injector.counters.completed_requests += 1
+                    break
+                # The instance dies crash_at seconds into the request;
+                # it restarts cold (empty PASK cache) after the restart
+                # delay and re-enters the pool.
+                injector.counters.crashes += 1
+                crash_time = start + crash_at
+                instance.busy_until = crash_time + \
+                    self.config.faults.restart_delay_s
+                instance.last_used = instance.busy_until
+                instance.warm = False
+                attempts += 1
+                if attempts > self.config.faults.max_reroutes:
+                    stats.failed += 1
+                    injector.counters.failed_requests += 1
+                    break
+                # Reroute: the request re-enters scheduling at the time
+                # the crash was detected.
+                injector.counters.reroutes += 1
+                now = crash_time
+        if injector is not None:
+            stats.faults = injector.counters
         return stats
 
     def _reclaim_idle(self, instances: List[_Instance], now: float) -> None:

@@ -16,6 +16,7 @@ from repro.core.schemes import Scheme
 from repro.models import list_models
 from repro.serving.metrics import mean
 from repro.serving.server import InferenceServer
+from repro.sim.faults import FaultPlan
 from repro.sim.trace import Phase
 
 __all__ = ["ExperimentSuite", "DEFAULT_BATCHES", "CONV_MODELS",
@@ -30,9 +31,13 @@ class ExperimentSuite:
     """Runs and memoizes all experiments for one device."""
 
     def __init__(self, device: str = "MI100",
-                 models: Optional[Sequence[str]] = None) -> None:
+                 models: Optional[Sequence[str]] = None,
+                 faults: Optional[FaultPlan] = None) -> None:
         self.device = device
         self.models = list(models) if models is not None else list_models()
+        # Optional fault plan threaded through every serve; an all-zero
+        # plan leaves every experiment byte-identical to no plan at all.
+        self.faults = faults
         self._servers: Dict[str, InferenceServer] = {}
         self._cold: Dict[Tuple[str, str, Scheme, int], ExecutionResult] = {}
         self._hot: Dict[Tuple[str, str, int], ExecutionResult] = {}
@@ -53,8 +58,8 @@ class ExperimentSuite:
         device = device or self.device
         key = (device, model, scheme, batch)
         if key not in self._cold:
-            self._cold[key] = self.server(device).serve_cold(model, scheme,
-                                                             batch)
+            self._cold[key] = self.server(device).serve_cold(
+                model, scheme, batch, faults=self.faults)
         return self._cold[key]
 
     def hot(self, model: str, batch: int = 1,
@@ -63,7 +68,8 @@ class ExperimentSuite:
         device = device or self.device
         key = (device, model, batch)
         if key not in self._hot:
-            self._hot[key] = self.server(device).serve_hot(model, batch)
+            self._hot[key] = self.server(device).serve_hot(
+                model, batch, faults=self.faults)
         return self._hot[key]
 
     def speedup(self, model: str, scheme: Scheme, batch: int = 1,

@@ -1,11 +1,30 @@
-"""Small statistics helpers used by the experiment runners."""
+"""Statistics helpers used by the experiment runners, plus the
+robustness counters collected under fault injection.
+
+:class:`FaultCounters` (re-exported from :mod:`repro.sim.faults`) is the
+canonical record of retries, fallbacks, reroutes and availability for a
+run; :func:`availability` computes the same ratio from raw counts.
+"""
 
 from __future__ import annotations
 
 import math
 from typing import Iterable, List, Sequence
 
-__all__ = ["geometric_mean", "mean", "normalize"]
+from repro.sim.faults import FaultCounters
+
+__all__ = ["FaultCounters", "availability", "geometric_mean", "mean",
+           "normalize"]
+
+
+def availability(completed: int, failed: int) -> float:
+    """Fraction of finished requests that completed successfully."""
+    if completed < 0 or failed < 0:
+        raise ValueError("counts must be non-negative")
+    finished = completed + failed
+    if finished == 0:
+        return 1.0
+    return completed / finished
 
 
 def mean(values: Iterable[float]) -> float:

@@ -21,6 +21,7 @@ from repro.graph import Graph
 from repro.primitive.blas import BlasLibrary
 from repro.primitive.library import MIOpenLibrary
 from repro.sim.core import Environment
+from repro.sim.faults import FaultError, FaultPlan
 
 __all__ = ["InferenceServer", "ServeResult", "serve_cold", "serve_hot"]
 
@@ -76,14 +77,24 @@ class InferenceServer:
     # Online: serving
     # ------------------------------------------------------------------
     def serve_cold(self, model: str, scheme: Scheme = Scheme.BASELINE,
-                   batch: int = 1) -> ExecutionResult:
-        """Serve one request on a fresh instance (no loaded kernels)."""
+                   batch: int = 1,
+                   faults: Optional[FaultPlan] = None) -> ExecutionResult:
+        """Serve one request on a fresh instance (no loaded kernels).
+
+        With a ``faults`` plan, the run is subject to deterministic fault
+        injection; a request whose faults exhaust every mitigation is
+        returned *explicitly failed* (``result.failed``) rather than
+        raising -- no request is ever silently lost.
+        """
         program = self._lowered(model, scheme, batch)
         env = Environment()
-        runtime = HipRuntime(env, self.device)
+        injector = faults.injector() if faults is not None else None
+        runtime = HipRuntime(env, self.device, faults=injector)
         executor = build_executor(scheme)
 
         outcome: Dict[str, object] = {}
+        metadata = {"device": self.device.name, "instructions": len(program)}
+        failed = False
 
         def driver():
             stats = yield from executor(env, runtime, self.library,
@@ -91,7 +102,16 @@ class InferenceServer:
             outcome.update(stats or {})
 
         process = env.process(driver(), name=f"serve-{model}")
-        env.run(until=process)
+        try:
+            env.run(until=process)
+        except FaultError as error:
+            failed = True
+            metadata["error"] = str(error)
+        if injector is not None:
+            if failed:
+                injector.counters.failed_requests += 1
+            else:
+                injector.counters.completed_requests += 1
         return ExecutionResult(
             scheme=scheme.label, model=model, batch=batch,
             total_time=env.now, trace=runtime.trace,
@@ -100,14 +120,17 @@ class InferenceServer:
             cache_stats=outcome.get("cache_stats"),
             reused_layers=outcome.get("reused_layers", 0),
             skipped_loads=outcome.get("skipped_loads", 0),
-            metadata={"device": self.device.name,
-                      "instructions": len(program)},
+            faults=injector.counters if injector is not None else None,
+            failed=failed,
+            metadata=metadata,
         )
 
     def serve_session(self, model: str, scheme: Scheme = Scheme.PASK,
                       n_requests: int = 3, interval_s: float = 0.05,
                       interval_preload: bool = True,
-                      batch: int = 1) -> List[ExecutionResult]:
+                      batch: int = 1,
+                      faults: Optional[FaultPlan] = None
+                      ) -> List[ExecutionResult]:
         """Serve consecutive requests on one warm instance (Sec. VI).
 
         The runtime persists across requests, so every code object loaded
@@ -122,7 +145,8 @@ class InferenceServer:
             raise ValueError("interval must be non-negative")
         program = self._lowered(model, scheme, batch)
         env = Environment()
-        runtime = HipRuntime(env, self.device)
+        injector = faults.injector() if faults is not None else None
+        runtime = HipRuntime(env, self.device, faults=injector)
         executor = build_executor(scheme)
         results: List[ExecutionResult] = []
 
@@ -135,9 +159,30 @@ class InferenceServer:
                 runtime.stream.trace = trace
                 loads_before = runtime.load_count
                 start = self.env_now(env)
-                stats = yield from executor(env, runtime, self.library,
-                                            self.blas, program)
+                try:
+                    stats = yield from executor(env, runtime, self.library,
+                                                self.blas, program)
+                except FaultError as error:
+                    # The instance died mid-request: record the request
+                    # as explicitly failed and end the session (the
+                    # cluster layer models the subsequent restart).
+                    if injector is not None:
+                        injector.counters.failed_requests += 1
+                    results.append(ExecutionResult(
+                        scheme=scheme.label, model=model, batch=batch,
+                        total_time=env.now - start, trace=trace,
+                        loads=runtime.load_count - loads_before,
+                        loaded_bytes=runtime.loaded_bytes,
+                        faults=injector.counters if injector else None,
+                        failed=True,
+                        metadata={"request": request,
+                                  "device": self.device.name,
+                                  "error": str(error)},
+                    ))
+                    return
                 stats = stats or {}
+                if injector is not None:
+                    injector.counters.completed_requests += 1
                 results.append(ExecutionResult(
                     scheme=scheme.label, model=model, batch=batch,
                     total_time=env.now - start, trace=trace,
@@ -147,6 +192,7 @@ class InferenceServer:
                     cache_stats=stats.get("cache_stats"),
                     reused_layers=stats.get("reused_layers", 0),
                     skipped_loads=stats.get("skipped_loads", 0),
+                    faults=injector.counters if injector else None,
                     metadata={"request": request,
                               "device": self.device.name},
                 ))
@@ -170,14 +216,16 @@ class InferenceServer:
         """Current simulated time (hook point for tests)."""
         return env.now
 
-    def serve_hot(self, model: str, batch: int = 1) -> ExecutionResult:
+    def serve_hot(self, model: str, batch: int = 1,
+                  faults: Optional[FaultPlan] = None) -> ExecutionResult:
         """A successive-iteration run: program parsed, kernels resident.
 
         This is the denominator of Fig. 1(a)'s cold/hot slowdowns.
         """
         program = self._lowered(model, Scheme.BASELINE, batch)
         env = Environment()
-        runtime = HipRuntime(env, self.device)
+        injector = faults.injector() if faults is not None else None
+        runtime = HipRuntime(env, self.device, faults=injector)
         runtime.preload(program_code_objects(program, self.library, self.blas))
 
         def driver():
@@ -190,14 +238,26 @@ class InferenceServer:
                                               engine_bundle=bundle)
             yield from runtime.synchronize()
 
+        metadata = {"device": self.device.name, "instructions": len(program)}
+        failed = False
         process = env.process(driver(), name=f"hot-{model}")
-        env.run(until=process)
+        try:
+            env.run(until=process)
+        except FaultError as error:
+            failed = True
+            metadata["error"] = str(error)
+        if injector is not None:
+            if failed:
+                injector.counters.failed_requests += 1
+            else:
+                injector.counters.completed_requests += 1
         return ExecutionResult(
             scheme="Hot", model=model, batch=batch, total_time=env.now,
             trace=runtime.trace, loads=runtime.load_count,
             loaded_bytes=runtime.loaded_bytes,
-            metadata={"device": self.device.name,
-                      "instructions": len(program)},
+            faults=injector.counters if injector is not None else None,
+            failed=failed,
+            metadata=metadata,
         )
 
 

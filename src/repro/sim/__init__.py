@@ -21,7 +21,16 @@ from repro.sim.core import (
     SimulationError,
     Timeout,
 )
-from repro.sim.channel import Channel, ChannelClosed
+from repro.sim.channel import Channel, ChannelClosed, ChannelClosedError
+from repro.sim.faults import (
+    FaultCounters,
+    FaultError,
+    FaultInjector,
+    FaultPlan,
+    InstanceCrash,
+    LaunchFault,
+    LoadFault,
+)
 from repro.sim.trace import Phase, TraceRecord, TraceRecorder, merge_intervals
 
 __all__ = [
@@ -29,9 +38,17 @@ __all__ = [
     "AnyOf",
     "Channel",
     "ChannelClosed",
+    "ChannelClosedError",
     "Environment",
     "Event",
+    "FaultCounters",
+    "FaultError",
+    "FaultInjector",
+    "FaultPlan",
+    "InstanceCrash",
     "Interrupt",
+    "LaunchFault",
+    "LoadFault",
     "Phase",
     "Process",
     "SimulationError",

@@ -14,7 +14,12 @@ from typing import Any, Deque, Optional, Tuple
 
 from repro.sim.core import Environment, Event, SimulationError
 
-__all__ = ["Channel", "ChannelClosed"]
+__all__ = ["Channel", "ChannelClosed", "ChannelClosedError"]
+
+
+class ChannelClosedError(SimulationError):
+    """Delivered to a producer whose pending ``put`` was cut off by
+    :meth:`Channel.close` (e.g. the consumer crashed)."""
 
 
 class _ChannelClosedType:
@@ -96,13 +101,21 @@ class Channel:
         return event
 
     def close(self) -> None:
-        """Mark the channel closed; wakes getters once items drain."""
+        """Mark the channel closed; wakes getters once items drain.
+
+        A pending ``get`` receives :data:`ChannelClosed` (after any
+        buffered items); a pending ``put`` fails with
+        :class:`ChannelClosedError`.  Closing therefore never leaves a
+        blocked producer or consumer parked forever -- the property a
+        crashed/stalled peer thread relies on to unwind cleanly.
+        """
         if self._closed:
             return
         self._closed = True
-        if self._putters:
-            raise SimulationError(
-                f"close() on channel {self.name!r} with blocked putters")
+        while self._putters:
+            event, _item = self._putters.popleft()
+            event.fail(ChannelClosedError(
+                f"put() cut off by close() on channel {self.name!r}"))
         if not self._items:
             while self._getters:
                 self._getters.popleft().succeed(ChannelClosed)

@@ -1,0 +1,230 @@
+"""Deterministic fault injection for the serving stack.
+
+Production serving adds *failure* on top of the paper's happy path:
+code-object loads that error, kernel launches that bounce, loader
+threads that stall, instances that die mid-cold-start.  This module
+provides the seeded, reproducible substrate for injecting those faults
+into the deterministic simulation:
+
+- :class:`FaultPlan` is an immutable, seeded description of *what* can
+  go wrong and how often.  An all-default plan injects nothing and is
+  guaranteed to leave the simulation byte-identical to a run without
+  any plan at all (the golden regression tests pin this).
+- :class:`FaultInjector` is the per-run mutable cursor over a plan.
+  Components consult it at *named injection points* (see
+  ``docs/FAULTS.md``); every decision is a pure function of
+  ``(seed, site, draw-index)``, so two runs with the same plan produce
+  identical fault sequences, identical traces and identical results.
+- :class:`FaultCounters` aggregates what actually happened (faults,
+  retries, fallbacks, reroutes, ...) so experiments can report
+  robustness metrics alongside latency.
+
+Faults surface as :class:`FaultError` subclasses after the built-in
+mitigation (retry with exponential backoff, proactive-to-reactive
+fallback, request rerouting) is exhausted.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field, fields
+from typing import Dict, Optional
+
+__all__ = [
+    "FaultError",
+    "LoadFault",
+    "LaunchFault",
+    "InstanceCrash",
+    "FaultPlan",
+    "FaultInjector",
+    "FaultCounters",
+]
+
+
+class FaultError(Exception):
+    """Base class for injected faults that escaped mitigation."""
+
+
+class LoadFault(FaultError):
+    """A code-object load failed after all retry attempts."""
+
+
+class LaunchFault(FaultError):
+    """A kernel launch failed after all retry attempts."""
+
+
+class InstanceCrash(FaultError):
+    """A serving instance died while processing a request."""
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Seeded, immutable description of the faults to inject.
+
+    All rates are probabilities in ``[0, 1]`` evaluated independently at
+    each visit of the corresponding injection point.  The default plan
+    is *all-zero*: it consumes no randomness, adds no simulated time and
+    no trace records, so threading it through the stack is exactly
+    equivalent to running without fault injection.
+    """
+
+    seed: int = 0
+    # --- runtime.module_load: transient code-object load failures ----
+    load_failure_rate: float = 0.0
+    max_load_attempts: int = 4
+    load_backoff_base_s: float = 100e-6   # doubles per retry
+    # Fraction of the load time spent before the failure is detected.
+    load_failure_progress: float = 0.5
+    # --- runtime.launch_kernel: transient launch errors --------------
+    launch_failure_rate: float = 0.0
+    max_launch_attempts: int = 3
+    # --- stream.enqueue: device-side execution stalls -----------------
+    exec_stall_rate: float = 0.0
+    exec_stall_s: float = 0.0
+    # --- pask.loader: loader-thread stalls + timeout fallback ---------
+    loader_stall_rate: float = 0.0
+    loader_stall_s: float = 0.0
+    # A proactive load whose injected stall exceeds this budget is
+    # abandoned: the loader waits only ``load_timeout_s`` and hands the
+    # layer to the reactive (lazy launch-path) fallback instead.
+    load_timeout_s: Optional[float] = None
+    # --- cluster.request: instance crash/restart under traffic --------
+    crash_rate: float = 0.0
+    restart_delay_s: float = 0.05
+    max_reroutes: int = 3
+
+    def __post_init__(self) -> None:
+        for name in ("load_failure_rate", "launch_failure_rate",
+                     "exec_stall_rate", "loader_stall_rate", "crash_rate",
+                     "load_failure_progress"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+        for name in ("max_load_attempts", "max_launch_attempts"):
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be >= 1")
+        for name in ("load_backoff_base_s", "exec_stall_s",
+                     "loader_stall_s", "restart_delay_s"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+        if self.load_timeout_s is not None and self.load_timeout_s < 0:
+            raise ValueError("load_timeout_s must be non-negative")
+        if self.max_reroutes < 0:
+            raise ValueError("max_reroutes must be non-negative")
+
+    @property
+    def is_zero(self) -> bool:
+        """Whether this plan can never inject anything."""
+        return (self.load_failure_rate == 0.0
+                and self.launch_failure_rate == 0.0
+                and self.exec_stall_rate == 0.0
+                and self.loader_stall_rate == 0.0
+                and self.crash_rate == 0.0)
+
+    def injector(self) -> "FaultInjector":
+        """A fresh per-run cursor over this plan."""
+        return FaultInjector(self)
+
+
+@dataclass
+class FaultCounters:
+    """What the fault layer actually did during one run."""
+
+    load_faults: int = 0        # failed load attempts
+    load_retries: int = 0       # backoff retries after a load fault
+    launch_faults: int = 0      # failed launch attempts
+    launch_retries: int = 0     # re-issues after a launch fault
+    exec_stalls: int = 0        # device-side stalls
+    loader_stalls: int = 0      # loader-thread stalls (waited out)
+    fallbacks: int = 0          # proactive loads abandoned to reactive path
+    crashes: int = 0            # instance crashes mid-request
+    reroutes: int = 0           # requests rerouted after a crash
+    completed_requests: int = 0
+    failed_requests: int = 0    # requests explicitly failed (reroute budget)
+
+    @property
+    def retries(self) -> int:
+        """Total retry actions (load backoffs + launch re-issues)."""
+        return self.load_retries + self.launch_retries
+
+    @property
+    def availability(self) -> float:
+        """Fraction of finished requests that completed successfully."""
+        finished = self.completed_requests + self.failed_requests
+        if finished == 0:
+            return 1.0
+        return self.completed_requests / finished
+
+    def merge(self, other: "FaultCounters") -> None:
+        """Accumulate ``other`` into this counter set."""
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+
+    def as_dict(self) -> Dict[str, int]:
+        """Plain-dict view (for reports and assertions)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+class FaultInjector:
+    """Per-run cursor over a :class:`FaultPlan`.
+
+    Each named injection point keeps its own draw counter, so the
+    decision sequence at one site is independent of how often other
+    sites are visited -- adding an injection point to one component
+    never perturbs the faults another component sees.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self.counters = FaultCounters()
+        self._draws: Dict[str, int] = {}
+
+    def roll(self, site: str) -> float:
+        """Deterministic uniform draw in ``[0, 1)`` for ``site``."""
+        index = self._draws.get(site, 0)
+        self._draws[site] = index + 1
+        payload = f"{self.plan.seed}:{site}:{index}".encode()
+        digest = hashlib.blake2b(payload, digest_size=8).digest()
+        return int.from_bytes(digest, "big") / 2**64
+
+    def should_fail(self, site: str, rate: float) -> bool:
+        """Whether the visit at ``site`` faults (no draw when rate is 0)."""
+        if rate <= 0.0:
+            return False
+        return self.roll(site) < rate
+
+    # ------------------------------------------------------------------
+    # Site-specific helpers (the named injection points)
+    # ------------------------------------------------------------------
+    def load_fails(self) -> bool:
+        """``runtime.module_load``: does this load attempt fault?"""
+        return self.should_fail("runtime.module_load",
+                                self.plan.load_failure_rate)
+
+    def launch_fails(self) -> bool:
+        """``runtime.launch_kernel``: does this launch attempt fault?"""
+        return self.should_fail("runtime.launch_kernel",
+                                self.plan.launch_failure_rate)
+
+    def exec_stall(self) -> float:
+        """``stream.enqueue``: seconds of device-side stall (0 = none)."""
+        if self.should_fail("stream.enqueue", self.plan.exec_stall_rate):
+            return self.plan.exec_stall_s
+        return 0.0
+
+    def loader_stall(self) -> float:
+        """``pask.loader``: seconds the loader thread stalls (0 = none)."""
+        if self.should_fail("pask.loader", self.plan.loader_stall_rate):
+            return self.plan.loader_stall_s
+        return 0.0
+
+    def crash_point(self, service_time: float) -> Optional[float]:
+        """``cluster.request``: seconds into the request the instance
+        crashes, or ``None`` when it survives."""
+        if not self.should_fail("cluster.request", self.plan.crash_rate):
+            return None
+        return self.roll("cluster.request.point") * service_time
+
+    def load_backoff(self, attempt: int) -> float:
+        """Exponential backoff before load retry ``attempt`` (1-based)."""
+        return self.plan.load_backoff_base_s * (2 ** (attempt - 1))

@@ -33,6 +33,8 @@ class Phase(enum.Enum):
     CHECK = "check"          # solution applicability checking (PASK lookup)
     OVERHEAD = "overhead"    # other PASK bookkeeping (cache maintenance)
     OTHER = "other"          # host-device sync, allocation, misc
+    FAULT = "fault"          # injected failure / stall (repro.sim.faults)
+    RETRY = "retry"          # backoff and re-attempt after a fault
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value

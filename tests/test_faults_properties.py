@@ -1,0 +1,115 @@
+"""Property tests (hypothesis) for the fault-injection subsystem.
+
+The two paper-shape invariants locked in here:
+
+* **No lost requests** -- under any seeded :class:`FaultPlan`, every
+  request either completes or is explicitly failed; nothing is silently
+  dropped and no simulation process is left parked.
+* **Seed determinism** -- two runs from equal plans produce identical
+  traces and identical counters, which is what makes chaos runs
+  reproducible and bisectable.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.schemes import Scheme
+from repro.serving.cluster import ClusterConfig, ClusterSimulator
+from repro.serving.requests import poisson_trace
+from repro.serving.server import InferenceServer
+from repro.sim.faults import FaultPlan
+
+_SERVER = InferenceServer()
+_TRACE = poisson_trace("alex", rate_hz=25.0, duration_s=2.0, seed=11)
+
+
+fault_plans = st.builds(
+    FaultPlan,
+    seed=st.integers(0, 2**32 - 1),
+    load_failure_rate=st.floats(0.0, 0.5),
+    max_load_attempts=st.integers(1, 4),
+    launch_failure_rate=st.floats(0.0, 0.3),
+    max_launch_attempts=st.integers(1, 3),
+    exec_stall_rate=st.floats(0.0, 0.5),
+    exec_stall_s=st.floats(0.0, 2e-3),
+    loader_stall_rate=st.floats(0.0, 0.5),
+    loader_stall_s=st.floats(0.0, 3e-3),
+    load_timeout_s=st.one_of(st.none(), st.floats(1e-4, 2e-3)),
+    crash_rate=st.floats(0.0, 0.6),
+    restart_delay_s=st.floats(0.0, 0.1),
+    max_reroutes=st.integers(0, 3),
+)
+
+
+def _counter_dict(counters):
+    return counters.as_dict()
+
+
+@settings(max_examples=20, deadline=None)
+@given(fault_plans)
+def test_cluster_never_loses_a_request(plan):
+    config = ClusterConfig(scheme=Scheme.PASK, max_instances=3,
+                           keep_alive_s=0.5, faults=plan)
+    stats = ClusterSimulator(_SERVER, config).run(_TRACE)
+    assert stats.completed + stats.failed == len(_TRACE)
+    assert 0.0 <= stats.availability <= 1.0
+    assert all(v >= 0 for v in _counter_dict(stats.faults).values())
+    assert all(latency >= 0 for latency in stats.latencies)
+
+
+@settings(max_examples=10, deadline=None)
+@given(fault_plans)
+def test_cluster_same_seed_identical_replay(plan):
+    config = ClusterConfig(scheme=Scheme.PASK, max_instances=3,
+                           keep_alive_s=0.5, faults=plan)
+    first = ClusterSimulator(_SERVER, config).run(_TRACE)
+    second = ClusterSimulator(_SERVER, config).run(_TRACE)
+    assert first.latencies == second.latencies
+    assert first.queue_waits == second.queue_waits
+    assert first.failed == second.failed
+    assert first.cold_starts == second.cold_starts
+    assert _counter_dict(first.faults) == _counter_dict(second.faults)
+
+
+@settings(max_examples=10, deadline=None)
+@given(fault_plans)
+def test_serve_cold_always_returns_explicit_outcome(plan):
+    # serve_cold never raises a fault out of the simulator: it returns a
+    # completed result or one with failed=True and an error recorded.
+    result = _SERVER.serve_cold("alex", Scheme.PASK, faults=plan)
+    if result.failed:
+        assert "error" in result.metadata
+        assert result.faults.failed_requests == 1
+        assert result.faults.completed_requests == 0
+    else:
+        assert result.total_time > 0
+        assert result.faults.completed_requests == 1
+        assert result.faults.failed_requests == 0
+    counters = _counter_dict(result.faults)
+    assert all(v >= 0 for v in counters.values())
+    # Retries never exceed faults: every retry answers a recorded fault.
+    assert result.faults.load_retries <= result.faults.load_faults
+    assert result.faults.launch_retries <= result.faults.launch_faults
+
+
+@settings(max_examples=10, deadline=None)
+@given(fault_plans)
+def test_serve_cold_same_seed_identical_trace(plan):
+    first = _SERVER.serve_cold("alex", Scheme.PASK, faults=plan)
+    second = _SERVER.serve_cold("alex", Scheme.PASK, faults=plan)
+    assert first.failed == second.failed
+    assert first.total_time == second.total_time
+    assert first.trace.records == second.trace.records
+    assert _counter_dict(first.faults) == _counter_dict(second.faults)
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(0, 2**32 - 1))
+def test_zero_rates_ignore_seed(seed):
+    # An all-zero plan is inert no matter the seed: byte-identical to
+    # serving with no plan at all.
+    clean = _SERVER.serve_cold("alex", Scheme.PASK)
+    zero = _SERVER.serve_cold("alex", Scheme.PASK, faults=FaultPlan(seed=seed))
+    assert zero.total_time == clean.total_time
+    assert zero.trace.records == clean.trace.records
+    assert zero.faults.retries == 0
+    assert zero.faults.fallbacks == 0

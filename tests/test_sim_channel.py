@@ -200,3 +200,104 @@ def test_pipeline_of_two_channels():
     assert [item for item, _ in out] == [0, 1, 2, 3, 4]
     # Loading (0.5) dominates parsing (0.1): items leave every 0.5s.
     assert out[-1][1] == pytest.approx(0.1 + 5 * 0.5)
+
+
+# ----------------------------------------------------------------------
+# Regression: close() with parked processes (fault-injection hang)
+# ----------------------------------------------------------------------
+# A crashed consumer closing a bounded channel used to raise in the
+# closing process and leave the blocked producer parked forever -- the
+# exact hang a stalled-loader fault triggers.  close() now fails the
+# pending put with ChannelClosedError instead.
+
+def test_close_fails_blocked_putter_instead_of_raising():
+    from repro.sim import ChannelClosedError
+
+    env = Environment()
+    channel = Channel(env, capacity=1)
+    outcomes = []
+
+    def producer():
+        yield channel.put("a")
+        try:
+            yield channel.put("b")
+            outcomes.append("put-b-ok")
+        except ChannelClosedError:
+            outcomes.append("put-b-closed")
+
+    def crashing_consumer():
+        yield env.timeout(1.0)
+        channel.close()  # dies without ever consuming
+
+    env.process(producer())
+    env.process(crashing_consumer())
+    env.run()
+    assert outcomes == ["put-b-closed"]
+
+
+def test_close_during_pending_get_delivers_sentinel_not_hang():
+    env = Environment()
+    channel = Channel(env, capacity=1)
+    seen = []
+
+    def consumer():
+        while True:
+            item = yield channel.get()
+            if item is ChannelClosed:
+                seen.append("closed")
+                return
+            seen.append(item)
+
+    def dying_producer():
+        yield channel.put(1)
+        yield env.timeout(0.5)
+        channel.close()  # crash mid-stream with the consumer blocked
+
+    env.process(consumer())
+    env.process(dying_producer())
+    env.run()
+    assert seen == [1, "closed"]
+
+
+def test_stalled_pipeline_unwinds_cleanly_on_close():
+    # Three-stage pipeline shaped like parse -> load -> issue.  The
+    # middle stage crashes; both its neighbours must unpark: the
+    # upstream putter via ChannelClosedError, the downstream getter via
+    # the ChannelClosed sentinel.  No process is left waiting.
+    from repro.sim import ChannelClosedError
+
+    env = Environment()
+    upstream = Channel(env, capacity=1)
+    downstream = Channel(env, capacity=1)
+    events = []
+
+    def parser():
+        try:
+            for i in range(10):
+                yield upstream.put(i)
+        except ChannelClosedError:
+            events.append("parser-stopped")
+
+    def crashing_loader():
+        item = yield upstream.get()
+        yield downstream.put(item)
+        yield env.timeout(1.0)
+        # Simulated crash: close both sides on the way out.
+        upstream.close()
+        downstream.close()
+
+    def issuer():
+        while True:
+            item = yield downstream.get()
+            if item is ChannelClosed:
+                events.append("issuer-stopped")
+                return
+            events.append(("issued", item))
+
+    env.process(parser())
+    env.process(crashing_loader())
+    env.process(issuer())
+    env.run()
+    assert ("issued", 0) in events
+    assert "parser-stopped" in events
+    assert "issuer-stopped" in events

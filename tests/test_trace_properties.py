@@ -1,0 +1,156 @@
+"""Property tests (hypothesis) for the trace interval algebra.
+
+The paper's breakdowns (Fig. 1b, Fig. 7) and the timeline renderer all
+rest on ``merge_intervals`` / ``subtract_intervals`` /
+``exclusive_fractions`` being exact: no negative-length intervals, no
+double counting, and attribution independent of bookkeeping order.  The
+fault layer added two phases (FAULT, RETRY) that flow through the same
+algebra, so the strategies here draw from every phase.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.trace import (
+    Phase,
+    TraceRecorder,
+    merge_intervals,
+    subtract_intervals,
+)
+
+intervals = st.lists(
+    st.tuples(st.floats(0, 100, allow_nan=False),
+              st.floats(0, 100, allow_nan=False)).map(
+        lambda p: (min(p), max(p))),
+    max_size=25)
+
+
+def _measure(items):
+    return sum(e - s for s, e in items)
+
+
+# ----------------------------------------------------------------------
+# merge_intervals
+# ----------------------------------------------------------------------
+
+@given(intervals)
+def test_merge_is_idempotent(items):
+    merged = merge_intervals(items)
+    assert merge_intervals(merged) == merged
+
+
+@given(intervals)
+def test_merge_never_produces_negative_lengths(items):
+    assert all(e >= s for s, e in merge_intervals(items))
+
+
+@given(intervals, intervals)
+def test_merge_is_order_insensitive(a, b):
+    assert merge_intervals(a + b) == merge_intervals(b + a)
+
+
+@given(intervals)
+def test_merge_covers_every_input_point(items):
+    merged = merge_intervals(items)
+    for s, e in items:
+        if e <= s:
+            continue
+        midpoint = (s + e) / 2
+        assert any(ms <= midpoint <= me for ms, me in merged)
+
+
+# ----------------------------------------------------------------------
+# subtract_intervals
+# ----------------------------------------------------------------------
+
+@given(intervals, intervals)
+def test_subtract_never_produces_negative_lengths(base, remove):
+    difference = subtract_intervals(merge_intervals(base),
+                                    merge_intervals(remove))
+    assert all(e >= s for s, e in difference)
+
+
+@given(intervals, intervals)
+def test_subtract_is_idempotent(base, remove):
+    merged_remove = merge_intervals(remove)
+    difference = subtract_intervals(merge_intervals(base), merged_remove)
+    assert subtract_intervals(difference, merged_remove) == difference
+
+
+@given(intervals, intervals)
+def test_subtract_conserves_coverage(base, remove):
+    # Inclusion-exclusion: m(base \ remove) = m(base) - m(base ∩ remove)
+    # with m(base ∩ remove) = m(base) + m(remove) - m(base ∪ remove).
+    merged_base = merge_intervals(base)
+    merged_remove = merge_intervals(remove)
+    difference = subtract_intervals(merged_base, merged_remove)
+    union = merge_intervals(merged_base + merged_remove)
+    intersection = (_measure(merged_base) + _measure(merged_remove)
+                    - _measure(union))
+    assert abs(_measure(difference)
+               - (_measure(merged_base) - intersection)) < 1e-6
+
+
+@given(intervals)
+def test_subtract_self_is_empty(items):
+    merged = merge_intervals(items)
+    assert _measure(subtract_intervals(merged, merged)) < 1e-9
+
+
+# ----------------------------------------------------------------------
+# exclusive_fractions (including the fault/retry phases)
+# ----------------------------------------------------------------------
+
+_ALL_PHASES = list(Phase)
+
+trace_records = st.lists(
+    st.tuples(st.floats(0, 1, allow_nan=False),
+              st.floats(0, 1, allow_nan=False),
+              st.sampled_from(_ALL_PHASES)).map(
+        lambda t: (min(t[0], t[1]), max(t[0], t[1]), t[2])),
+    min_size=1, max_size=30)
+
+
+def _recorder(records):
+    trace = TraceRecorder()
+    for start, end, phase in records:
+        trace.record(start, end, "actor", phase, "x")
+    return trace
+
+
+@settings(max_examples=50)
+@given(trace_records)
+def test_exclusive_fractions_are_a_partition(records):
+    trace = _recorder(records)
+    fractions = trace.exclusive_fractions(_ALL_PHASES, total_time=1.0)
+    assert set(fractions) == set(_ALL_PHASES)
+    assert all(v >= 0.0 for v in fractions.values())
+    # Exclusive attribution can never exceed the wall clock.
+    assert sum(fractions.values()) <= 1.0 + 1e-9
+    # The union of all phases is what gets attributed, no matter which
+    # phase wins each overlap -- so the total is priority-order invariant.
+    reversed_total = sum(trace.exclusive_fractions(
+        _ALL_PHASES[::-1], total_time=1.0).values())
+    assert abs(sum(fractions.values()) - reversed_total) < 1e-9
+
+
+@settings(max_examples=50)
+@given(trace_records)
+def test_exclusive_fractions_match_union_measure(records):
+    trace = _recorder(records)
+    fractions = trace.exclusive_fractions(_ALL_PHASES, total_time=1.0)
+    union = merge_intervals((start, end) for start, end, _ in records)
+    assert abs(sum(fractions.values()) - _measure(union)) < 1e-9
+
+
+@given(trace_records)
+def test_fault_phase_competes_like_any_other(records):
+    # FAULT/RETRY records must not leak into other phases' exclusive
+    # time: dropping them from the priority list can only shift their
+    # share to lower-priority phases or to the unattributed remainder.
+    trace = _recorder(records)
+    with_faults = trace.exclusive_fractions(
+        [Phase.FAULT, Phase.RETRY, Phase.EXEC, Phase.LOAD], total_time=1.0)
+    without = trace.exclusive_fractions(
+        [Phase.EXEC, Phase.LOAD], total_time=1.0)
+    assert with_faults[Phase.EXEC] <= without[Phase.EXEC] + 1e-9
+    assert with_faults[Phase.LOAD] <= without[Phase.LOAD] + 1e-9
