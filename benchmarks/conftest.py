@@ -11,9 +11,28 @@ import pytest
 from repro.serving.experiments import ExperimentSuite
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--jobs", type=int, default=1,
+        help="prewarm the experiment suite through the parallel runner "
+             "with this many worker processes (results are byte-identical "
+             "to the serial path)")
+    parser.addoption(
+        "--result-cache", default=None, metavar="DIR",
+        help="content-addressed result cache directory for the prewarm "
+             "(e.g. .repro-cache); omitted = no cache")
+
+
 @pytest.fixture(scope="session")
-def suite():
-    return ExperimentSuite("MI100")
+def suite(request):
+    suite = ExperimentSuite("MI100")
+    jobs = request.config.getoption("--jobs")
+    cache_dir = request.config.getoption("--result-cache")
+    if jobs > 1 or cache_dir is not None:
+        from repro.runner import ResultCache
+        cache = ResultCache(cache_dir) if cache_dir is not None else None
+        suite.prewarm(jobs=jobs, cache=cache)
+    return suite
 
 
 def emit(text: str) -> None:

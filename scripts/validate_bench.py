@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Validate a ``BENCH_*.json`` report against the benchmark schema.
+
+Usage::
+
+    python scripts/validate_bench.py BENCH_20260806-090000.json [...]
+
+Exits nonzero (listing every violation) if any report fails validation.
+Used by the CI bench-smoke job; handy locally after editing the report
+writer.  Uses the repo's own hand-rolled validator so it runs without
+any third-party schema library.
+"""
+
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.runner import validate_report  # noqa: E402
+
+
+def main(argv):
+    if not argv:
+        print("usage: validate_bench.py BENCH_*.json [...]", file=sys.stderr)
+        return 2
+    failures = 0
+    for path in argv:
+        try:
+            with open(path, encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError) as exc:
+            print(f"{path}: unreadable ({exc})")
+            failures += 1
+            continue
+        errors = validate_report(payload)
+        if errors:
+            failures += 1
+            print(f"{path}: INVALID")
+            for error in errors:
+                print(f"  - {error}")
+        else:
+            print(f"{path}: ok "
+                  f"({payload['totals']['cells']} cells, "
+                  f"schema v{payload['schema_version']})")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

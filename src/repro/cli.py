@@ -11,6 +11,9 @@ Commands
 - ``chaos MODEL`` — the same stack under seeded fault injection:
   load/launch faults with retry, loader stalls with reactive fallback,
   and instance crash/restart churn during a trace replay.
+- ``bench`` — run a curated benchmark grid through the parallel engine
+  (``--jobs``) with the on-disk result cache, emit a machine-readable
+  ``BENCH_<timestamp>.json`` and optionally gate against a baseline.
 """
 
 from __future__ import annotations
@@ -62,6 +65,13 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("name", choices=_EXPERIMENTS + ("all",))
     experiment.add_argument("--device", default="MI100",
                             choices=["MI100", "A100", "6900XT"])
+    experiment.add_argument("--jobs", type=int, default=1,
+                            help="prewarm the experiment grid through the "
+                                 "parallel runner with this many worker "
+                                 "processes (default: serial)")
+    experiment.add_argument("--cache-dir", default=None,
+                            help="reuse/populate an on-disk result cache "
+                                 "at this path while prewarming")
 
     session = sub.add_parser("session",
                              help="consecutive requests on one instance")
@@ -116,6 +126,32 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=["MI100", "A100", "6900XT"])
     chaos.add_argument("--timeline", action="store_true",
                        help="render the faulted cold start as a Gantt")
+
+    bench = sub.add_parser(
+        "bench", help="run the benchmark grid through the parallel engine "
+                      "and emit a BENCH_<timestamp>.json perf report")
+    bench.add_argument("--quick", action="store_true",
+                       help="run the small smoke grid instead of the full "
+                            "device/model/scheme/batch grid")
+    bench.add_argument("--jobs", type=int, default=1,
+                       help="worker processes (default: 1, serial)")
+    bench.add_argument("--no-cache", action="store_true",
+                       help="bypass cache reads (results are still "
+                            "written back)")
+    bench.add_argument("--cache-dir", default=".repro-cache",
+                       help="on-disk result cache location "
+                            "(default: .repro-cache)")
+    bench.add_argument("--output", default=".", metavar="DIR",
+                       help="directory for the BENCH_*.json report "
+                            "(default: current directory)")
+    bench.add_argument("--no-report", action="store_true",
+                       help="skip writing the BENCH_*.json file")
+    bench.add_argument("--baseline", default=None, metavar="FILE",
+                       help="compare against this BENCH_*.json and exit "
+                            "nonzero on regression beyond the tolerance")
+    bench.add_argument("--tolerance", type=float, default=0.05,
+                       help="relative regression tolerance for --baseline "
+                            "(default: 0.05)")
     return parser
 
 
@@ -185,11 +221,37 @@ def _render_experiment(suite: ExperimentSuite, name: str, out) -> None:
 
 def _cmd_experiment(args, out) -> int:
     suite = ExperimentSuite(args.device)
+    jobs = getattr(args, "jobs", 1)
+    cache_dir = getattr(args, "cache_dir", None)
+    if jobs > 1 or cache_dir is not None:
+        from repro.runner import ResultCache
+        cache = ResultCache(cache_dir) if cache_dir is not None else None
+        stats = suite.prewarm(jobs=jobs, cache=cache)
+        out(f"prewarmed {stats.tasks} cells with {stats.jobs} jobs in "
+            f"{stats.wall_s:.2f}s ({stats.hits} cache hits, "
+            f"{stats.executed} executed)")
+        out("")
     names = _EXPERIMENTS if args.name == "all" else (args.name,)
     for name in names:
         _render_experiment(suite, name, out)
         out("")
     return 0
+
+
+def _cmd_bench(args, out) -> int:
+    from repro.runner import run_bench
+    report = run_bench(
+        grid="quick" if args.quick else "full",
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+        out_dir=args.output,
+        baseline_path=args.baseline,
+        tolerance=args.tolerance,
+        write=not args.no_report,
+        echo=out,
+    )
+    return 0 if report.ok else 1
 
 
 def _cmd_session(args, out) -> int:
@@ -310,6 +372,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_serve(args, out)
     if args.command == "experiment":
         return _cmd_experiment(args, out)
+    if args.command == "bench":
+        return _cmd_bench(args, out)
     if args.command == "session":
         return _cmd_session(args, out)
     if args.command == "cluster":

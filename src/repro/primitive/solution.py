@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Callable, Optional, Tuple
 
 from repro.gpu.codeobject import CodeObjectFile, KernelSymbol
@@ -65,8 +66,13 @@ _SIZE_BANDS = {
 _OFF_TUNE_FACTOR = {GENERIC: 1.0, SPECIALIZED: 0.85, HIGHLY_SPECIALIZED: 0.6}
 
 
+@lru_cache(maxsize=None)
 def _stable_fraction(key: str) -> float:
-    """Deterministic pseudo-random fraction in [0, 1) derived from ``key``."""
+    """Deterministic pseudo-random fraction in [0, 1) derived from ``key``.
+
+    Memoized: the same few dozen keys (code objects, rank factors) are
+    hashed over and over within one serve and across a sweep.
+    """
     digest = hashlib.blake2b(key.encode(), digest_size=8).digest()
     return int.from_bytes(digest, "big") / 2**64
 
@@ -144,16 +150,15 @@ class Solution:
         return _exact_signature(problem)
 
     def code_object_for(self, problem: Problem) -> CodeObjectFile:
-        """The compiled binary that serves ``problem`` under this solver."""
-        sig = self.signature(problem)
-        co_name = f"{self.name}@{sig}"
-        lo, hi = _SIZE_BANDS[self.specialization]
-        size = int((lo + (hi - lo) * _stable_fraction(co_name))
-                   * self.size_multiplier)
-        symbols = tuple(
-            KernelSymbol(f"{co_name}::k{i}")
-            for i in range(self.kernels_per_launch))
-        return CodeObjectFile(co_name, size, symbols)
+        """The compiled binary that serves ``problem`` under this solver.
+
+        Memoized: the binary is a pure function of the solver identity
+        and the tuning signature, and building it (blake2b size draw,
+        symbol tuple) sits on the simulation's hottest path.
+        """
+        return _code_object_file(self.name, self.signature(problem),
+                                 self.specialization, self.size_multiplier,
+                                 self.kernels_per_launch)
 
     def tuning_compatible(self, tuned_for: Problem, target: Problem) -> bool:
         """Whether a binary tuned for ``tuned_for`` can run ``target``.
@@ -210,14 +215,9 @@ class Solution:
         """
         if not self.needs_layout_transform(problem):
             return ()
-        sig = _bucket_signature(problem)
-        out = []
-        for direction in ("in", "out"):
-            co_name = (f"cast_{problem.layout.value}_"
-                       f"{self.preferred_layout.value}_{direction}@{sig}")
-            size = int(35_000 + 45_000 * _stable_fraction(co_name))
-            out.append(CodeObjectFile.single_kernel(co_name, size))
-        return tuple(out)
+        return _transform_code_objects(problem.layout.value,
+                                       self.preferred_layout.value,
+                                       _bucket_signature(problem))
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return (f"{self.name}[{self.pattern.value},"
@@ -227,7 +227,37 @@ class Solution:
 # ----------------------------------------------------------------------
 # Signature helpers
 # ----------------------------------------------------------------------
+# Problems are frozen (hashable) dataclasses and every helper below is a
+# pure function, so memoization is free determinism-preserving speed:
+# a serve touches the same few dozen signatures thousands of times.
 
+@lru_cache(maxsize=None)
+def _code_object_file(solution_name: str, sig: str, specialization: int,
+                      size_multiplier: float,
+                      kernels_per_launch: int) -> CodeObjectFile:
+    """The (shared, immutable) binary for one solver/signature pair."""
+    co_name = f"{solution_name}@{sig}"
+    lo, hi = _SIZE_BANDS[specialization]
+    size = int((lo + (hi - lo) * _stable_fraction(co_name))
+               * size_multiplier)
+    symbols = tuple(KernelSymbol(f"{co_name}::k{i}")
+                    for i in range(kernels_per_launch))
+    return CodeObjectFile(co_name, size, symbols)
+
+
+@lru_cache(maxsize=None)
+def _transform_code_objects(layout: str, preferred: str,
+                            sig: str) -> Tuple[CodeObjectFile, ...]:
+    """The (shared, immutable) cast binaries for one layout pair/bucket."""
+    out = []
+    for direction in ("in", "out"):
+        co_name = f"cast_{layout}_{preferred}_{direction}@{sig}"
+        size = int(35_000 + 45_000 * _stable_fraction(co_name))
+        out.append(CodeObjectFile.single_kernel(co_name, size))
+    return tuple(out)
+
+
+@lru_cache(maxsize=None)
 def _bucket_signature(problem: Problem) -> str:
     """Kernel-configuration bucket: what tuned tiling depends on."""
     if isinstance(problem, ConvProblem):
@@ -254,6 +284,7 @@ def _bucket_signature(problem: Problem) -> str:
     raise TypeError(f"unknown problem type {type(problem).__name__}")
 
 
+@lru_cache(maxsize=None)
 def _exact_signature(problem: Problem) -> str:
     """Exact-shape signature: what a highly specialized binary tunes for."""
     if isinstance(problem, ConvProblem):

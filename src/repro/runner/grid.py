@@ -1,0 +1,109 @@
+"""Curated task grids for the engine and the ``repro bench`` harness.
+
+Two families:
+
+- :func:`experiment_grid` — everything the paper figures need for one
+  suite (used to prewarm an ``ExperimentSuite`` before ``experiment
+  all``).
+- :func:`bench_grid` — the benchmark grids behind ``repro bench``:
+  ``quick`` is a smoke-sized subset (CI), ``full`` covers every device,
+  the whole model zoo, the headline schemes, the Table II batch sweep
+  and cluster trace replays.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.core.schemes import Scheme
+from repro.models import list_models
+from repro.runner.tasks import ExperimentTask
+from repro.sim.faults import FaultPlan
+
+__all__ = ["bench_grid", "experiment_grid", "BENCH_GRIDS"]
+
+_HEADLINE_SCHEMES = (Scheme.BASELINE, Scheme.NNV12, Scheme.PASK, Scheme.IDEAL)
+_ABLATION_SCHEMES = (Scheme.PASK_I, Scheme.PASK_R)
+_DEVICES = ("MI100", "A100", "6900XT")
+
+BENCH_GRIDS = ("quick", "full")
+
+
+def experiment_grid(device: str = "MI100",
+                    models: Optional[Sequence[str]] = None,
+                    faults: Optional[FaultPlan] = None,
+                    batches: Sequence[int] = (1, 4, 16, 64, 128),
+                    fig1a_devices: Sequence[str] = _DEVICES
+                    ) -> List[ExperimentTask]:
+    """Every cell the paper figures/tables consume.
+
+    Covers the scheme grid (including the PaSK-I/PaSK-R ablations) at
+    batch 1, the Table II batch sweep for the headline schemes, the hot
+    runs, and the Fig. 1(a) baseline+hot cells on the other devices.
+    """
+    models = list(models) if models is not None else list_models()
+    tasks: List[ExperimentTask] = []
+    for model in models:
+        for scheme in _HEADLINE_SCHEMES + _ABLATION_SCHEMES:
+            for batch in (batches if scheme in _HEADLINE_SCHEMES else (1,)):
+                tasks.append(ExperimentTask(
+                    kind="cold", device=device, model=model,
+                    scheme=scheme.value, batch=batch, faults=faults))
+        tasks.append(ExperimentTask(kind="hot", device=device, model=model,
+                                    faults=faults))
+    for other in fig1a_devices:
+        if other == device:
+            continue
+        for model in models:
+            tasks.append(ExperimentTask(
+                kind="cold", device=other, model=model,
+                scheme=Scheme.BASELINE.value, faults=faults))
+            tasks.append(ExperimentTask(kind="hot", device=other, model=model,
+                                        faults=faults))
+    return tasks
+
+
+def _cluster_cells(models: Sequence[str], schemes: Sequence[Scheme],
+                   duration_s: float) -> List[ExperimentTask]:
+    return [ExperimentTask(kind="cluster", model=model, scheme=scheme.value,
+                           rate_hz=20.0, duration_s=duration_s, seed=0,
+                           instances=4, keep_alive_s=0.5)
+            for model in models for scheme in schemes]
+
+
+def bench_grid(name: str = "quick") -> List[ExperimentTask]:
+    """The curated ``repro bench`` grid called ``name``."""
+    if name not in BENCH_GRIDS:
+        raise ValueError(f"unknown bench grid {name!r}; "
+                         f"expected one of {BENCH_GRIDS}")
+    tasks: List[ExperimentTask] = []
+    if name == "quick":
+        models = ("res", "vit")
+        for model in models:
+            for scheme in (Scheme.BASELINE, Scheme.PASK):
+                tasks.append(ExperimentTask(kind="cold", model=model,
+                                            scheme=scheme.value))
+            tasks.append(ExperimentTask(kind="hot", model=model))
+        tasks += _cluster_cells(("res",), (Scheme.BASELINE, Scheme.PASK),
+                                duration_s=2.0)
+        return tasks
+    models = list_models()
+    for model in models:
+        for scheme in _HEADLINE_SCHEMES:
+            tasks.append(ExperimentTask(kind="cold", model=model,
+                                        scheme=scheme.value))
+        for batch in (16, 128):
+            for scheme in (Scheme.BASELINE, Scheme.PASK):
+                tasks.append(ExperimentTask(kind="cold", model=model,
+                                            scheme=scheme.value, batch=batch))
+        tasks.append(ExperimentTask(kind="hot", model=model))
+    for device in ("A100", "6900XT"):
+        for model in models:
+            for scheme in (Scheme.BASELINE, Scheme.PASK):
+                tasks.append(ExperimentTask(kind="cold", device=device,
+                                            model=model, scheme=scheme.value))
+            tasks.append(ExperimentTask(kind="hot", device=device,
+                                        model=model))
+    tasks += _cluster_cells(("res", "vit"), (Scheme.BASELINE, Scheme.PASK),
+                            duration_s=4.0)
+    return tasks

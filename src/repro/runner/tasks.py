@@ -1,0 +1,258 @@
+"""Experiment tasks: serializable simulation cells and their executor.
+
+An :class:`ExperimentTask` names one deterministic simulation — a cold
+serve, a hot serve or a cluster trace replay — with every knob that can
+change its outcome.  :func:`execute_task` turns a task into a JSON-safe
+payload; :func:`result_from_payload` / :func:`cluster_stats_from_payload`
+reconstruct the original result objects exactly (floats survive a JSON
+round-trip bit-for-bit via ``repr``), which is what lets the parallel
+engine and the on-disk cache stay byte-identical to the serial path.
+
+Workers keep a per-process :class:`~repro.serving.server.InferenceServer`
+per device so repeated tasks in one worker reuse compiled programs; the
+simulation itself is a pure function of the task, so server reuse never
+changes a result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, fields
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.cache import CacheStats
+from repro.core.results import ExecutionResult
+from repro.core.schemes import Scheme
+from repro.serving.cluster import ClusterConfig, ClusterSimulator, ClusterStats
+from repro.serving.requests import poisson_trace
+from repro.serving.server import InferenceServer
+from repro.sim.faults import FaultCounters, FaultPlan
+from repro.sim.trace import Phase, TraceRecord, TraceRecorder
+
+__all__ = [
+    "ExperimentTask",
+    "execute_task",
+    "result_to_payload",
+    "result_from_payload",
+    "cluster_stats_to_payload",
+    "cluster_stats_from_payload",
+]
+
+_SCHEMES_BY_VALUE = {s.value: s for s in Scheme}
+
+
+@dataclass(frozen=True)
+class ExperimentTask:
+    """One deterministic simulation cell.
+
+    ``kind`` selects the executor path:
+
+    - ``"cold"`` — ``InferenceServer.serve_cold(model, scheme, batch)``
+    - ``"hot"`` — ``InferenceServer.serve_hot(model, batch)``
+    - ``"cluster"`` — a Poisson trace replay (``rate_hz``/``duration_s``/
+      ``seed`` generate the trace; ``instances``/``keep_alive_s`` shape
+      the pool).
+    """
+
+    kind: str = "cold"
+    device: str = "MI100"
+    model: str = "res"
+    scheme: str = Scheme.BASELINE.value
+    batch: int = 1
+    faults: Optional[FaultPlan] = None
+    # Cluster-replay knobs (ignored for cold/hot serves).
+    rate_hz: float = 20.0
+    duration_s: float = 4.0
+    seed: int = 0
+    instances: int = 4
+    keep_alive_s: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("cold", "hot", "cluster"):
+            raise ValueError(f"unknown task kind {self.kind!r}")
+        if self.scheme not in _SCHEMES_BY_VALUE:
+            raise ValueError(f"unknown scheme {self.scheme!r}")
+        if self.batch <= 0:
+            raise ValueError("batch must be positive")
+
+    @property
+    def scheme_enum(self) -> Scheme:
+        """The :class:`Scheme` this task serves under."""
+        return _SCHEMES_BY_VALUE[self.scheme]
+
+    @property
+    def cell_id(self) -> str:
+        """Human-readable stable identifier (used to match baseline
+        cells across ``BENCH_*.json`` files)."""
+        if self.kind == "cluster":
+            return (f"cluster/{self.device}/{self.model}/{self.scheme}"
+                    f"/b{self.batch}/r{self.rate_hz:g}/d{self.duration_s:g}"
+                    f"/s{self.seed}/i{self.instances}/k{self.keep_alive_s:g}")
+        return f"{self.kind}/{self.device}/{self.model}/{self.scheme}/b{self.batch}"
+
+    def describe(self) -> Dict[str, Any]:
+        """JSON-safe dict of every outcome-relevant field (cache keys
+        and report cells are built from this)."""
+        out = asdict(self)
+        out["faults"] = asdict(self.faults) if self.faults is not None else None
+        if self.kind != "cluster":
+            for knob in ("rate_hz", "duration_s", "seed", "instances",
+                         "keep_alive_s"):
+                del out[knob]
+        if self.kind == "hot":
+            # Hot serves always run the baseline-lowered program.
+            del out["scheme"]
+        return out
+
+
+# ----------------------------------------------------------------------
+# Result <-> payload round-trips
+# ----------------------------------------------------------------------
+
+def _trace_to_payload(trace: TraceRecorder) -> List[List[Any]]:
+    return [[r.start, r.end, r.actor, r.phase.value, r.label,
+             [[k, v] for k, v in r.meta]] for r in trace.records]
+
+
+def _trace_from_payload(rows: List[List[Any]]) -> TraceRecorder:
+    recorder = TraceRecorder()
+    for start, end, actor, phase, label, meta in rows:
+        recorder.records.append(TraceRecord(
+            start, end, actor, Phase(phase), label,
+            tuple((k, v) for k, v in meta)))
+    return recorder
+
+
+def _counters_to_payload(counters: Optional[FaultCounters]
+                         ) -> Optional[Dict[str, int]]:
+    return counters.as_dict() if counters is not None else None
+
+
+def _counters_from_payload(payload: Optional[Dict[str, int]]
+                           ) -> Optional[FaultCounters]:
+    return FaultCounters(**payload) if payload is not None else None
+
+
+def _cache_stats_to_payload(stats: Optional[CacheStats]
+                            ) -> Optional[Dict[str, Any]]:
+    if stats is None:
+        return None
+    return {f.name: getattr(stats, f.name) for f in fields(CacheStats)}
+
+
+def _cache_stats_from_payload(payload: Optional[Dict[str, Any]]
+                              ) -> Optional[CacheStats]:
+    return CacheStats(**payload) if payload is not None else None
+
+
+def result_to_payload(result: ExecutionResult) -> Dict[str, Any]:
+    """A JSON-safe payload that reconstructs ``result`` exactly."""
+    return {
+        "type": "execution",
+        "scheme": result.scheme,
+        "model": result.model,
+        "batch": result.batch,
+        "total_time": result.total_time,
+        "trace": _trace_to_payload(result.trace),
+        "loads": result.loads,
+        "loaded_bytes": result.loaded_bytes,
+        "milestone": result.milestone,
+        "cache_stats": _cache_stats_to_payload(result.cache_stats),
+        "reused_layers": result.reused_layers,
+        "skipped_loads": result.skipped_loads,
+        "faults": _counters_to_payload(result.faults),
+        "failed": result.failed,
+        "metadata": dict(result.metadata),
+    }
+
+
+def result_from_payload(payload: Dict[str, Any]) -> ExecutionResult:
+    """Inverse of :func:`result_to_payload`."""
+    if payload.get("type") != "execution":
+        raise ValueError(f"not an execution payload: {payload.get('type')!r}")
+    return ExecutionResult(
+        scheme=payload["scheme"], model=payload["model"],
+        batch=payload["batch"], total_time=payload["total_time"],
+        trace=_trace_from_payload(payload["trace"]),
+        loads=payload["loads"], loaded_bytes=payload["loaded_bytes"],
+        milestone=payload["milestone"],
+        cache_stats=_cache_stats_from_payload(payload["cache_stats"]),
+        reused_layers=payload["reused_layers"],
+        skipped_loads=payload["skipped_loads"],
+        faults=_counters_from_payload(payload["faults"]),
+        failed=payload["failed"],
+        metadata=dict(payload["metadata"]),
+    )
+
+
+def cluster_stats_to_payload(stats: ClusterStats) -> Dict[str, Any]:
+    """A JSON-safe payload that reconstructs ``stats`` exactly."""
+    return {
+        "type": "cluster",
+        "latencies": list(stats.latencies),
+        "cold_starts": stats.cold_starts,
+        "warm_hits": stats.warm_hits,
+        "queue_waits": list(stats.queue_waits),
+        "failed": stats.failed,
+        "faults": stats.faults.as_dict(),
+    }
+
+
+def cluster_stats_from_payload(payload: Dict[str, Any]) -> ClusterStats:
+    """Inverse of :func:`cluster_stats_to_payload`."""
+    if payload.get("type") != "cluster":
+        raise ValueError(f"not a cluster payload: {payload.get('type')!r}")
+    return ClusterStats(
+        latencies=list(payload["latencies"]),
+        cold_starts=payload["cold_starts"],
+        warm_hits=payload["warm_hits"],
+        queue_waits=list(payload["queue_waits"]),
+        failed=payload["failed"],
+        faults=FaultCounters(**payload["faults"]),
+    )
+
+
+def payload_to_object(payload: Dict[str, Any]) -> Any:
+    """Reconstruct whichever result object ``payload`` encodes."""
+    if payload.get("type") == "cluster":
+        return cluster_stats_from_payload(payload)
+    return result_from_payload(payload)
+
+
+# ----------------------------------------------------------------------
+# Worker-side execution
+# ----------------------------------------------------------------------
+
+# One server per device per process: reuses compiled programs across
+# tasks without ever affecting results (each serve runs a fresh
+# Environment).
+_SERVERS: Dict[str, InferenceServer] = {}
+
+
+def _server(device: str) -> InferenceServer:
+    if device not in _SERVERS:
+        _SERVERS[device] = InferenceServer(device)
+    return _SERVERS[device]
+
+
+def execute_task(task: ExperimentTask) -> Dict[str, Any]:
+    """Run ``task``'s simulation and return its JSON-safe payload.
+
+    This is the function worker processes run; it must stay importable
+    at module top level so :mod:`concurrent.futures` can pickle it.
+    """
+    server = _server(task.device)
+    if task.kind == "cold":
+        result = server.serve_cold(task.model, task.scheme_enum, task.batch,
+                                   faults=task.faults)
+        return result_to_payload(result)
+    if task.kind == "hot":
+        result = server.serve_hot(task.model, task.batch, faults=task.faults)
+        return result_to_payload(result)
+    trace = poisson_trace(task.model, task.rate_hz, task.duration_s,
+                          seed=task.seed, batch=task.batch)
+    config = ClusterConfig(scheme=task.scheme_enum,
+                           max_instances=task.instances,
+                           keep_alive_s=task.keep_alive_s,
+                           faults=task.faults)
+    stats = ClusterSimulator(server, config).run(trace)
+    return cluster_stats_to_payload(stats)

@@ -14,8 +14,10 @@ queueing, autoscaling and keep-alive on top.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, List, Optional, Tuple
+from weakref import WeakKeyDictionary
 
 from repro.core.schemes import Scheme
 from repro.serving.requests import RequestTrace
@@ -80,21 +82,48 @@ class ClusterStats:
 
     @property
     def mean_latency(self) -> float:
-        """Arithmetic mean of per-request latency."""
+        """Arithmetic mean of per-request latency.
+
+        ``0.0`` when nothing completed (e.g. every request was
+        explicitly failed by a fault plan) — a replay must always be
+        reportable, crash-free, whatever the fault plan did.
+        """
+        if not self.latencies:
+            return 0.0
         return sum(self.latencies) / len(self.latencies)
 
     def percentile(self, q: float) -> float:
-        """The q-quantile (0..1) of request latency."""
+        """The q-quantile (0..1) of request latency, by nearest rank.
+
+        Uses the standard nearest-rank definition (rank ``ceil(q * n)``,
+        1-based), so ``percentile(0.5)`` of an odd-length sample is its
+        true median and ``percentile(1.0)`` is the maximum.  ``0.0``
+        when nothing completed, for the same reason as
+        :attr:`mean_latency`.
+        """
         if not 0 <= q <= 1:
             raise ValueError(f"quantile out of range: {q}")
+        if not self.latencies:
+            return 0.0
         ordered = sorted(self.latencies)
-        index = min(len(ordered) - 1, int(q * len(ordered)))
-        return ordered[index]
+        rank = max(1, math.ceil(q * len(ordered)))
+        return ordered[rank - 1]
 
     @property
     def cold_start_fraction(self) -> float:
         """Share of requests that paid a cold start."""
         return self.cold_starts / self.requests if self.requests else 0.0
+
+
+# Per-server service-time memo shared by every ClusterSimulator built on
+# that server: replaying many traces (or many fault plans) against the
+# same (scheme, model, batch) re-simulates the cold/hot serve exactly
+# once per process instead of once per simulator.  Keyed weakly so a
+# discarded server releases its entries.  Service times are always
+# simulated fault-free (crashes are injected at the cluster layer), so
+# sharing across configs with different fault plans is sound.
+_SERVICE_TIMES: "WeakKeyDictionary[InferenceServer, Dict[Tuple, float]]" = \
+    WeakKeyDictionary()
 
 
 class ClusterSimulator:
@@ -103,21 +132,24 @@ class ClusterSimulator:
     def __init__(self, server: InferenceServer, config: ClusterConfig) -> None:
         self.server = server
         self.config = config
-        self._cold_cache = {}
-        self._warm_cache = {}
+        try:
+            self._service_times = _SERVICE_TIMES.setdefault(server, {})
+        except TypeError:  # non-weakref-able server stand-in (tests)
+            self._service_times = {}
 
     def _cold_time(self, model: str, batch: int) -> float:
-        key = (model, batch)
-        if key not in self._cold_cache:
+        key = ("cold", self.config.scheme, model, batch)
+        if key not in self._service_times:
             result = self.server.serve_cold(model, self.config.scheme, batch)
-            self._cold_cache[key] = result.total_time
-        return self._cold_cache[key]
+            self._service_times[key] = result.total_time
+        return self._service_times[key]
 
     def _warm_time(self, model: str, batch: int) -> float:
-        key = (model, batch)
-        if key not in self._warm_cache:
-            self._warm_cache[key] = self.server.serve_hot(model, batch).total_time
-        return self._warm_cache[key]
+        key = ("hot", model, batch)
+        if key not in self._service_times:
+            self._service_times[key] = \
+                self.server.serve_hot(model, batch).total_time
+        return self._service_times[key]
 
     def run(self, trace: RequestTrace) -> ClusterStats:
         """Replay ``trace`` and collect per-request statistics.

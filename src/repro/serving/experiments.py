@@ -72,6 +72,38 @@ class ExperimentSuite:
                 model, batch, faults=self.faults)
         return self._hot[key]
 
+    def inject_cold(self, device: str, model: str, scheme: Scheme,
+                    batch: int, result: ExecutionResult) -> None:
+        """Seed the cold-run memo with an externally computed result.
+
+        This is the bridge from :mod:`repro.runner`: the parallel engine
+        computes the grid out of process and injects the cells here, so
+        every figure/table method replays from the memo without running
+        a simulation.  Results are byte-identical either way (the
+        determinism tests pin this).
+        """
+        self._cold[(device, model, scheme, batch)] = result
+
+    def inject_hot(self, device: str, model: str, batch: int,
+                   result: ExecutionResult) -> None:
+        """Seed the hot-run memo (see :meth:`inject_cold`)."""
+        self._hot[(device, model, batch)] = result
+
+    def prewarm(self, jobs: int = 1, cache=None):
+        """Fill the memo tables through the parallel engine.
+
+        Runs the full experiment grid (headline schemes across the
+        Table II batch sweep, the ablations, hot runs, and the Fig. 1(a)
+        cells on the other devices) out of process and injects every
+        cell, after which all figure/table methods replay from the memo.
+        Returns the engine's :class:`~repro.runner.RunStats`.
+        """
+        from repro.runner.engine import prewarm_suite_tasks
+        from repro.runner.grid import experiment_grid
+        tasks = experiment_grid(device=self.device, models=self.models,
+                                faults=self.faults)
+        return prewarm_suite_tasks(self, tasks, jobs=jobs, cache=cache)
+
     def speedup(self, model: str, scheme: Scheme, batch: int = 1,
                 device: Optional[str] = None) -> float:
         """Cold-start speedup of ``scheme`` over the baseline."""

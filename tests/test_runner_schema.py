@@ -1,0 +1,65 @@
+"""Tests for the BENCH report schema and its hand-rolled validator."""
+
+import copy
+
+from repro.runner import BENCH_SCHEMA, run_bench, validate_report
+
+
+def _valid_payload(tmp_path):
+    return run_bench(grid="quick", jobs=1,
+                     cache_dir=str(tmp_path / "cache"), write=False).payload
+
+
+class TestValidator:
+    def test_real_report_is_valid(self, tmp_path):
+        assert validate_report(_valid_payload(tmp_path)) == []
+
+    def test_non_dict_rejected(self):
+        assert validate_report([]) != []
+        assert validate_report(None) != []
+
+    def test_missing_section_reported(self, tmp_path):
+        payload = _valid_payload(tmp_path)
+        for section in ("schema_version", "meta", "run", "cache",
+                        "totals", "cells", "summary"):
+            broken = copy.deepcopy(payload)
+            del broken[section]
+            errors = validate_report(broken)
+            assert any(section in error for error in errors), section
+
+    def test_cell_count_mismatch_reported(self, tmp_path):
+        payload = _valid_payload(tmp_path)
+        payload["totals"]["cells"] += 1
+        assert validate_report(payload) != []
+
+    def test_bad_cell_field_type_reported(self, tmp_path):
+        payload = _valid_payload(tmp_path)
+        payload["cells"][0]["total_time_s"] = "fast"
+        assert validate_report(payload) != []
+
+    def test_missing_cell_field_reported(self, tmp_path):
+        payload = _valid_payload(tmp_path)
+        cluster = next(c for c in payload["cells"]
+                       if c["kind"] == "cluster")
+        del cluster["p99_s"]
+        assert validate_report(payload) != []
+
+    def test_unknown_cell_kind_reported(self, tmp_path):
+        payload = _valid_payload(tmp_path)
+        payload["cells"][0]["kind"] = "lukewarm"
+        assert validate_report(payload) != []
+
+    def test_wrong_schema_version_reported(self, tmp_path):
+        payload = _valid_payload(tmp_path)
+        payload["schema_version"] = 999
+        assert validate_report(payload) != []
+
+
+class TestSchemaDocument:
+    def test_is_draft07_shaped(self):
+        assert BENCH_SCHEMA["$schema"].startswith("http://json-schema.org")
+        assert BENCH_SCHEMA["type"] == "object"
+        required = set(BENCH_SCHEMA["required"])
+        assert {"schema_version", "meta", "run", "cache", "totals",
+                "cells", "summary"} <= required
+        assert set(BENCH_SCHEMA["properties"]) >= required

@@ -113,3 +113,61 @@ class TestClusterSimulator:
         assert stats.percentile(0.0) <= stats.percentile(1.0)
         with pytest.raises(ValueError):
             stats.percentile(1.5)
+
+
+class TestClusterStatsEdgeCases:
+    """Regression tests: stats must be crash-free on empty latencies and
+    use the nearest-rank percentile definition."""
+
+    def test_empty_stats_are_reportable(self):
+        from repro.serving.cluster import ClusterStats
+        stats = ClusterStats()
+        assert stats.mean_latency == 0.0
+        assert stats.percentile(0.5) == 0.0
+        assert stats.percentile(0.99) == 0.0
+        assert stats.cold_start_fraction == 0.0
+        assert stats.availability == 1.0
+
+    def test_all_failed_stats_are_reportable(self):
+        from repro.serving.cluster import ClusterStats
+        stats = ClusterStats(failed=5)
+        assert stats.completed == 0
+        assert stats.requests == 5
+        assert stats.availability == 0.0
+        assert stats.mean_latency == 0.0
+        assert stats.percentile(0.99) == 0.0
+
+    def test_nearest_rank_percentile(self):
+        from repro.serving.cluster import ClusterStats
+        stats = ClusterStats(latencies=[5.0, 1.0, 3.0, 2.0, 4.0])
+        # Nearest rank: rank = ceil(q * 5), 1-based.
+        assert stats.percentile(0.5) == 3.0    # true median, odd n
+        assert stats.percentile(1.0) == 5.0    # maximum
+        assert stats.percentile(0.0) == 1.0    # clamped to rank 1
+        assert stats.percentile(0.2) == 1.0
+        assert stats.percentile(0.21) == 2.0
+
+    def test_single_latency(self):
+        from repro.serving.cluster import ClusterStats
+        stats = ClusterStats(latencies=[0.25])
+        assert stats.mean_latency == 0.25
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert stats.percentile(q) == 0.25
+
+    def test_replay_with_every_request_failed(self, server):
+        """A fault plan that kills every attempt must yield a replay
+        whose stats are still fully reportable (the original crash)."""
+        from repro.sim.faults import FaultPlan
+        plan = FaultPlan(seed=11, crash_rate=1.0, max_reroutes=0,
+                         restart_delay_s=0.01)
+        sim = ClusterSimulator(
+            server, ClusterConfig(scheme=Scheme.BASELINE, faults=plan))
+        stats = sim.run(burst_trace("alex", 4))
+        assert stats.completed == 0
+        assert stats.failed == 4
+        assert stats.requests == 4
+        assert stats.availability == 0.0
+        # These used to raise ZeroDivisionError / IndexError:
+        assert stats.mean_latency == 0.0
+        assert stats.percentile(0.5) == 0.0
+        assert stats.percentile(0.99) == 0.0

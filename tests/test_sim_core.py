@@ -366,3 +366,172 @@ def test_tie_breaking_is_fifo():
         env.process(proc(name))
     env.run()
     assert order == ["first", "second", "third"]
+
+
+# ---------------------------------------------------------------------------
+# Property tests: the optimized kernel (immediate-event deque, lazy
+# callback storage, __slots__) must preserve the exact (time, sequence)
+# global event ordering of the original single-heap implementation.
+# ---------------------------------------------------------------------------
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+_delays = st.lists(
+    st.floats(min_value=0.0, max_value=10.0,
+              allow_nan=False, allow_infinity=False),
+    min_size=1, max_size=30)
+
+
+def _firing_order(delays):
+    """Schedule one timeout per delay and record the firing order."""
+    env = Environment()
+    order = []
+
+    def proc(index, delay):
+        yield env.timeout(delay)
+        order.append((index, env.now))
+
+    for index, delay in enumerate(delays):
+        env.process(proc(index, delay))
+    env.run()
+    return order
+
+
+@settings(max_examples=200, deadline=None)
+@given(_delays)
+def test_same_schedule_is_deterministic(delays):
+    """Two identical schedules produce identical event orderings."""
+    assert _firing_order(delays) == _firing_order(list(delays))
+
+
+@settings(max_examples=200, deadline=None)
+@given(_delays)
+def test_global_order_is_time_then_sequence(delays):
+    """Events fire sorted by (time, scheduling sequence).
+
+    This pins the zero-delay fast path: immediate events routed through
+    the deque must interleave with heap events in exactly the order a
+    single priority queue would produce.
+    """
+    order = _firing_order(delays)
+    # Every process does one env.process (seq 2i) then one timeout
+    # (seq 2i+1 at creation time 0), so timeout seq order == index order.
+    expected = sorted(range(len(delays)), key=lambda i: (delays[i], i))
+    assert [index for index, _ in order] == expected
+    for index, fired_at in order:
+        assert fired_at == delays[index]
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.integers(min_value=1, max_value=20),
+       st.floats(min_value=0.0, max_value=5.0,
+                 allow_nan=False, allow_infinity=False))
+def test_equal_delay_ties_break_fifo(count, delay):
+    """N timeouts with the same delay fire in scheduling order."""
+    order = _firing_order([delay] * count)
+    assert [index for index, _ in order] == list(range(count))
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.floats(min_value=0.0, max_value=10.0,
+                          allow_nan=False, allow_infinity=False),
+                min_size=1, max_size=10))
+def test_all_of_preserves_input_order(delays):
+    """AllOf yields values in input order and fires at the max delay."""
+    env = Environment()
+    seen = {}
+
+    def proc():
+        values = yield env.all_of(
+            [env.timeout(d, value=i) for i, d in enumerate(delays)])
+        seen["values"] = values
+        seen["time"] = env.now
+
+    env.process(proc())
+    env.run()
+    assert seen["values"] == list(range(len(delays)))
+    assert seen["time"] == max(delays)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.floats(min_value=0.0, max_value=10.0,
+                          allow_nan=False, allow_infinity=False),
+                min_size=1, max_size=10))
+def test_any_of_returns_earliest_scheduled_winner(delays):
+    """AnyOf fires at the min delay with the first-scheduled winner."""
+    env = Environment()
+    seen = {}
+
+    def proc():
+        value = yield env.any_of(
+            [env.timeout(d, value=i) for i, d in enumerate(delays)])
+        seen["value"] = value
+        seen["time"] = env.now
+
+    env.process(proc())
+    env.run()
+    fastest = min(delays)
+    assert seen["time"] == fastest
+    # Ties break by scheduling sequence: first index at the min delay.
+    assert seen["value"] == delays.index(fastest)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.floats(min_value=0.5, max_value=5.0,
+                 allow_nan=False, allow_infinity=False),
+       st.floats(min_value=0.0, max_value=0.4,
+                 allow_nan=False, allow_infinity=False))
+def test_interrupt_fires_before_pending_timeout(wait, strike):
+    """An interrupt lands at the attacker's time, not the victim's, and
+    the stale wakeup never resumes the victim early."""
+    env = Environment()
+    log = []
+
+    def victim():
+        try:
+            yield env.timeout(wait)
+            log.append(("finished", env.now))
+        except Interrupt as interrupt:
+            log.append(("interrupted", interrupt.cause, env.now))
+        yield env.timeout(wait)
+        log.append(("resumed", env.now))
+
+    def attacker(target):
+        yield env.timeout(strike)
+        target.interrupt(cause="chaos")
+
+    target = env.process(victim())
+    env.process(attacker(target))
+    env.run()
+    assert log[0] == ("interrupted", "chaos", strike)
+    assert log[1] == ("resumed", strike + wait)
+
+
+@settings(max_examples=50, deadline=None)
+@given(_delays)
+def test_zero_delay_chain_runs_within_one_instant(delays):
+    """A chain of zero timeouts scheduled among real ones never
+    advances the clock and still respects FIFO with heap events."""
+    env = Environment()
+    order = []
+
+    def zero_chain(name, hops):
+        for _ in range(hops):
+            yield env.timeout(0.0)
+        order.append((name, env.now))
+
+    def sleeper(name, delay):
+        yield env.timeout(delay)
+        order.append((name, env.now))
+
+    env.process(zero_chain("chain", min(len(delays), 5)))
+    for index, delay in enumerate(delays):
+        env.process(sleeper(index, delay))
+    env.run()
+    chain_pos = [i for i, (name, _) in enumerate(order)
+                 if name == "chain"][0]
+    assert order[chain_pos][1] == 0.0
+    # Everything that fired before the chain also fired at t=0.
+    for _, fired_at in order[:chain_pos]:
+        assert fired_at == 0.0
