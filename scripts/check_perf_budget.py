@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Perf smoke: replay wall-clock versus a checked-in budget file.
+
+Usage::
+
+    python scripts/check_perf_budget.py benchmarks/trace_scaling_budget.json
+
+Runs the cluster replay profile (``repro.runner.profile_cluster``) for
+every entry in the budget file, taking the best of ``repeats`` runs, and
+fails if any measurement exceeds ``regression_factor`` times its
+``budget_s``.  Budgets are deliberately loose (~4x a warm local run), so
+the gate only trips on a genuine hot-path regression — not on a noisy
+shared runner.  Used by the CI perf-smoke job; run it locally after
+touching ``repro/sim/trace.py`` or ``repro/serving/cluster.py``.
+"""
+
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.runner import profile_cluster  # noqa: E402
+
+
+def main(argv):
+    if len(argv) != 1:
+        print("usage: check_perf_budget.py <budget.json>", file=sys.stderr)
+        return 2
+    with open(argv[0], encoding="utf-8") as handle:
+        budget = json.load(handle)
+    factor = budget.get("regression_factor", 2.0)
+    repeats = budget.get("repeats", 3)
+    rate_hz = budget.get("rate_hz", 200.0)
+    failures = 0
+    width = max(len(entry["name"]) for entry in budget["entries"])
+    for entry in budget["entries"]:
+        best = None
+        for _ in range(repeats):
+            profile = profile_cluster(
+                requests=entry["requests"], rate_hz=rate_hz,
+                trace_retention=entry["trace_retention"],
+                fast_forward=entry["fast_forward"])
+            if best is None or profile.wall_s < best.wall_s:
+                best = profile
+        ceiling = factor * entry["budget_s"]
+        verdict = "ok" if best.wall_s <= ceiling else "REGRESSION"
+        if verdict != "ok":
+            failures += 1
+        print(f"{entry['name']:<{width}}  wall={best.wall_s:7.3f}s  "
+              f"budget={entry['budget_s']:.3f}s  ceiling={ceiling:.3f}s  "
+              f"requests={best.requests}  "
+              f"retained={best.peak_retained_records}  {verdict}")
+    if failures:
+        print(f"{failures} measurement(s) over {factor}x budget",
+              file=sys.stderr)
+        return 1
+    print("all measurements within budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

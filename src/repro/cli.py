@@ -14,6 +14,9 @@ Commands
 - ``bench`` — run a curated benchmark grid through the parallel engine
   (``--jobs``) with the on-disk result cache, emit a machine-readable
   ``BENCH_<timestamp>.json`` and optionally gate against a baseline.
+- ``profile`` — measure simulator throughput: wall-clock per simulated
+  request on a cluster replay, peak retained trace records, and raw
+  event-kernel throughput.
 """
 
 from __future__ import annotations
@@ -96,6 +99,15 @@ def build_parser() -> argparse.ArgumentParser:
     cluster.add_argument("--seed", type=int, default=0)
     cluster.add_argument("--device", default="MI100",
                          choices=["MI100", "A100", "6900XT"])
+    cluster.add_argument("--trace-retention", default=None,
+                         choices=["full", "aggregate"],
+                         help="record request-level trace intervals "
+                              "(aggregate keeps streaming metrics plus a "
+                              "bounded ring of recent records)")
+    cluster.add_argument("--no-fast-forward", action="store_true",
+                         help="disable the steady-state fast path "
+                              "(results are identical; this is a perf "
+                              "comparison knob)")
 
     validate = sub.add_parser(
         "validate", help="check the reproduction's acceptance criteria")
@@ -152,6 +164,42 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--tolerance", type=float, default=0.05,
                        help="relative regression tolerance for --baseline "
                             "(default: 0.05)")
+    bench.add_argument("--trace-retention", default=None,
+                       choices=["full", "aggregate"],
+                       help="record request-level traces on the cluster "
+                            "cells (default: off)")
+    bench.add_argument("--cluster-scale", type=float, default=1.0,
+                       help="multiply the cluster cells' trace duration, "
+                            "scaling the simulated request count "
+                            "(default: 1.0)")
+
+    profile = sub.add_parser(
+        "profile", help="measure simulator throughput: wall-clock per "
+                        "simulated request, peak retained trace records "
+                        "and event-kernel throughput")
+    profile.add_argument("model", nargs="?", default="res")
+    profile.add_argument("--scheme", default="pask",
+                         choices=sorted(_SCHEMES))
+    profile.add_argument("--requests", type=int, default=100_000,
+                         help="target simulated request count "
+                              "(default: 100000)")
+    profile.add_argument("--rate", type=float, default=20.0,
+                         help="requests per second (default: 20)")
+    profile.add_argument("--instances", type=int, default=4)
+    profile.add_argument("--keep-alive", type=float, default=0.5)
+    profile.add_argument("--seed", type=int, default=0)
+    profile.add_argument("--trace-retention", default="aggregate",
+                         choices=["none", "full", "aggregate"],
+                         help="trace retention during the replay "
+                              "(default: aggregate)")
+    profile.add_argument("--no-fast-forward", action="store_true",
+                         help="disable the steady-state fast path for "
+                              "comparison")
+    profile.add_argument("--events", type=int, default=100_000,
+                         help="timeout-chain length for the event-kernel "
+                              "microbench (default: 100000)")
+    profile.add_argument("--device", default="MI100",
+                         choices=["MI100", "A100", "6900XT"])
     return parser
 
 
@@ -249,9 +297,40 @@ def _cmd_bench(args, out) -> int:
         baseline_path=args.baseline,
         tolerance=args.tolerance,
         write=not args.no_report,
+        trace_retention=args.trace_retention,
+        cluster_scale=args.cluster_scale,
         echo=out,
     )
     return 0 if report.ok else 1
+
+
+def _cmd_profile(args, out) -> int:
+    from repro.runner import profile_cluster, profile_event_kernel
+    retention = (None if args.trace_retention == "none"
+                 else args.trace_retention)
+    cluster = profile_cluster(
+        device=args.device, model=args.model,
+        scheme=_SCHEMES[args.scheme], requests=args.requests,
+        rate_hz=args.rate, instances=args.instances,
+        keep_alive_s=args.keep_alive, seed=args.seed,
+        trace_retention=retention,
+        fast_forward=not args.no_fast_forward)
+    out(f"cluster replay: {cluster.requests} requests of {args.model!r} "
+        f"under {_SCHEMES[args.scheme].label} on {args.device}")
+    out(f"  wall-clock: {cluster.wall_s:.3f}s total, "
+        f"{cluster.wall_per_request_s * 1e6:.2f} us/request "
+        f"({cluster.requests_per_s:,.0f} requests/s)")
+    out(f"  fast-forwarded: {cluster.fast_forwarded} requests "
+        f"({cluster.fast_forward_fraction:.1%}); "
+        f"cold starts: {cluster.cold_starts}")
+    out(f"  trace: {cluster.trace_records} records, peak retained "
+        f"{cluster.peak_retained_records} "
+        f"(retention {args.trace_retention})")
+    out(f"  mean latency: {cluster.mean_latency_s * 1e3:.3f} ms")
+    kernel = profile_event_kernel(events=args.events)
+    out(f"event kernel: {kernel.events} events in {kernel.wall_s:.3f}s "
+        f"({kernel.events_per_s:,.0f} events/s)")
+    return 0
 
 
 def _cmd_session(args, out) -> int:
@@ -275,7 +354,9 @@ def _cmd_cluster(args, out) -> int:
     trace = poisson_trace(args.model, args.rate, args.duration,
                           seed=args.seed)
     config = ClusterConfig(scheme=scheme, max_instances=args.instances,
-                           keep_alive_s=args.keep_alive)
+                           keep_alive_s=args.keep_alive,
+                           trace_retention=args.trace_retention,
+                           fast_forward=not args.no_fast_forward)
     stats = ClusterSimulator(server, config).run(trace)
     out(f"{len(trace)} requests of {args.model!r} under {scheme.label} "
         f"({args.instances} instances, keep-alive {args.keep_alive}s):")
@@ -284,6 +365,13 @@ def _cmd_cluster(args, out) -> int:
     out(f"  latency mean {stats.mean_latency * 1e3:.2f} ms, "
         f"p50 {stats.percentile(0.5) * 1e3:.2f} ms, "
         f"p99 {stats.percentile(0.99) * 1e3:.2f} ms")
+    if stats.fast_forwarded:
+        out(f"  fast-forwarded: {stats.fast_forwarded} requests "
+            f"({stats.fast_forwarded / max(1, stats.requests):.0%})")
+    if stats.trace is not None:
+        out(f"  trace: {stats.trace.record_count} records "
+            f"({stats.trace.retained_records} retained, "
+            f"retention {stats.trace.retention})")
     return 0
 
 
@@ -382,6 +470,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_validate(args, out)
     if args.command == "chaos":
         return _cmd_chaos(args, out)
+    if args.command == "profile":
+        return _cmd_profile(args, out)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -28,6 +28,8 @@ from repro.runner.cache import CacheCounters, ResultCache, task_key
 from repro.runner.engine import (RunStats, TaskOutcome, prewarm_suite,
                                  run_tasks)
 from repro.runner.grid import bench_grid, experiment_grid
+from repro.runner.profile import (ClusterProfile, EventKernelProfile,
+                                  profile_cluster, profile_event_kernel)
 from repro.runner.schema import BENCH_SCHEMA, validate_report
 from repro.runner.tasks import (ExperimentTask, cluster_stats_from_payload,
                                 cluster_stats_to_payload, execute_task,
@@ -55,4 +57,8 @@ __all__ = [
     "BenchReport",
     "BENCH_SCHEMA",
     "validate_report",
+    "ClusterProfile",
+    "EventKernelProfile",
+    "profile_cluster",
+    "profile_event_kernel",
 ]

@@ -66,6 +66,7 @@ def _serve_cell(task: ExperimentTask, outcome: TaskOutcome) -> Dict[str, Any]:
 def _cluster_cell(task: ExperimentTask, outcome: TaskOutcome
                   ) -> Dict[str, Any]:
     stats = cluster_stats_from_payload(outcome.payload)
+    trace = stats.trace
     return {
         "id": task.cell_id, "kind": "cluster", "device": task.device,
         "model": task.model, "scheme": task.scheme, "batch": task.batch,
@@ -74,6 +75,9 @@ def _cluster_cell(task: ExperimentTask, outcome: TaskOutcome
         "cold_starts": stats.cold_starts,
         "mean_latency_s": stats.mean_latency,
         "p50_s": stats.percentile(0.50), "p99_s": stats.percentile(0.99),
+        "fast_forwarded": stats.fast_forwarded,
+        "trace_records": trace.record_count if trace is not None else 0,
+        "trace_retained": trace.retained_records if trace is not None else 0,
     }
 
 
@@ -189,17 +193,23 @@ def run_bench(grid: str = "quick", jobs: int = 1,
               cache_dir: str = ".repro-cache", use_cache: bool = True,
               out_dir: str = ".", baseline_path: Optional[str] = None,
               tolerance: float = 0.05, write: bool = True,
+              trace_retention: Optional[str] = None,
+              cluster_scale: float = 1.0,
               echo: Optional[Callable[[str], None]] = None) -> BenchReport:
     """Run one full bench cycle: grid → engine → report (→ gate).
 
     ``use_cache=False`` (the ``--no-cache`` path) skips cache reads but
     still writes fresh results back, so the store ends the run warm.
+    ``trace_retention``/``cluster_scale`` parameterize the cluster cells
+    (request-level tracing and simulated request count; see
+    :func:`~repro.runner.grid.bench_grid`).
     """
     def say(text: str = "") -> None:
         if echo is not None:
             echo(text)
 
-    tasks = bench_grid(grid)
+    tasks = bench_grid(grid, trace_retention=trace_retention,
+                       cluster_scale=cluster_scale)
     cache = ResultCache(cache_dir, read=use_cache, write=True)
     say(f"repro bench: grid {grid!r}, {len(tasks)} cells, jobs={jobs}, "
         f"cache {'on' if use_cache else 'bypassed (writes only)'} "

@@ -64,18 +64,32 @@ def experiment_grid(device: str = "MI100",
 
 
 def _cluster_cells(models: Sequence[str], schemes: Sequence[Scheme],
-                   duration_s: float) -> List[ExperimentTask]:
+                   duration_s: float,
+                   trace_retention: Optional[str] = None
+                   ) -> List[ExperimentTask]:
     return [ExperimentTask(kind="cluster", model=model, scheme=scheme.value,
                            rate_hz=20.0, duration_s=duration_s, seed=0,
-                           instances=4, keep_alive_s=0.5)
+                           instances=4, keep_alive_s=0.5,
+                           trace_retention=trace_retention)
             for model in models for scheme in schemes]
 
 
-def bench_grid(name: str = "quick") -> List[ExperimentTask]:
-    """The curated ``repro bench`` grid called ``name``."""
+def bench_grid(name: str = "quick",
+               trace_retention: Optional[str] = None,
+               cluster_scale: float = 1.0) -> List[ExperimentTask]:
+    """The curated ``repro bench`` grid called ``name``.
+
+    ``trace_retention`` turns on request-level tracing for the cluster
+    cells (``"full"`` or ``"aggregate"``); ``cluster_scale`` multiplies
+    their trace duration, scaling the simulated request count without
+    touching the serve cells (a scale of 1000 on the quick grid yields
+    ~10⁶-request replays).
+    """
     if name not in BENCH_GRIDS:
         raise ValueError(f"unknown bench grid {name!r}; "
                          f"expected one of {BENCH_GRIDS}")
+    if cluster_scale <= 0:
+        raise ValueError("cluster_scale must be positive")
     tasks: List[ExperimentTask] = []
     if name == "quick":
         models = ("res", "vit")
@@ -85,7 +99,8 @@ def bench_grid(name: str = "quick") -> List[ExperimentTask]:
                                             scheme=scheme.value))
             tasks.append(ExperimentTask(kind="hot", model=model))
         tasks += _cluster_cells(("res",), (Scheme.BASELINE, Scheme.PASK),
-                                duration_s=2.0)
+                                duration_s=2.0 * cluster_scale,
+                                trace_retention=trace_retention)
         return tasks
     models = list_models()
     for model in models:
@@ -105,5 +120,6 @@ def bench_grid(name: str = "quick") -> List[ExperimentTask]:
             tasks.append(ExperimentTask(kind="hot", device=device,
                                         model=model))
     tasks += _cluster_cells(("res", "vit"), (Scheme.BASELINE, Scheme.PASK),
-                            duration_s=4.0)
+                            duration_s=4.0 * cluster_scale,
+                            trace_retention=trace_retention)
     return tasks

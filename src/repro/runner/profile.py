@@ -1,0 +1,139 @@
+"""Simulator throughput profiling behind ``repro profile``.
+
+Reports the three numbers the perf work optimizes for:
+
+- **wall-clock per simulated request** on a cluster trace replay (and
+  the fraction of requests served by the steady-state fast path),
+- **peak retained trace records** (bounded by the ring under
+  ``retention="aggregate"``, unbounded under ``"full"``),
+- **event-kernel throughput** — raw scheduled events per second through
+  :class:`~repro.sim.core.Environment`.
+
+All simulated results stay deterministic; only the wall-clock readings
+vary between machines, which is why they live here and not in the
+deterministic ``BENCH_*.json`` cells.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Optional
+
+from repro.core.schemes import Scheme
+from repro.serving.cluster import ClusterConfig, ClusterSimulator
+from repro.serving.requests import poisson_trace
+from repro.serving.server import InferenceServer
+from repro.sim.core import Environment
+
+__all__ = ["ClusterProfile", "EventKernelProfile", "profile_cluster",
+           "profile_event_kernel"]
+
+
+@dataclass(frozen=True)
+class ClusterProfile:
+    """Wall-clock and memory profile of one cluster trace replay."""
+
+    requests: int
+    wall_s: float
+    fast_forwarded: int
+    trace_records: int
+    peak_retained_records: int
+    cold_starts: int
+    mean_latency_s: float
+
+    @property
+    def wall_per_request_s(self) -> float:
+        """Wall-clock seconds spent per simulated request."""
+        return self.wall_s / self.requests if self.requests else 0.0
+
+    @property
+    def requests_per_s(self) -> float:
+        """Simulated requests replayed per wall-clock second."""
+        return self.requests / self.wall_s if self.wall_s > 0 else 0.0
+
+    @property
+    def fast_forward_fraction(self) -> float:
+        """Share of requests served by the analytic fast path."""
+        return (self.fast_forwarded / self.requests
+                if self.requests else 0.0)
+
+
+@dataclass(frozen=True)
+class EventKernelProfile:
+    """Raw throughput of the discrete-event kernel."""
+
+    events: int
+    wall_s: float
+
+    @property
+    def events_per_s(self) -> float:
+        """Scheduled events processed per wall-clock second."""
+        return self.events / self.wall_s if self.wall_s > 0 else 0.0
+
+
+def profile_cluster(device: str = "MI100", model: str = "res",
+                    scheme: Scheme = Scheme.PASK,
+                    requests: int = 100_000, rate_hz: float = 20.0,
+                    instances: int = 4, keep_alive_s: float = 0.5,
+                    seed: int = 0,
+                    trace_retention: Optional[str] = "aggregate",
+                    trace_ring: int = 1024,
+                    fast_forward: bool = True) -> ClusterProfile:
+    """Replay a ~``requests``-arrival Poisson trace and time it.
+
+    ``requests`` sets the trace duration (``requests / rate_hz``), so
+    the actual arrival count is Poisson-distributed around it; the
+    returned profile reports the exact count.  Trace generation and
+    server construction are excluded from the timed section — the
+    profile isolates the simulator's replay loop.
+    """
+    if requests <= 0:
+        raise ValueError("requests must be positive")
+    if rate_hz <= 0:
+        raise ValueError("rate_hz must be positive")
+    server = InferenceServer(device)
+    trace = poisson_trace(model, rate_hz, requests / rate_hz, seed=seed)
+    config = ClusterConfig(scheme=scheme, max_instances=instances,
+                           keep_alive_s=keep_alive_s,
+                           trace_retention=trace_retention,
+                           trace_ring=trace_ring,
+                           fast_forward=fast_forward)
+    simulator = ClusterSimulator(server, config)
+    began = perf_counter()
+    stats = simulator.run(trace)
+    wall = perf_counter() - began
+    recorder = stats.trace
+    return ClusterProfile(
+        requests=stats.requests,
+        wall_s=wall,
+        fast_forwarded=stats.fast_forwarded,
+        trace_records=recorder.record_count if recorder is not None else 0,
+        peak_retained_records=(recorder.retained_records
+                               if recorder is not None else 0),
+        cold_starts=stats.cold_starts,
+        mean_latency_s=stats.mean_latency,
+    )
+
+
+def profile_event_kernel(events: int = 100_000) -> EventKernelProfile:
+    """Drain a timeout-chain process and measure raw kernel throughput.
+
+    One loop iteration schedules a delayed timeout and resumes the
+    process — the dominant pattern on the simulator's hot path.  The
+    profile counts every scheduled event (``Environment.events_scheduled``),
+    not just the explicit timeouts.
+    """
+    if events <= 0:
+        raise ValueError("events must be positive")
+    env = Environment()
+
+    def churn():
+        for _ in range(events):
+            yield env.timeout(1e-6)
+
+    env.process(churn())
+    began = perf_counter()
+    env.run()
+    wall = perf_counter() - began
+    return EventKernelProfile(events=env.events_scheduled, wall_s=wall)

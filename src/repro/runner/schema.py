@@ -44,6 +44,9 @@ _CLUSTER_CELL_PROPS = {
     "mean_latency_s": {"type": "number", "minimum": 0},
     "p50_s": {"type": "number", "minimum": 0},
     "p99_s": {"type": "number", "minimum": 0},
+    "fast_forwarded": {"type": "integer", "minimum": 0},
+    "trace_records": {"type": "integer", "minimum": 0},
+    "trace_retained": {"type": "integer", "minimum": 0},
 }
 
 BENCH_SCHEMA: Dict[str, Any] = {

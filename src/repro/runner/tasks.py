@@ -26,7 +26,8 @@ from repro.serving.cluster import ClusterConfig, ClusterSimulator, ClusterStats
 from repro.serving.requests import poisson_trace
 from repro.serving.server import InferenceServer
 from repro.sim.faults import FaultCounters, FaultPlan
-from repro.sim.trace import Phase, TraceRecord, TraceRecorder
+from repro.sim.trace import (RETENTION_POLICIES, Phase, TraceRecord,
+                             TraceRecorder)
 
 __all__ = [
     "ExperimentTask",
@@ -65,6 +66,11 @@ class ExperimentTask:
     seed: int = 0
     instances: int = 4
     keep_alive_s: float = 0.5
+    # Request-level tracing for cluster replays: None records nothing
+    # (byte-identical to the pre-tracing simulator), "full" keeps every
+    # record, "aggregate" keeps streaming aggregates + a bounded ring.
+    trace_retention: Optional[str] = None
+    trace_ring: int = 1024
 
     def __post_init__(self) -> None:
         if self.kind not in ("cold", "hot", "cluster"):
@@ -73,6 +79,13 @@ class ExperimentTask:
             raise ValueError(f"unknown scheme {self.scheme!r}")
         if self.batch <= 0:
             raise ValueError("batch must be positive")
+        if (self.trace_retention is not None
+                and self.trace_retention not in RETENTION_POLICIES):
+            raise ValueError(
+                f"unknown trace retention {self.trace_retention!r}; "
+                f"expected None or one of {RETENTION_POLICIES}")
+        if self.trace_ring <= 0:
+            raise ValueError("trace_ring must be positive")
 
     @property
     def scheme_enum(self) -> Scheme:
@@ -84,9 +97,12 @@ class ExperimentTask:
         """Human-readable stable identifier (used to match baseline
         cells across ``BENCH_*.json`` files)."""
         if self.kind == "cluster":
-            return (f"cluster/{self.device}/{self.model}/{self.scheme}"
+            cell = (f"cluster/{self.device}/{self.model}/{self.scheme}"
                     f"/b{self.batch}/r{self.rate_hz:g}/d{self.duration_s:g}"
                     f"/s{self.seed}/i{self.instances}/k{self.keep_alive_s:g}")
+            if self.trace_retention is not None:
+                cell += f"/t{self.trace_retention}"
+            return cell
         return f"{self.kind}/{self.device}/{self.model}/{self.scheme}/b{self.batch}"
 
     def describe(self) -> Dict[str, Any]:
@@ -96,8 +112,12 @@ class ExperimentTask:
         out["faults"] = asdict(self.faults) if self.faults is not None else None
         if self.kind != "cluster":
             for knob in ("rate_hz", "duration_s", "seed", "instances",
-                         "keep_alive_s"):
+                         "keep_alive_s", "trace_retention", "trace_ring"):
                 del out[knob]
+        elif self.trace_retention is None:
+            # Keep cache keys for untraced replays stable across the
+            # introduction of the tracing knobs.
+            del out["trace_retention"], out["trace_ring"]
         if self.kind == "hot":
             # Hot serves always run the baseline-lowered program.
             del out["scheme"]
@@ -108,15 +128,22 @@ class ExperimentTask:
 # Result <-> payload round-trips
 # ----------------------------------------------------------------------
 
-def _trace_to_payload(trace: TraceRecorder) -> List[List[Any]]:
-    return [[r.start, r.end, r.actor, r.phase.value, r.label,
-             [[k, v] for k, v in r.meta]] for r in trace.records]
+def _trace_to_payload(trace: TraceRecorder) -> Any:
+    """Compact row list for full-retention traces; a full state snapshot
+    (records + streaming aggregates) otherwise, since an aggregate-mode
+    recorder cannot be rebuilt from its ring alone."""
+    if trace.retention == "full":
+        return [[r.start, r.end, r.actor, r.phase.value, r.label,
+                 [[k, v] for k, v in r.meta]] for r in trace.records]
+    return trace.state_dict()
 
 
-def _trace_from_payload(rows: List[List[Any]]) -> TraceRecorder:
+def _trace_from_payload(payload: Any) -> TraceRecorder:
+    if isinstance(payload, dict):
+        return TraceRecorder.from_state(payload)
     recorder = TraceRecorder()
-    for start, end, actor, phase, label, meta in rows:
-        recorder.records.append(TraceRecord(
+    for start, end, actor, phase, label, meta in payload:
+        recorder.ingest(TraceRecord(
             start, end, actor, Phase(phase), label,
             tuple((k, v) for k, v in meta)))
     return recorder
@@ -194,6 +221,9 @@ def cluster_stats_to_payload(stats: ClusterStats) -> Dict[str, Any]:
         "queue_waits": list(stats.queue_waits),
         "failed": stats.failed,
         "faults": stats.faults.as_dict(),
+        "fast_forwarded": stats.fast_forwarded,
+        "trace": (_trace_to_payload(stats.trace)
+                  if stats.trace is not None else None),
     }
 
 
@@ -201,6 +231,7 @@ def cluster_stats_from_payload(payload: Dict[str, Any]) -> ClusterStats:
     """Inverse of :func:`cluster_stats_to_payload`."""
     if payload.get("type") != "cluster":
         raise ValueError(f"not a cluster payload: {payload.get('type')!r}")
+    trace_payload = payload.get("trace")
     return ClusterStats(
         latencies=list(payload["latencies"]),
         cold_starts=payload["cold_starts"],
@@ -208,6 +239,9 @@ def cluster_stats_from_payload(payload: Dict[str, Any]) -> ClusterStats:
         queue_waits=list(payload["queue_waits"]),
         failed=payload["failed"],
         faults=FaultCounters(**payload["faults"]),
+        fast_forwarded=payload.get("fast_forwarded", 0),
+        trace=(_trace_from_payload(trace_payload)
+               if trace_payload is not None else None),
     )
 
 
@@ -253,6 +287,8 @@ def execute_task(task: ExperimentTask) -> Dict[str, Any]:
     config = ClusterConfig(scheme=task.scheme_enum,
                            max_instances=task.instances,
                            keep_alive_s=task.keep_alive_s,
-                           faults=task.faults)
+                           faults=task.faults,
+                           trace_retention=task.trace_retention,
+                           trace_ring=task.trace_ring)
     stats = ClusterSimulator(server, config).run(trace)
     return cluster_stats_to_payload(stats)

@@ -15,6 +15,8 @@ queueing, autoscaling and keep-alive on top.
 from __future__ import annotations
 
 import math
+import heapq
+import operator
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 from weakref import WeakKeyDictionary
@@ -23,6 +25,7 @@ from repro.core.schemes import Scheme
 from repro.serving.requests import RequestTrace
 from repro.serving.server import InferenceServer
 from repro.sim.faults import FaultCounters, FaultInjector, FaultPlan
+from repro.sim.trace import RETENTION_POLICIES, Phase, TraceRecorder
 
 __all__ = ["ClusterConfig", "ClusterStats", "ClusterSimulator"]
 
@@ -37,12 +40,32 @@ class ClusterConfig:
     # Optional fault plan: instance crash/restart churn during the
     # replay (``cluster.request`` injection point).
     faults: Optional[FaultPlan] = None
+    # Request-level tracing: ``None`` (default) records nothing, keeping
+    # the replay byte-identical to the pre-tracing simulator; ``"full"``
+    # retains every per-request interval; ``"aggregate"`` retains only
+    # streaming aggregates plus a ``trace_ring``-bounded ring of recent
+    # records (see repro.sim.trace).
+    trace_retention: Optional[str] = None
+    trace_ring: int = 1024
+    # Steady-state fast-forward: when every instance is warm and no
+    # fault plan is active, requests are replayed through an O(1)
+    # analytic recurrence instead of the full scheduling scan.  Results
+    # are byte-identical either way (pinned by tests); the knob exists
+    # so benchmarks can measure the win.
+    fast_forward: bool = True
 
     def __post_init__(self) -> None:
         if self.max_instances <= 0:
             raise ValueError("need at least one instance")
         if self.keep_alive_s < 0:
             raise ValueError("keep-alive must be non-negative")
+        if (self.trace_retention is not None
+                and self.trace_retention not in RETENTION_POLICIES):
+            raise ValueError(
+                f"unknown trace retention {self.trace_retention!r}; "
+                f"expected None or one of {RETENTION_POLICIES}")
+        if self.trace_ring <= 0:
+            raise ValueError("trace_ring must be positive")
 
 
 @dataclass
@@ -62,6 +85,10 @@ class ClusterStats:
     queue_waits: List[float] = field(default_factory=list)
     failed: int = 0   # requests explicitly failed (reroute budget spent)
     faults: FaultCounters = field(default_factory=FaultCounters)
+    # Request-level trace (None unless ClusterConfig.trace_retention set).
+    trace: Optional[TraceRecorder] = None
+    # Requests replayed through the steady-state fast path.
+    fast_forwarded: int = 0
 
     @property
     def completed(self) -> int:
@@ -161,22 +188,47 @@ class ClusterSimulator:
         its PASK cache is gone, so the next request it serves pays the
         full cold start again.  Every request is therefore accounted
         for: ``stats.completed + stats.failed == len(trace)``.
+
+        Once the pool reaches steady state (every instance warm, no
+        fault plan pending), homogeneous arrivals are fast-forwarded
+        through :meth:`_fast_forward`; any arrival that would reclaim an
+        idle instance or spawn a cold one falls back to the full
+        event-by-event scheduling below, so fault-injection runs and
+        cold-start accounting are unaffected.
         """
+        config = self.config
         stats = ClusterStats()
+        if config.trace_retention is not None:
+            stats.trace = TraceRecorder(retention=config.trace_retention,
+                                        ring_size=config.trace_ring)
+        recorder = stats.trace
         injector: Optional[FaultInjector] = (
-            self.config.faults.injector()
-            if self.config.faults is not None else None)
+            config.faults.injector() if config.faults is not None else None)
         instances: List[_Instance] = []
         cold = self._cold_time(trace.model, trace.batch)
         warm = self._warm_time(trace.model, trace.batch)
-        for arrival in trace.arrivals:
+        # Cold starts split into the extra spin-up cost (LOAD) and the
+        # steady service tail (EXEC) for trace accounting.
+        cold_extra = cold - warm if cold > warm else 0.0
+        arrivals = trace.arrivals
+        can_fast_forward = config.fast_forward and injector is None
+        index, n = 0, len(arrivals)
+        while index < n:
+            if (can_fast_forward and instances
+                    and all(inst.warm for inst in instances)):
+                index = self._fast_forward(arrivals, index, instances, warm,
+                                           stats, recorder)
+                if index >= n:
+                    break
+            arrival = arrivals[index]
+            index += 1
             now = arrival
             attempts = 0
             while True:
                 self._reclaim_idle(instances, now)
                 instance = self._pick_instance(instances, now)
                 if instance is None:
-                    if len(instances) < self.config.max_instances:
+                    if len(instances) < config.max_instances:
                         instance = _Instance()
                         instances.append(instance)
                     else:
@@ -200,6 +252,16 @@ class ClusterSimulator:
                     instance.last_used = finish
                     instance.warm = True
                     stats.latencies.append(finish - arrival)
+                    if recorder is not None:
+                        if warm_attempt:
+                            recorder.record(start, finish, "cluster",
+                                            Phase.EXEC, "serve")
+                        else:
+                            boundary = start + cold_extra
+                            recorder.record(start, boundary, "cluster",
+                                            Phase.LOAD, "cold-start")
+                            recorder.record(boundary, finish, "cluster",
+                                            Phase.EXEC, "serve")
                     if injector is not None:
                         injector.counters.completed_requests += 1
                     break
@@ -209,11 +271,14 @@ class ClusterSimulator:
                 injector.counters.crashes += 1
                 crash_time = start + crash_at
                 instance.busy_until = crash_time + \
-                    self.config.faults.restart_delay_s
+                    config.faults.restart_delay_s
                 instance.last_used = instance.busy_until
                 instance.warm = False
+                if recorder is not None:
+                    recorder.record(start, crash_time, "cluster",
+                                    Phase.FAULT, "crash")
                 attempts += 1
-                if attempts > self.config.faults.max_reroutes:
+                if attempts > config.faults.max_reroutes:
                     stats.failed += 1
                     injector.counters.failed_requests += 1
                     break
@@ -224,6 +289,82 @@ class ClusterSimulator:
         if injector is not None:
             stats.faults = injector.counters
         return stats
+
+    def _fast_forward(self, arrivals: Tuple[float, ...], index: int,
+                      instances: List[_Instance], warm: float,
+                      stats: ClusterStats,
+                      recorder: Optional[TraceRecorder]) -> int:
+        """Replay warm steady-state arrivals analytically.
+
+        Preconditions (checked by the caller): no fault plan, every
+        instance warm.  A warm instance's ``busy_until`` always equals
+        its ``last_used`` (both are its last finish time), and instances
+        are exchangeable, so scheduling reduces to the classic
+        multi-server recurrence ``finish_k = max(a_k, oldest) + warm``
+        over a min-heap of the pool's finish times — O(log n) per
+        request, no pool scans, no reclaim list rebuilds.  The float arithmetic per
+        request matches the scheduling loop operation-for-operation, so
+        latencies, queue waits and trace records are byte-identical.
+
+        Stops (returning the index of the first unprocessed arrival) as
+        soon as an arrival would observe a reclaimable idle instance or
+        would spawn a new cold instance — those transitions must go
+        through the full scheduling path.
+        """
+        config = self.config
+        keep_alive = config.keep_alive_s
+        max_instances = config.max_instances
+        # A min-heap of finish times: the root is always the pool's
+        # earliest-free (and longest-idle) instance.  A plain FIFO would
+        # not do — the seed can hold cold-start finishes that exceed the
+        # warm finishes computed here, so appends do not stay sorted.
+        pool = [inst.busy_until for inst in instances]
+        heapq.heapify(pool)
+        size = len(pool)
+        # Locals bound out of the loop: at a million iterations every
+        # attribute lookup is measurable.  The pool size never changes
+        # inside the loop, so the cold-spawn guard is loop-invariant
+        # whenever the pool is already at max_instances.
+        heapreplace = heapq.heapreplace
+        can_spawn = size < max_instances
+        remaining = arrivals[index:]
+        span_starts: List[float] = []
+        span_ends: List[float] = []
+        start_append = span_starts.append
+        end_append = span_ends.append
+        for arrival in remaining:
+            oldest = pool[0]
+            if arrival - oldest > keep_alive:
+                break  # an idle instance would be reclaimed: fall back
+            if can_spawn and oldest > arrival:
+                break  # the request would spawn a cold instance
+            start = oldest if oldest > arrival else arrival
+            finish = start + warm
+            heapreplace(pool, finish)
+            start_append(start)
+            end_append(finish)
+        served = len(span_starts)
+        # Queue waits and latencies derive from the spans; map(sub, ...)
+        # performs the identical subtractions the stepping path does,
+        # entirely inside the interpreter's C loop.
+        stats.queue_waits.extend(map(operator.sub, span_starts, remaining))
+        stats.latencies.extend(map(operator.sub, span_ends, remaining))
+        index += served
+        if recorder is not None and span_starts:
+            spans = zip(span_starts, span_ends)
+            # One homogeneous batch: the recorder resolves its accumulator
+            # buckets once and, under aggregate retention, only builds the
+            # records that survive the ring.
+            recorder.ingest_stream(spans, "cluster", Phase.EXEC, "serve")
+        # Materialize the pool back onto the instances.  Warm instances
+        # are exchangeable (scheduling and reclaim depend only on their
+        # time values), so the assignment order is irrelevant.
+        for inst, finish in zip(instances, pool):
+            inst.busy_until = finish
+            inst.last_used = finish
+        stats.warm_hits += served
+        stats.fast_forwarded += served
+        return index
 
     def _reclaim_idle(self, instances: List[_Instance], now: float) -> None:
         keep_alive = self.config.keep_alive_s

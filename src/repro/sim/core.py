@@ -319,6 +319,15 @@ class Environment:
         """Current simulated time (seconds by convention)."""
         return self._now
 
+    @property
+    def events_scheduled(self) -> int:
+        """Total events ever scheduled (the sequence counter).
+
+        A cheap volume metric for throughput reporting: every timeout,
+        succeed, bootstrap and termination increments it exactly once.
+        """
+        return self._sequence
+
     def _schedule(self, event: Event, delay: float = 0.0) -> None:
         sequence = self._sequence
         self._sequence = sequence + 1

@@ -7,16 +7,41 @@ over such traces:
 
 - Fig. 1(b) / Fig. 7: per-phase time breakdowns,
 - Fig. 6(b): GPU utilization = merged EXEC interval length / total time.
+
+Aggregation is *streaming*: the recorder folds every record into
+per-(phase, actor) accumulators — a running duration sum plus an online
+interval union — as it arrives, so ``total`` / ``busy_time`` /
+``breakdown`` / ``exclusive_fractions`` / ``utilization`` never re-scan
+the record history.  That turns metric queries from O(records) into
+O(merged segments), which is what lets million-request serving
+simulations stay interactive (see docs/PERFORMANCE.md).
+
+Two retention policies control what else is kept:
+
+- ``"full"`` (default) — every record is retained, as before; the
+  accumulators are a pure acceleration structure and all metrics are
+  byte-identical to a full scan (pinned by the property tests).
+- ``"aggregate"`` — only the accumulators plus a bounded ring of the
+  most recent records are retained, so a long-horizon run holds O(1)
+  memory in the number of records while reporting the exact same
+  aggregate metrics.
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+import operator
+from bisect import bisect_left
+from collections import deque
+from dataclasses import dataclass
+from itertools import accumulate, chain, compress, islice
+from typing import (Any, Dict, Iterable, List, Optional, Sequence, Tuple,
+                    Union)
 
 __all__ = ["Phase", "TraceRecord", "TraceRecorder", "merge_intervals",
-           "subtract_intervals"]
+           "subtract_intervals", "RETENTION_POLICIES"]
+
+RETENTION_POLICIES = ("full", "aggregate")
 
 
 class Phase(enum.Enum):
@@ -58,8 +83,16 @@ class TraceRecord:
 
 
 def merge_intervals(intervals: Iterable[Tuple[float, float]]) -> List[Tuple[float, float]]:
-    """Merge overlapping ``(start, end)`` intervals; returns sorted result."""
-    ordered = sorted((s, e) for s, e in intervals if e > s)
+    """Merge overlapping or touching ``(start, end)`` intervals.
+
+    Returns the canonical sorted, disjoint form.  Zero-length intervals
+    (``start == end``) are *kept* as points unless another interval
+    touches them — instantaneous activities (e.g. a CHECK answered from
+    cache in zero simulated time) still count in record-based
+    accounting.  Reversed intervals (``end < start``) are invalid input
+    and are dropped.
+    """
+    ordered = sorted((s, e) for s, e in intervals if e >= s)
     merged: List[Tuple[float, float]] = []
     for start, end in ordered:
         if merged and start <= merged[-1][1]:
@@ -73,29 +106,140 @@ def subtract_intervals(base: List[Tuple[float, float]],
                        remove: List[Tuple[float, float]]
                        ) -> List[Tuple[float, float]]:
     """Portions of merged ``base`` intervals not covered by merged
-    ``remove`` intervals (both inputs must be sorted and disjoint)."""
+    ``remove`` intervals (both inputs must be sorted and disjoint).
+
+    Zero-length *remove* intervals carry no measure and are ignored, so
+    subtracting a point never splits a base interval in two.  A
+    zero-length *base* interval survives unless a positive-length remove
+    interval covers it.
+    """
     out: List[Tuple[float, float]] = []
     for start, end in base:
         cursor = start
         for r_start, r_end in remove:
-            if r_end <= cursor or r_start >= end:
+            if r_end <= r_start or r_end <= cursor or r_start >= end:
                 continue
             if r_start > cursor:
                 out.append((cursor, min(r_start, end)))
             cursor = max(cursor, r_end)
             if cursor >= end:
                 break
-        if cursor < end:
+        if cursor < end or (cursor == start == end):
             out.append((cursor, end))
     return out
 
 
-@dataclass
+def _insert_interval(segs: List[Tuple[float, float]],
+                     start: float, end: float) -> None:
+    """Insert ``(start, end)`` into the sorted disjoint union ``segs``.
+
+    Out-of-order arrivals land here (the appending fast path lives in
+    :meth:`_Accumulator.add`); the result is the same canonical form
+    :func:`merge_intervals` produces over the whole history.
+    """
+    i = bisect_left(segs, (start, end))
+    if i > 0 and segs[i - 1][1] >= start:
+        i -= 1
+        start = segs[i][0]
+        if segs[i][1] > end:
+            end = segs[i][1]
+    j = i
+    while j < len(segs) and segs[j][0] <= end:
+        if segs[j][1] > end:
+            end = segs[j][1]
+        j += 1
+    segs[i:j] = [(start, end)]
+
+
+class _Accumulator:
+    """Streaming aggregate for one (phase, actor) filter key.
+
+    ``total`` accumulates durations in record-arrival order — the exact
+    float sequence a full scan would sum — and ``segs`` maintains the
+    canonical merged interval union online.  Records for a single actor
+    mostly arrive in non-decreasing start order, so the common case is a
+    O(1) append/extend of the last segment; stragglers fall back to a
+    bisect insertion.
+    """
+
+    __slots__ = ("total", "count", "segs", "_busy", "_dirty")
+
+    def __init__(self) -> None:
+        self.total = 0.0
+        self.count = 0
+        self.segs: List[Tuple[float, float]] = []
+        self._busy = 0.0
+        self._dirty = False
+
+    def add(self, start: float, end: float, duration: float) -> None:
+        self.total += duration
+        self.count += 1
+        self._dirty = True
+        segs = self.segs
+        if not segs or start > segs[-1][1]:
+            segs.append((start, end))
+        elif start >= segs[-1][0]:
+            last = segs[-1]
+            if end > last[1]:
+                segs[-1] = (last[0], end)
+        else:
+            _insert_interval(segs, start, end)
+
+    def busy(self) -> float:
+        """Union length — identical to summing the merged full scan.
+
+        Cached between mutations: the recompute is always the canonical
+        left-to-right sum over the sorted segments, so the cache never
+        changes the float result, it only skips redundant O(segments)
+        scans on repeated metric queries.
+        """
+        if self._dirty:
+            self._busy = sum(e - s for s, e in self.segs)
+            self._dirty = False
+        return self._busy
+
+
+_Key = Tuple[Optional[Phase], Optional[str]]
+
+
 class TraceRecorder:
-    """Collects trace records and computes the paper's aggregate metrics."""
+    """Collects trace records and computes the paper's aggregate metrics.
 
-    records: List[TraceRecord] = field(default_factory=list)
+    ``retention="full"`` (default) keeps the entire record history in
+    ``records`` — a plain list, safe to read (and, for legacy callers,
+    append to: lazily-folded stragglers are picked up before the next
+    metric query).  ``retention="aggregate"`` keeps only the streaming
+    accumulators plus a bounded ring (``ring_size``) of the most recent
+    records; aggregate metrics are byte-identical between the two
+    policies, but ``filtered()`` then only sees the ring.
+    """
 
+    def __init__(self, records: Optional[Iterable[TraceRecord]] = None,
+                 retention: str = "full", ring_size: int = 1024) -> None:
+        if retention not in RETENTION_POLICIES:
+            raise ValueError(f"unknown retention policy {retention!r}; "
+                             f"expected one of {RETENTION_POLICIES}")
+        if ring_size <= 0:
+            raise ValueError("ring_size must be positive")
+        self.retention = retention
+        self.ring_size = ring_size
+        self.records: Union[List[TraceRecord], "deque[TraceRecord]"]
+        if retention == "full":
+            self.records = []
+        else:
+            self.records = deque(maxlen=ring_size)
+        self._acc: Dict[_Key, _Accumulator] = {}
+        self._count = 0          # records ever ingested
+        self._synced = 0         # records folded from the full-mode list
+        self._span_start = 0.0
+        self._span_end = 0.0
+        if records is not None:
+            for record in records:
+                self.ingest(record)
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
     def record(self, start: float, end: float, actor: str, phase: Phase,
                label: str = "", **meta: Any) -> TraceRecord:
         """Append a record; ``end`` must not precede ``start``."""
@@ -103,36 +247,226 @@ class TraceRecorder:
             raise ValueError(f"record ends before it starts: {start} > {end}")
         rec = TraceRecord(start, end, actor, phase, label,
                           tuple(sorted(meta.items())))
-        self.records.append(rec)
+        self.ingest(rec)
         return rec
+
+    def ingest(self, rec: TraceRecord) -> None:
+        """Fold an already-built record into the aggregates and retain it
+        (fully, or in the ring under ``retention="aggregate"``)."""
+        self._sync()
+        self._fold(rec)
+        self.records.append(rec)
+        self._synced = self._count
+
+    def ingest_stream(self, spans: Iterable[Tuple[float, float]],
+                      actor: str, phase: Phase, label: str = "") -> None:
+        """Fold a homogeneous stream of ``(start, end)`` intervals.
+
+        Byte-identical to calling :meth:`record` once per pair with the
+        same actor/phase/label (and no meta), but the accumulator keys
+        resolve once for the whole stream and, under aggregate
+        retention, only intervals that can survive the ring are
+        materialized as :class:`TraceRecord` objects — which is what
+        makes million-record steady-state batches cheap.
+        """
+        self._sync()
+        span_list = list(spans)
+        if not span_list:
+            return
+        starts = [start for start, _ in span_list]
+        ends = [end for _, end in span_list]
+        if any(map(operator.gt, starts, ends)):
+            for start, end in span_list:
+                if end < start:
+                    raise ValueError(
+                        f"record ends before it starts: {start} > {end}")
+        # Durations once, at C speed; each bucket still folds them
+        # left-to-right so its running sum is the exact float sequence a
+        # per-record ingest would produce.
+        durations = list(map(operator.sub, ends, starts))
+        # Merge the batch into its canonical interval union ONCE, then
+        # fold the (typically few) merged segments into each bucket.
+        # Canonical form — sorted, disjoint, touching intervals merged,
+        # isolated zero-length points kept — is a function of the input
+        # point set alone, and every endpoint is an input float (the
+        # maintenance only selects endpoints, never computes new ones),
+        # so union-then-fold yields byte-identical segs to folding the
+        # raw spans one at a time.
+        if any(map(operator.gt, starts, islice(starts, 1, None))):
+            union = merge_intervals(span_list)
+        else:
+            # Sorted starts (the steady-state shape): a new canonical
+            # segment opens exactly where a start clears the running
+            # maximum of all earlier ends, and that running maximum at
+            # the segment's last index is the segment's end.  Everything
+            # runs inside itertools/operator.
+            if any(map(operator.gt, ends, islice(ends, 1, None))):
+                run_max = list(accumulate(ends, max))
+            else:
+                run_max = ends
+            opens = list(map(operator.gt, islice(starts, 1, None), run_max))
+            union = list(zip(compress(starts, chain((True,), opens)),
+                             compress(run_max, chain(opens, (True,)))))
+        acc = self._acc
+        batch = len(span_list)
+        for key in ((phase, actor), (phase, None),
+                    (None, actor), (None, None)):
+            bucket = acc.get(key)
+            if bucket is None:
+                bucket = acc[key] = _Accumulator()
+            bucket.total = deque(
+                accumulate(durations, initial=bucket.total), maxlen=1)[0]
+            bucket.count += batch
+            bucket._dirty = True
+            segs = bucket.segs
+            # Merge only the union prefix that interacts with existing
+            # history; the remainder — all of it, in the common case of
+            # a batch that starts after everything recorded so far —
+            # appends in one C-level extend.
+            overlap = 0
+            if segs:
+                last_start, last_end = segs[-1]
+                for start, end in union:
+                    if start > last_end:
+                        break
+                    if start >= last_start:
+                        if end > last_end:
+                            segs[-1] = (last_start, end)
+                            last_end = end
+                    else:
+                        _insert_interval(segs, start, end)
+                        last_start, last_end = segs[-1]
+                    overlap += 1
+            if overlap:
+                segs.extend(islice(union, overlap, None))
+            else:
+                segs.extend(union)
+        lo = min(starts)
+        hi = max(ends)
+        if self._count == 0:
+            self._span_start = lo
+            self._span_end = hi
+        else:
+            if lo < self._span_start:
+                self._span_start = lo
+            if hi > self._span_end:
+                self._span_end = hi
+        self._count += len(span_list)
+        records = self.records
+        tail = (span_list if self.retention == "full"
+                else span_list[-self.ring_size:])
+        for start, end in tail:
+            records.append(TraceRecord(start, end, actor, phase, label))
+        self._synced = self._count
+
+    def _fold(self, rec: TraceRecord) -> None:
+        start, end = rec.start, rec.end
+        duration = end - start
+        acc = self._acc
+        for key in ((rec.phase, rec.actor), (rec.phase, None),
+                    (None, rec.actor), (None, None)):
+            bucket = acc.get(key)
+            if bucket is None:
+                bucket = acc[key] = _Accumulator()
+            bucket.add(start, end, duration)
+        if self._count == 0:
+            self._span_start = start
+            self._span_end = end
+        else:
+            if start < self._span_start:
+                self._span_start = start
+            if end > self._span_end:
+                self._span_end = end
+        self._count += 1
+
+    def _sync(self) -> None:
+        """Fold records appended directly to ``records`` (legacy path,
+        full retention only) that the accumulators have not seen yet."""
+        if self.retention != "full":
+            return
+        records = self.records
+        if len(records) == self._synced:
+            return
+        if len(records) < self._synced:
+            # The list shrank under us (external truncation): rebuild.
+            retained = list(records)
+            self._acc.clear()
+            self._count = 0
+            self._synced = 0
+            records.clear()
+            for rec in retained:
+                self.ingest(rec)
+            return
+        for rec in list(records[self._synced:]):
+            self._fold(rec)
+        self._synced = len(records)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def record_count(self) -> int:
+        """Total records ever ingested (survives ring eviction)."""
+        self._sync()
+        return self._count
+
+    @property
+    def retained_records(self) -> int:
+        """Records currently held in memory (== ``record_count`` under
+        full retention; bounded by ``ring_size`` under aggregate)."""
+        return len(self.records)
 
     def filtered(self, phase: Optional[Phase] = None,
                  actor: Optional[str] = None) -> List[TraceRecord]:
-        """Records matching the given phase and/or actor."""
-        out = self.records
-        if phase is not None:
-            out = [r for r in out if r.phase is phase]
-        if actor is not None:
-            out = [r for r in out if r.actor == actor]
-        return list(out)
+        """Retained records matching the given phase and/or actor.
 
+        Under full retention this is the whole history; under aggregate
+        retention only the ring of recent records is visible.  With no
+        filter and full retention the live list is returned without
+        copying — treat it as read-only.
+        """
+        if phase is None and actor is None:
+            if self.retention == "full":
+                return self.records  # type: ignore[return-value]
+            return list(self.records)
+        return [r for r in self.records
+                if (phase is None or r.phase is phase)
+                and (actor is None or r.actor == actor)]
+
+    def _segments(self, phase: Optional[Phase],
+                  actor: Optional[str]) -> List[Tuple[float, float]]:
+        """The canonical merged interval union for a filter key.
+
+        The returned list is live accumulator state — callers must not
+        mutate it.
+        """
+        self._sync()
+        acc = self._acc.get((phase, actor))
+        return acc.segs if acc is not None else []
+
+    # ------------------------------------------------------------------
+    # Aggregate metrics (all O(merged segments), never O(records))
+    # ------------------------------------------------------------------
     def total(self, phase: Optional[Phase] = None,
               actor: Optional[str] = None) -> float:
         """Summed durations of matching records (may double-count overlap)."""
-        return sum(r.duration for r in self.filtered(phase, actor))
+        self._sync()
+        acc = self._acc.get((phase, actor))
+        return acc.total if acc is not None else 0.0
 
     def busy_time(self, phase: Optional[Phase] = None,
                   actor: Optional[str] = None) -> float:
         """Length of the merged union of matching intervals (no overlap)."""
-        intervals = [(r.start, r.end) for r in self.filtered(phase, actor)]
-        return sum(e - s for s, e in merge_intervals(intervals))
+        self._sync()
+        acc = self._acc.get((phase, actor))
+        return acc.busy() if acc is not None else 0.0
 
     def span(self) -> Tuple[float, float]:
         """``(earliest start, latest end)`` over all records."""
-        if not self.records:
+        self._sync()
+        if not self._count:
             return (0.0, 0.0)
-        return (min(r.start for r in self.records),
-                max(r.end for r in self.records))
+        return (self._span_start, self._span_end)
 
     def breakdown(self, phases: Sequence[Phase],
                   total_time: Optional[float] = None) -> Dict[Phase, float]:
@@ -170,8 +504,7 @@ class TraceRecorder:
         claimed: List[Tuple[float, float]] = []
         out: Dict[Phase, float] = {}
         for phase in priorities:
-            mine = merge_intervals(
-                (r.start, r.end) for r in self.filtered(phase=phase))
+            mine = self._segments(phase, None)
             exclusive = subtract_intervals(mine, claimed)
             out[phase] = sum(e - s for s, e in exclusive) / total_time
             claimed = merge_intervals(claimed + mine)
@@ -187,6 +520,69 @@ class TraceRecorder:
             return 0.0
         return self.busy_time(phase=Phase.EXEC, actor=actor) / total_time
 
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, Any]:
+        """JSON-safe snapshot of the recorder: retained records plus the
+        streaming aggregates, so :meth:`from_state` reconstructs an
+        aggregate-mode recorder exactly even though most of its record
+        history is gone.  Floats survive a JSON round-trip bit-for-bit.
+        """
+        self._sync()
+        return {
+            "retention": self.retention,
+            "ring_size": self.ring_size,
+            "count": self._count,
+            "span": [self._span_start, self._span_end],
+            "records": [[r.start, r.end, r.actor, r.phase.value, r.label,
+                         [[k, v] for k, v in r.meta]] for r in self.records],
+            "acc": [[phase.value if phase is not None else None, actor,
+                     a.total, a.count, [[s, e] for s, e in a.segs]]
+                    for (phase, actor), a in self._acc.items()],
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, Any]) -> "TraceRecorder":
+        """Inverse of :meth:`state_dict`."""
+        recorder = cls(retention=state["retention"],
+                       ring_size=state["ring_size"])
+        for start, end, actor, phase, label, meta in state["records"]:
+            recorder.records.append(TraceRecord(
+                start, end, actor, Phase(phase), label,
+                tuple((k, v) for k, v in meta)))
+        for phase, actor, total, count, segs in state["acc"]:
+            acc = _Accumulator()
+            acc.total = total
+            acc.count = count
+            acc.segs = [(s, e) for s, e in segs]
+            acc._dirty = True
+            key = (Phase(phase) if phase is not None else None, actor)
+            recorder._acc[key] = acc
+        recorder._count = state["count"]
+        recorder._synced = len(recorder.records)
+        recorder._span_start, recorder._span_end = state["span"]
+        return recorder
+
     def clear(self) -> None:
-        """Drop all records."""
+        """Drop all records and aggregates."""
         self.records.clear()
+        self._acc.clear()
+        self._count = 0
+        self._synced = 0
+        self._span_start = 0.0
+        self._span_end = 0.0
+
+    # ------------------------------------------------------------------
+    # Dunder conveniences
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TraceRecorder):
+            return NotImplemented
+        return (self.retention == other.retention
+                and list(self.records) == list(other.records))
+
+    def __repr__(self) -> str:
+        return (f"TraceRecorder(retention={self.retention!r}, "
+                f"records={self.record_count}, "
+                f"retained={self.retained_records})")

@@ -1,0 +1,146 @@
+"""Steady-state fast-forward: byte-identity with event-by-event stepping.
+
+The analytic fast path must be invisible in every result: latencies,
+queue waits, cold/warm counters, fault dictionaries and trace records
+all equal the slow path's bit-for-bit, on real serving traces and on
+adversarial arrival sequences.  Fault plans must disable it entirely.
+"""
+
+from types import SimpleNamespace
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.schemes import Scheme
+from repro.serving.cluster import ClusterConfig, ClusterSimulator
+from repro.serving.requests import (RequestTrace, burst_trace,
+                                    periodic_trace, poisson_trace)
+from repro.serving.server import InferenceServer
+from repro.sim.faults import FaultPlan
+
+_SERVER = InferenceServer("MI100")
+
+
+def _both(trace, **config_kwargs):
+    slow = ClusterSimulator(_SERVER, ClusterConfig(
+        fast_forward=False, **config_kwargs)).run(trace)
+    fast = ClusterSimulator(_SERVER, ClusterConfig(
+        fast_forward=True, **config_kwargs)).run(trace)
+    return slow, fast
+
+
+def _assert_identical(slow, fast):
+    assert fast.latencies == slow.latencies
+    assert fast.queue_waits == slow.queue_waits
+    assert fast.cold_starts == slow.cold_starts
+    assert fast.warm_hits == slow.warm_hits
+    assert fast.failed == slow.failed
+    assert fast.faults.as_dict() == slow.faults.as_dict()
+    if slow.trace is not None:
+        assert list(fast.trace.records) == list(slow.trace.records)
+
+
+@pytest.mark.parametrize("scheme", (Scheme.BASELINE, Scheme.PASK),
+                         ids=lambda s: s.value)
+@pytest.mark.parametrize("keep_alive", (0.05, 0.5))
+@pytest.mark.parametrize("instances", (1, 2, 4))
+def test_fast_forward_bit_identical_poisson(scheme, keep_alive, instances):
+    trace = poisson_trace("res", 40.0, 3.0, seed=7)
+    slow, fast = _both(trace, scheme=scheme, max_instances=instances,
+                       keep_alive_s=keep_alive, trace_retention="full")
+    _assert_identical(slow, fast)
+    assert slow.fast_forwarded == 0
+
+
+def test_fast_forward_bit_identical_burst_and_periodic():
+    for trace in (burst_trace("res", 60, 0.0005),
+                  periodic_trace("res", 0.01, 80)):
+        slow, fast = _both(trace, scheme=Scheme.PASK, max_instances=2,
+                           keep_alive_s=0.2, trace_retention="full")
+        _assert_identical(slow, fast)
+
+
+def test_dense_traffic_mostly_fast_forwards():
+    trace = poisson_trace("res", 200.0, 5.0, seed=1)
+    _, fast = _both(trace, scheme=Scheme.PASK, max_instances=4,
+                    keep_alive_s=0.5)
+    assert fast.fast_forwarded > 0.9 * fast.requests
+
+
+def test_sparse_traffic_keeps_falling_back():
+    # Mean gap (2 s) far beyond keep-alive: every request re-triggers a
+    # reclaim + cold spawn, so the fast path must keep stepping aside --
+    # and the replay still matches the slow path exactly.
+    trace = poisson_trace("res", 0.5, 40.0, seed=11)
+    slow, fast = _both(trace, scheme=Scheme.BASELINE, max_instances=2,
+                       keep_alive_s=0.1, trace_retention="full")
+    _assert_identical(slow, fast)
+    assert fast.cold_starts > 1
+    assert fast.fast_forwarded < fast.requests
+
+
+def test_fault_plan_disables_fast_forward():
+    plan = FaultPlan(seed=5, crash_rate=0.2, restart_delay_s=0.05)
+    trace = poisson_trace("res", 100.0, 2.0, seed=3)
+    slow, fast = _both(trace, scheme=Scheme.PASK, max_instances=4,
+                       keep_alive_s=0.5, faults=plan,
+                       trace_retention="full")
+    _assert_identical(slow, fast)
+    assert fast.fast_forwarded == 0
+
+
+def test_trace_retention_none_by_default():
+    trace = poisson_trace("res", 50.0, 1.0, seed=0)
+    stats = ClusterSimulator(_SERVER, ClusterConfig(
+        scheme=Scheme.PASK)).run(trace)
+    assert stats.trace is None
+
+
+def test_config_validates_knobs():
+    with pytest.raises(ValueError):
+        ClusterConfig(trace_retention="bogus")
+    with pytest.raises(ValueError):
+        ClusterConfig(trace_retention="aggregate", trace_ring=0)
+
+
+# ----------------------------------------------------------------------
+# Property: equivalence on adversarial arrival sequences
+# ----------------------------------------------------------------------
+
+class _StubServer:
+    """Constant service times; lets hypothesis vary the cold/warm gap."""
+
+    def __init__(self, cold, warm):
+        self._cold = cold
+        self._warm = warm
+
+    def serve_cold(self, model, scheme, batch):
+        return SimpleNamespace(total_time=self._cold)
+
+    def serve_hot(self, model, batch):
+        return SimpleNamespace(total_time=self._warm)
+
+
+arrival_lists = st.lists(
+    st.floats(0.0, 10.0, allow_nan=False, allow_infinity=False),
+    min_size=1, max_size=60).map(sorted)
+
+
+@settings(max_examples=60, deadline=None)
+@given(arrivals=arrival_lists,
+       warm=st.floats(0.001, 0.5, allow_nan=False),
+       cold_factor=st.floats(1.0, 20.0, allow_nan=False),
+       keep_alive=st.floats(0.0, 2.0, allow_nan=False),
+       instances=st.integers(1, 5))
+def test_fast_forward_equivalence_property(arrivals, warm, cold_factor,
+                                           keep_alive, instances):
+    trace = RequestTrace("m", tuple(arrivals))
+    server = _StubServer(cold=warm * cold_factor, warm=warm)
+    slow = ClusterSimulator(server, ClusterConfig(
+        fast_forward=False, max_instances=instances,
+        keep_alive_s=keep_alive, trace_retention="full")).run(trace)
+    fast = ClusterSimulator(server, ClusterConfig(
+        fast_forward=True, max_instances=instances,
+        keep_alive_s=keep_alive, trace_retention="full")).run(trace)
+    _assert_identical(slow, fast)
+    assert fast.requests == len(trace)

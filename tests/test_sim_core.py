@@ -189,6 +189,69 @@ def test_run_until_event_never_triggering_raises():
         env.run(until=event)
 
 
+def test_run_until_horizon_processes_events_at_the_horizon():
+    # A timeout landing exactly on the horizon must fire, including any
+    # zero-delay follow-ups it schedules onto the immediate deque at
+    # that same instant.
+    env = Environment()
+    log = []
+
+    def proc():
+        yield env.timeout(2.0)
+        log.append(("timeout", env.now))
+        yield env.timeout(0.0)  # immediate event at exactly the horizon
+        log.append(("immediate", env.now))
+
+    env.process(proc())
+    env.run(until=2.0)
+    assert log == [("timeout", 2.0), ("immediate", 2.0)]
+    assert env.now == 2.0
+
+
+def test_run_until_horizon_leaves_later_immediates_queued():
+    # An immediate scheduled at t=2 by a timeout *beyond* the horizon
+    # must not run; one scheduled exactly at the horizon must.
+    env = Environment()
+    log = []
+
+    def early():
+        yield env.timeout(1.0)
+        yield env.timeout(0.0)
+        log.append(("early", env.now))
+
+    def late():
+        yield env.timeout(1.5)
+        log.append(("late", env.now))
+
+    env.process(early())
+    env.process(late())
+    env.run(until=1.0)
+    assert log == [("early", 1.0)]
+    assert env.now == 1.0
+    env.run()  # draining the rest picks the late event back up
+    assert log == [("early", 1.0), ("late", 1.5)]
+
+
+def test_run_into_the_past_rejected():
+    env = Environment()
+    env.run(until=5.0)
+    with pytest.raises(SimulationError):
+        env.run(until=4.0)
+
+
+def test_events_scheduled_counts_every_schedule():
+    env = Environment()
+    assert env.events_scheduled == 0
+
+    def proc():
+        yield env.timeout(1.0)
+
+    env.process(proc())
+    env.run()
+    # Bootstrap + timeout + process termination = 3 scheduled events.
+    assert env.events_scheduled == 3
+
+
 def test_all_of_collects_values_in_order():
     env = Environment()
     results = {}

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.sim import Phase, TraceRecorder, merge_intervals
+from repro.sim.trace import subtract_intervals
 
 
 def test_merge_disjoint_intervals():
@@ -17,12 +18,54 @@ def test_merge_adjacent_intervals():
     assert merge_intervals([(0, 1), (1, 2)]) == [(0, 2)]
 
 
-def test_merge_ignores_empty_intervals():
-    assert merge_intervals([(1, 1), (2, 2)]) == []
+def test_merge_keeps_zero_length_intervals():
+    # Instantaneous activities (e.g. a CHECK answered in zero simulated
+    # time) stay visible as points instead of being silently dropped.
+    assert merge_intervals([(1, 1), (2, 2)]) == [(1, 1), (2, 2)]
+
+
+def test_merge_zero_length_absorbed_by_touching_interval():
+    assert merge_intervals([(0, 2), (1, 1)]) == [(0, 2)]
+    assert merge_intervals([(0, 1), (1, 1)]) == [(0, 1)]
+    assert merge_intervals([(1, 1), (1, 1)]) == [(1, 1)]
+
+
+def test_merge_drops_reversed_intervals():
+    assert merge_intervals([(3, 1), (0, 2)]) == [(0, 2)]
 
 
 def test_merge_unsorted_input():
     assert merge_intervals([(5, 6), (0, 2), (1, 4)]) == [(0, 4), (5, 6)]
+
+
+def test_subtract_touching_intervals():
+    # A remove interval that only touches an endpoint removes nothing.
+    assert subtract_intervals([(1, 3)], [(0, 1)]) == [(1, 3)]
+    assert subtract_intervals([(1, 3)], [(3, 5)]) == [(1, 3)]
+    # Touching on both sides simultaneously also removes nothing.
+    assert subtract_intervals([(1, 3)], [(0, 1), (3, 5)]) == [(1, 3)]
+    # Exactly covering the base consumes it entirely.
+    assert subtract_intervals([(1, 3)], [(1, 3)]) == []
+
+
+def test_subtract_nested_intervals():
+    # A remove interval strictly inside the base splits it in two.
+    assert subtract_intervals([(0, 10)], [(3, 7)]) == [(0, 3), (7, 10)]
+    # Several nested removes carve several holes.
+    assert subtract_intervals([(0, 10)], [(1, 2), (4, 5), (8, 9)]) == [
+        (0, 1), (2, 4), (5, 8), (9, 10)]
+    # A base nested inside a remove disappears.
+    assert subtract_intervals([(3, 7)], [(0, 10)]) == []
+
+
+def test_subtract_ignores_zero_length_removes():
+    # Points carry no measure: subtracting one must not split the base.
+    assert subtract_intervals([(0, 10)], [(5, 5)]) == [(0, 10)]
+
+
+def test_subtract_zero_length_base_survives_unless_covered():
+    assert subtract_intervals([(5, 5)], [(0, 2)]) == [(5, 5)]
+    assert subtract_intervals([(5, 5)], [(0, 10)]) == []
 
 
 def test_record_and_total():

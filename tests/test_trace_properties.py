@@ -142,6 +142,60 @@ def test_exclusive_fractions_match_union_measure(records):
     assert abs(sum(fractions.values()) - _measure(union)) < 1e-9
 
 
+# ----------------------------------------------------------------------
+# Retention equivalence: aggregate mode must be metric-invisible
+# ----------------------------------------------------------------------
+
+_ACTORS = ("gpu", "loader", "host")
+
+streamed_records = st.lists(
+    st.tuples(st.floats(0, 10, allow_nan=False),
+              st.floats(0, 10, allow_nan=False),
+              st.sampled_from(_ALL_PHASES),
+              st.sampled_from(_ACTORS)).map(
+        lambda t: (min(t[0], t[1]), max(t[0], t[1]), t[2], t[3])),
+    max_size=40)
+
+
+@settings(max_examples=80)
+@given(streamed_records, st.integers(1, 8))
+def test_aggregate_retention_metrics_equal_full(records, ring_size):
+    full = TraceRecorder(retention="full")
+    aggregate = TraceRecorder(retention="aggregate", ring_size=ring_size)
+    for start, end, phase, actor in records:
+        full.record(start, end, actor, phase, "x")
+        aggregate.record(start, end, actor, phase, "x")
+    for phase in _ALL_PHASES + [None]:
+        assert aggregate.total(phase) == full.total(phase)
+        assert aggregate.busy_time(phase) == full.busy_time(phase)
+        for actor in _ACTORS:
+            assert (aggregate.total(phase, actor)
+                    == full.total(phase, actor))
+            assert (aggregate.busy_time(phase, actor)
+                    == full.busy_time(phase, actor))
+    assert aggregate.span() == full.span()
+    assert (aggregate.breakdown(_ALL_PHASES)
+            == full.breakdown(_ALL_PHASES))
+    assert (aggregate.exclusive_fractions(_ALL_PHASES)
+            == full.exclusive_fractions(_ALL_PHASES))
+    for actor in _ACTORS:
+        assert aggregate.utilization(actor) == full.utilization(actor)
+    assert aggregate.record_count == full.record_count
+    assert aggregate.retained_records <= ring_size
+
+
+@settings(max_examples=60)
+@given(streamed_records)
+def test_streaming_busy_time_matches_full_rescan(records):
+    recorder = TraceRecorder(retention="aggregate", ring_size=1)
+    for start, end, phase, actor in records:
+        recorder.record(start, end, actor, phase)
+    for phase in _ALL_PHASES + [None]:
+        expected = merge_intervals(
+            (s, e) for s, e, p, _ in records if phase is None or p is phase)
+        assert recorder.busy_time(phase) == _measure(expected)
+
+
 @given(trace_records)
 def test_fault_phase_competes_like_any_other(records):
     # FAULT/RETRY records must not leak into other phases' exclusive
