@@ -8,7 +8,9 @@ Usage::
 Exits nonzero (listing every violation) if any report fails validation.
 Used by the CI bench-smoke job; handy locally after editing the report
 writer.  Uses the repo's own hand-rolled validator so it runs without
-any third-party schema library.
+any third-party schema library.  Reports produced with ``repro bench
+--metrics`` carry an optional ``metrics`` section (a telemetry-registry
+dump) that is validated too, and summarized in the ok line.
 """
 
 import json
@@ -40,9 +42,12 @@ def main(argv):
             for error in errors:
                 print(f"  - {error}")
         else:
+            metrics = payload.get("metrics")
+            extra = (f", {len(metrics)} metric families"
+                     if isinstance(metrics, dict) else "")
             print(f"{path}: ok "
                   f"({payload['totals']['cells']} cells, "
-                  f"schema v{payload['schema_version']})")
+                  f"schema v{payload['schema_version']}{extra})")
     return 1 if failures else 0
 
 

@@ -15,8 +15,15 @@ Commands
   (``--jobs``) with the on-disk result cache, emit a machine-readable
   ``BENCH_<timestamp>.json`` and optionally gate against a baseline.
 - ``profile`` — measure simulator throughput: wall-clock per simulated
-  request on a cluster replay, peak retained trace records, and raw
-  event-kernel throughput.
+  request on a cluster replay, peak retained trace records, raw
+  event-kernel throughput, and the causal-span telemetry overhead
+  (off vs on wall-clock).
+- ``trace export`` — run one instrumented cold start and write a
+  Chrome/Perfetto ``trace.json`` (open in https://ui.perfetto.dev),
+  optionally with the cold-start attribution report.
+- ``metrics`` — run an instrumented cold serve plus a small cluster
+  replay and dump the merged metrics registry as Prometheus text or
+  JSON.
 """
 
 from __future__ import annotations
@@ -172,6 +179,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="multiply the cluster cells' trace duration, "
                             "scaling the simulated request count "
                             "(default: 1.0)")
+    bench.add_argument("--metrics", action="store_true",
+                       help="collect telemetry metrics per cell and add "
+                            "a merged 'metrics' section to the report")
 
     profile = sub.add_parser(
         "profile", help="measure simulator throughput: wall-clock per "
@@ -200,6 +210,51 @@ def build_parser() -> argparse.ArgumentParser:
                               "microbench (default: 100000)")
     profile.add_argument("--device", default="MI100",
                          choices=["MI100", "A100", "6900XT"])
+    profile.add_argument("--telemetry-requests", type=int, default=3,
+                         help="cold serves per leg of the telemetry "
+                              "off-vs-on overhead comparison "
+                              "(default: 3; 0 skips it)")
+
+    trace = sub.add_parser(
+        "trace", help="causal-span telemetry: export Perfetto traces")
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    export = trace_sub.add_parser(
+        "export", help="run one instrumented cold start and write a "
+                       "Chrome/Perfetto trace.json")
+    export.add_argument("model", help="model abbreviation (e.g. res)")
+    export.add_argument("--scheme", default="pask",
+                        choices=sorted(_SCHEMES))
+    export.add_argument("--batch", type=int, default=1)
+    export.add_argument("--device", default="MI100",
+                        choices=["MI100", "A100", "6900XT"])
+    export.add_argument("--output", default="trace.json", metavar="FILE",
+                        help="output path (default: trace.json)")
+    export.add_argument("--validate", action="store_true",
+                        help="structurally validate the exported payload "
+                             "and exit nonzero on problems")
+    export.add_argument("--attribution", action="store_true",
+                        help="print the cold-start attribution report "
+                             "(per-phase critical path, load bytes)")
+
+    metrics = sub.add_parser(
+        "metrics", help="run an instrumented serve + cluster replay and "
+                        "dump the metrics registry")
+    metrics.add_argument("model", nargs="?", default="res")
+    metrics.add_argument("--scheme", default="pask",
+                         choices=sorted(_SCHEMES))
+    metrics.add_argument("--device", default="MI100",
+                         choices=["MI100", "A100", "6900XT"])
+    metrics.add_argument("--rate", type=float, default=20.0,
+                         help="cluster replay requests per second")
+    metrics.add_argument("--duration", type=float, default=2.0)
+    metrics.add_argument("--instances", type=int, default=4)
+    metrics.add_argument("--seed", type=int, default=0)
+    metrics.add_argument("--format", default="prom",
+                         choices=["prom", "json"],
+                         help="dump format (default: prom, the "
+                              "Prometheus text exposition)")
+    metrics.add_argument("--output", default=None, metavar="FILE",
+                         help="write the dump here instead of stdout")
     return parser
 
 
@@ -299,6 +354,7 @@ def _cmd_bench(args, out) -> int:
         write=not args.no_report,
         trace_retention=args.trace_retention,
         cluster_scale=args.cluster_scale,
+        collect_metrics=args.metrics,
         echo=out,
     )
     return 0 if report.ok else 1
@@ -330,6 +386,90 @@ def _cmd_profile(args, out) -> int:
     kernel = profile_event_kernel(events=args.events)
     out(f"event kernel: {kernel.events} events in {kernel.wall_s:.3f}s "
         f"({kernel.events_per_s:,.0f} events/s)")
+    if args.telemetry_requests > 0:
+        from repro.runner import profile_telemetry
+        telemetry = profile_telemetry(
+            device=args.device, model=args.model,
+            scheme=_SCHEMES[args.scheme],
+            requests=args.telemetry_requests)
+        out(f"telemetry overhead ({telemetry.requests} cold serves "
+            f"per leg):")
+        out(f"  off: {telemetry.per_request_off_s * 1e3:.2f} ms/request  "
+            f"on: {telemetry.per_request_on_s * 1e3:.2f} ms/request "
+            f"({telemetry.overhead_fraction:+.1%}, "
+            f"{telemetry.spans_per_request} spans/request)")
+    return 0
+
+
+def _cmd_trace(args, out) -> int:
+    # Only subcommand so far: export.
+    from repro.obs import (SpanRecorder, attribute_request, spans_summary,
+                           validate_trace, write_trace)
+    scheme = _SCHEMES[args.scheme]
+    server = InferenceServer(args.device)
+    spans = SpanRecorder()
+    result = server.serve_cold(args.model, scheme, args.batch, spans=spans)
+    payload = write_trace(
+        args.output, list(spans), device=args.device,
+        metadata={"model": args.model, "scheme": scheme.label,
+                  "batch": args.batch,
+                  "total_time_s": result.total_time})
+    counts = spans_summary(spans)
+    out(f"{args.model} cold start under {scheme.label} on {args.device}: "
+        f"{result.total_time * 1e3:.2f} ms")
+    out(f"  wrote {args.output}: {len(payload['traceEvents'])} events "
+        f"({', '.join(f'{v} {k}' for k, v in counts.items())})")
+    out("  open in https://ui.perfetto.dev or chrome://tracing")
+    if args.attribution:
+        for request in spans.requests():
+            verdict = attribute_request(list(spans), request)
+            out("")
+            out(f"  attribution of {request.name!r} "
+                f"({verdict.total_time * 1e3:.2f} ms):")
+            for name, seconds in verdict.components().items():
+                out(f"    {name:<10} {seconds * 1e3:8.3f} ms  "
+                    f"({verdict.fractions()[name]:6.1%})")
+            out(f"    critical-path loads: {len(verdict.critical_loads)} "
+                f"code objects, {verdict.critical_load_bytes} bytes")
+    if args.validate:
+        problems = validate_trace(payload)
+        if problems:
+            out("")
+            out("  INVALID trace:")
+            for problem in problems:
+                out(f"    {problem}")
+            return 1
+        out("  trace validated: required keys, monotonic ts per tid, "
+            "matched flow pairs")
+    return 0
+
+
+def _cmd_metrics(args, out) -> int:
+    from repro.obs import MetricsRegistry, SpanRecorder
+    scheme = _SCHEMES[args.scheme]
+    server = InferenceServer(args.device)
+    registry = MetricsRegistry()
+    server.serve_cold(args.model, scheme, spans=SpanRecorder(),
+                      metrics=registry)
+    trace = poisson_trace(args.model, args.rate, args.duration,
+                          seed=args.seed)
+    config = ClusterConfig(scheme=scheme, max_instances=args.instances)
+    ClusterSimulator(server, config, metrics=registry).run(trace)
+    if args.format == "json":
+        import json
+        dump = json.dumps(registry.to_json(), indent=2, sort_keys=True)
+    else:
+        dump = registry.to_prometheus()
+    if args.output is not None:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(dump)
+            if not dump.endswith("\n"):
+                handle.write("\n")
+        out(f"wrote {args.output} ({args.format}): one cold serve plus "
+            f"{len(trace)} replayed requests of {args.model!r} "
+            f"under {scheme.label}")
+    else:
+        out(dump)
     return 0
 
 
@@ -472,6 +612,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_chaos(args, out)
     if args.command == "profile":
         return _cmd_profile(args, out)
+    if args.command == "trace":
+        return _cmd_trace(args, out)
+    if args.command == "metrics":
+        return _cmd_metrics(args, out)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

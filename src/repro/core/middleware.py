@@ -116,6 +116,15 @@ class PaskMiddleware:
         self.tracker: Optional[MilestoneTracker] = None
         self.shared = _Shared()
         self._engine_bundle = None
+        # Telemetry rides on the runtime's handles (no-op when off).
+        metrics = getattr(runtime, "metrics", None)
+        self.metrics = metrics
+        if metrics is not None:
+            self._m_checks = metrics.counter(
+                "pask_check_total", "Solution-cache checks by outcome")
+            self._m_queue_depth = metrics.gauge(
+                "pask_preload_queue_depth",
+                "Instructions waiting in the parse->load channel")
 
     # ------------------------------------------------------------------
     # Entry point
@@ -174,11 +183,17 @@ class PaskMiddleware:
                 instr = yield inbox.get()
                 if instr is ChannelClosed:
                     return
+                if self.metrics is not None:
+                    self._m_queue_depth.set(len(inbox))
                 fallback = yield from self._loader_stall(instr)
                 if fallback:
                     plan = (instr, PLAN_FALLBACK, None)
                 else:
                     plan = yield from self._plan_instruction(instr)
+                spans = self.runtime.spans
+                if spans.enabled:
+                    spans.event(f"plan:{instr.name}", self.env.now,
+                                actor="loader", plan=plan[1])
                 yield out.put(plan)
         finally:
             # Close unconditionally so a crashed loader never leaves the
@@ -290,6 +305,9 @@ class PaskMiddleware:
                                           Phase.CHECK, instr.name,
                                           lookups=result.lookups)
             yield from self._bill_overhead()
+            if self.metrics is not None:
+                self._m_checks.inc(
+                    outcome="hit" if result.hit else "miss")
             if result.hit:
                 instance = result.instance
                 # The substitute's binary is resident; only layout casts

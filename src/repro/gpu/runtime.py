@@ -24,6 +24,7 @@ from repro.gpu.codeobject import CodeObjectFile
 from repro.gpu.device import DeviceSpec
 from repro.gpu.loader import load_time, symbol_resolve_time
 from repro.gpu.stream import Stream
+from repro.obs.spans import NULL_RECORDER
 from repro.sim.core import Environment, Event
 from repro.sim.faults import FaultInjector, FaultPlan, LaunchFault, LoadFault
 from repro.sim.trace import Phase, TraceRecorder
@@ -54,7 +55,8 @@ class HipRuntime:
 
     def __init__(self, env: Environment, device: DeviceSpec,
                  trace: Optional[TraceRecorder] = None,
-                 faults: Optional[object] = None) -> None:
+                 faults: Optional[object] = None,
+                 spans=None, metrics=None) -> None:
         self.env = env
         self.device = device
         self.trace = trace if trace is not None else TraceRecorder()
@@ -63,7 +65,25 @@ class HipRuntime:
         if isinstance(faults, FaultPlan):
             faults = faults.injector()
         self.faults: Optional[FaultInjector] = faults
-        self.stream = Stream(env, self.trace, faults=self.faults)
+        # Telemetry (repro.obs) is opt-in: without an explicit recorder
+        # the shared no-op singleton is held and every span call is a
+        # free no-op; with one, every trace record mirrors into a span
+        # stamped on the simulation clock.
+        if spans is not None:
+            self.spans = spans
+            spans.bind(self.trace, clock=lambda: self.env.now)
+        else:
+            self.spans = NULL_RECORDER
+        self.metrics = metrics
+        if metrics is not None:
+            self._m_loads = metrics.counter(
+                "runtime_loads_total", "Code-object loads completed")
+            self._m_load_bytes = metrics.counter(
+                "runtime_load_bytes_total", "Bytes of code objects loaded")
+            self._m_evictions = metrics.counter(
+                "runtime_evictions_total", "Modules dropped by evict_all")
+        self.stream = Stream(env, self.trace, faults=self.faults,
+                             spans=self.spans)
         self._modules: Dict[str, HipModule] = {}
         self._pending: Dict[str, Event] = {}
         self.load_count = 0
@@ -146,6 +166,11 @@ class HipRuntime:
         self.total_load_time += duration
         self.trace.record(start, self.env.now, actor, Phase.LOAD,
                           name, size=code_object.size_bytes)
+        if self.metrics is not None:
+            mode = "reactive" if reactive else "proactive"
+            self._m_loads.inc(mode=mode, device=self.device.name)
+            self._m_load_bytes.inc(code_object.size_bytes, mode=mode,
+                                   device=self.device.name)
         done.succeed(module)
         return module
 
@@ -182,6 +207,9 @@ class HipRuntime:
         """Drop all loaded modules (a fresh process / cold instance)."""
         if self._pending:
             raise RuntimeError("cannot evict while loads are in flight")
+        if self.metrics is not None and self._modules:
+            self._m_evictions.inc(len(self._modules),
+                                  device=self.device.name)
         self._modules.clear()
 
     # ------------------------------------------------------------------
@@ -230,6 +258,11 @@ class HipRuntime:
         yield self.env.timeout(self.device.kernel_launch_overhead_s)
         self.trace.record(start, self.env.now, actor, Phase.ISSUE,
                           label or symbol_name)
+        # Causality: the EXEC span about to be recorded waited on this
+        # code object's LOAD span, the symbol resolve, and the CHECK
+        # span of its instruction (if any).  No-op when telemetry is off.
+        self.spans.stage_exec_links(name, label or symbol_name,
+                                    f"{name}:{symbol_name}")
         completion = self.stream.enqueue(duration, label or symbol_name, **meta)
         return completion
 

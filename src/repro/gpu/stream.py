@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.obs.spans import NULL_RECORDER
 from repro.sim.core import Environment, Event
 from repro.sim.faults import FaultInjector
 from repro.sim.trace import Phase, TraceRecorder
@@ -22,11 +23,13 @@ class Stream:
 
     def __init__(self, env: Environment, trace: Optional[TraceRecorder] = None,
                  name: str = "stream0",
-                 faults: Optional[FaultInjector] = None) -> None:
+                 faults: Optional[FaultInjector] = None,
+                 spans=NULL_RECORDER) -> None:
         self.env = env
         self.trace = trace
         self.name = name
         self.faults = faults
+        self.spans = spans if spans is not None else NULL_RECORDER
         self._available_at = 0.0
         self._kernels_executed = 0
 
@@ -65,6 +68,10 @@ class Stream:
         self._kernels_executed += 1
         if self.trace is not None and duration > 0:
             self.trace.record(start, end, "gpu", Phase.EXEC, label, **meta)
+        else:
+            # No EXEC record, so any causal links staged for this kernel
+            # must not leak onto the next one.
+            self.spans.drop_staged()
         return self.env.timeout(end - self.env.now, value=label)
 
     def synchronize(self) -> Event:

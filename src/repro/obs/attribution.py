@@ -1,0 +1,255 @@
+"""Cold-start attribution: apportion request latency to its causes.
+
+The paper's headline figures are attribution claims — Fig. 1(b)
+decomposes first-inference latency into parse/load/issue/exec, Fig. 7
+isolates the CHECK/OVERHEAD cost PASK itself adds.  This module
+reproduces those decompositions at *per-request* granularity from causal
+spans (:mod:`repro.obs.spans`), and goes one level deeper: it names the
+specific code objects whose loads sat on the critical path and totals
+their bytes ("load bytes on critical path" per scheme).
+
+Attribution semantics
+---------------------
+Every wall-clock instant inside the attribution window is assigned to
+exactly **one** phase.  Phases are claimed in priority order — by
+default ``EXEC > LOAD > CHECK > OVERHEAD``, matching
+:meth:`repro.core.results.ExecutionResult.breakdown` — using the same
+canonical interval algebra as the trace recorder
+(:func:`~repro.sim.trace.merge_intervals` /
+:func:`~repro.sim.trace.subtract_intervals`).  Whatever no span covers
+is ``others`` (host sync, queue wait, idle gaps), computed as the exact
+float remainder ``total - sum(phases)`` so the components always sum to
+the request latency.
+
+Within LOAD, each code object's spans are subtracted against the
+running claimed union in deterministic order, so per-object seconds
+also sum to the phase total; an object is *on the critical path* iff
+its exclusive seconds are positive.
+
+:func:`spans_breakdown` is the non-exclusive variant (merged busy time
+per phase / total) and is byte-identical to
+:meth:`repro.sim.trace.TraceRecorder.breakdown` over the same records —
+pinned by tests for the paper's four schemes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.obs.spans import Span
+from repro.sim.trace import (Phase, TraceRecorder, merge_intervals,
+                             subtract_intervals)
+
+__all__ = [
+    "Attribution", "DEFAULT_PRIORITIES", "attribute_spans",
+    "attribute_request", "attribute_result", "spans_breakdown",
+    "spans_from_trace",
+]
+
+DEFAULT_PRIORITIES: Tuple[Phase, ...] = (
+    Phase.EXEC, Phase.LOAD, Phase.CHECK, Phase.OVERHEAD)
+
+Interval = Tuple[float, float]
+
+
+@dataclass
+class Attribution:
+    """One attribution verdict: who owns each second of the window."""
+
+    window: Interval
+    phase_seconds: Dict[Phase, float]
+    others_seconds: float
+    load_seconds: Dict[str, float]
+    load_bytes: Dict[str, int]
+
+    #: Labels excluded from the per-object load table (symbol resolves).
+    notes: Tuple[str, ...] = field(default=())
+
+    @property
+    def total_time(self) -> float:
+        return self.window[1] - self.window[0]
+
+    @property
+    def critical_loads(self) -> List[str]:
+        """Code objects whose load time sat on the critical path."""
+        return [name for name in self.load_seconds
+                if self.load_seconds[name] > 0.0]
+
+    @property
+    def critical_load_bytes(self) -> int:
+        """Total bytes of code objects loaded on the critical path."""
+        return sum(self.load_bytes.get(name, 0)
+                   for name in self.critical_loads)
+
+    def components(self) -> Dict[str, float]:
+        """Phase seconds plus ``others`` — sums to ``total_time``."""
+        out = {phase.value: seconds
+               for phase, seconds in self.phase_seconds.items()}
+        out["others"] = self.others_seconds
+        return out
+
+    def fractions(self) -> Dict[str, float]:
+        """``components`` normalized by ``total_time`` (zeros if empty)."""
+        total = self.total_time
+        if total <= 0:
+            return {name: 0.0 for name in self.components()}
+        return {name: seconds / total
+                for name, seconds in self.components().items()}
+
+    def to_payload(self) -> Dict[str, object]:
+        """JSON-able form for reports and the CLI."""
+        return {
+            "window": list(self.window),
+            "total_time": self.total_time,
+            "components": self.components(),
+            "load_seconds": {k: self.load_seconds[k]
+                             for k in sorted(self.load_seconds)},
+            "load_bytes": {k: self.load_bytes[k]
+                           for k in sorted(self.load_bytes)},
+            "critical_loads": sorted(self.critical_loads),
+            "critical_load_bytes": self.critical_load_bytes,
+        }
+
+
+def _clip(spans: Iterable[Span], window: Interval) -> List[Span]:
+    lo, hi = window
+    out = []
+    for span in spans:
+        if span.end < lo or span.start > hi:
+            continue
+        if span.start >= lo and span.end <= hi:
+            out.append(span)
+        else:
+            out.append(Span(span.span_id, span.name, span.category,
+                            span.actor, max(span.start, lo),
+                            min(span.end, hi), span.parent_id,
+                            span.links, span.attrs))
+    return out
+
+
+def attribute_spans(spans: Sequence[Span],
+                    window: Optional[Interval] = None,
+                    priorities: Sequence[Phase] = DEFAULT_PRIORITIES
+                    ) -> Attribution:
+    """Attribute the window's wall-clock to phases and code objects.
+
+    ``window`` defaults to the extent of the spans themselves.  Spans
+    straddling the window are clipped to it, so the components always
+    sum exactly (float-exactly, not approximately) to the window length
+    minus nothing: ``sum(phase_seconds) + others == total_time``.
+    """
+    timed = [s for s in spans if s.category not in ("request", "decision")]
+    if window is None:
+        if timed:
+            window = (min(s.start for s in timed),
+                      max(s.end for s in timed))
+        else:
+            window = (0.0, 0.0)
+    timed = _clip(timed, window)
+
+    by_phase: Dict[str, List[Span]] = {}
+    for span in timed:
+        by_phase.setdefault(span.category, []).append(span)
+
+    claimed: List[Interval] = []
+    phase_seconds: Dict[Phase, float] = {}
+    load_seconds: Dict[str, float] = {}
+    load_bytes: Dict[str, int] = {}
+    for phase in priorities:
+        mine_spans = by_phase.get(phase.value, [])
+        mine = merge_intervals(s.interval for s in mine_spans)
+        exclusive = subtract_intervals(mine, claimed)
+        phase_seconds[phase] = sum(e - s for s, e in exclusive)
+        if phase is Phase.LOAD and mine_spans:
+            # Deterministic per-object pass: each load claims what the
+            # higher-priority phases and earlier loads left uncovered.
+            running = claimed
+            for span in sorted(mine_spans,
+                               key=lambda s: (s.start, s.end, s.name,
+                                              s.span_id)):
+                piece = subtract_intervals(
+                    merge_intervals([span.interval]), running)
+                seconds = sum(e - s for s, e in piece)
+                load_seconds[span.name] = (
+                    load_seconds.get(span.name, 0.0) + seconds)
+                size = dict(span.attrs).get("size")
+                if isinstance(size, (int, float)):
+                    load_bytes[span.name] = max(
+                        load_bytes.get(span.name, 0), int(size))
+                else:
+                    load_bytes.setdefault(span.name, 0)
+                running = merge_intervals(running + [span.interval])
+        claimed = merge_intervals(claimed + mine)
+
+    total = window[1] - window[0]
+    others = max(0.0, total - sum(phase_seconds.values()))
+    return Attribution(window, phase_seconds, others,
+                       load_seconds, load_bytes)
+
+
+def attribute_request(spans: Sequence[Span], request: Span,
+                      priorities: Sequence[Phase] = DEFAULT_PRIORITIES
+                      ) -> Attribution:
+    """Attribute one request-lifecycle span from its children.
+
+    ``spans`` is the full recorder contents; only spans parented to
+    ``request`` participate, and the window is the request's own
+    interval — so the components sum to the request latency.
+    """
+    children = [s for s in spans if s.parent_id == request.span_id]
+    return attribute_spans(children, window=request.interval,
+                           priorities=priorities)
+
+
+def spans_from_trace(trace: TraceRecorder) -> List[Span]:
+    """Mirror a recorder's retained records into spans (no links).
+
+    Post-hoc path for results produced without live telemetry: interval
+    attribution needs only (interval, phase, label, meta), which the
+    retained records carry.  Under aggregate retention only the ring is
+    visible — attribute live spans instead for long runs.
+    """
+    return [Span(i + 1, rec.label, rec.phase.value, rec.actor,
+                 rec.start, rec.end, None, (), rec.meta)
+            for i, rec in enumerate(trace.filtered())]
+
+
+def attribute_result(result: "object",
+                     priorities: Sequence[Phase] = DEFAULT_PRIORITIES
+                     ) -> Attribution:
+    """Attribute a whole :class:`~repro.core.results.ExecutionResult`.
+
+    The window is the result's trace span, so ``fractions()`` lines up
+    with the paper's whole-run breakdown figures.
+    """
+    trace: TraceRecorder = result.trace  # type: ignore[attr-defined]
+    start, end = trace.span()
+    return attribute_spans(spans_from_trace(trace), window=(start, end),
+                           priorities=priorities)
+
+
+def spans_breakdown(spans: Sequence[Span], phases: Sequence[Phase],
+                    total_time: Optional[float] = None
+                    ) -> Dict[Phase, float]:
+    """Non-exclusive per-phase busy fractions from spans.
+
+    Byte-identical to :meth:`TraceRecorder.breakdown` over the same
+    records: the merged union of a point set is canonical (its endpoints
+    are input floats) and both sides sum segments left-to-right.
+    """
+    timed = [s for s in spans if s.category not in ("request", "decision")]
+    if total_time is None:
+        if timed:
+            total_time = (max(s.end for s in timed)
+                          - min(s.start for s in timed))
+        else:
+            total_time = 0.0
+    if total_time <= 0:
+        return {phase: 0.0 for phase in phases}
+    out: Dict[Phase, float] = {}
+    for phase in phases:
+        union = merge_intervals(
+            s.interval for s in timed if s.category == phase.value)
+        out[phase] = sum(e - s for s, e in union) / total_time
+    return out

@@ -1,0 +1,336 @@
+"""Causal spans: hierarchical, linkable telemetry over the simulation.
+
+A :class:`Span` is one timed activity with an identity: a stable
+``span_id``, an optional ``parent_id`` (the request it belongs to) and
+``links`` to the spans it causally waited on.  The flat
+:class:`~repro.sim.trace.TraceRecord` stream answers *how much* time each
+phase took; spans answer *which* code-object load sat on *which*
+request's critical path, and feed the Perfetto exporter
+(:mod:`repro.obs.perfetto`) and the cold-start attribution analyzer
+(:mod:`repro.obs.attribution`).
+
+Recording is observer-based: :meth:`SpanRecorder.bind` hooks a
+:class:`~repro.sim.trace.TraceRecorder`, so every trace record emitted
+anywhere in the stack (runtime loads, stream execs, middleware
+check/preload decisions, fault injections, cluster serves — including
+the intervals synthesized by the cluster fast-forward path) mirrors into
+a span with the *same* start/end floats.  That mirroring is what keeps
+span-based attribution byte-identical to the trace-based breakdowns.
+
+Causality is supplied at the emitting sites:
+
+- :meth:`SpanRecorder.stage_exec_links` — the runtime stages the LOAD /
+  CHECK span ids a kernel waited on just before enqueueing it; the next
+  EXEC span consumes them.
+- :meth:`SpanRecorder.request` / :meth:`SpanRecorder.span` — context
+  managers for request lifecycles and explicit host-side sections; all
+  spans observed inside a request parent to it.
+- :meth:`SpanRecorder.event` — zero-duration decision markers (e.g. the
+  PASK loader's plan choice per layer).
+
+When telemetry is off the stack holds the :data:`NULL_RECORDER`
+singleton instead: every method is a no-op, ``span()``/``request()``
+return one shared do-nothing context manager, and **no span objects are
+allocated** — the simulation is byte-identical to a build without this
+module (pinned by tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (Any, Callable, Dict, Iterable, List, Optional, Tuple)
+
+from repro.sim.trace import Phase, TraceRecord, TraceRecorder
+
+__all__ = ["Span", "SpanRecorder", "NullRecorder", "NULL_RECORDER"]
+
+
+@dataclass(frozen=True)
+class Span:
+    """One identified, linkable timed activity."""
+
+    span_id: int
+    name: str
+    category: str               # a Phase value, "request", or "decision"
+    actor: str
+    start: float
+    end: float
+    parent_id: Optional[int] = None
+    links: Tuple[int, ...] = ()
+    attrs: Tuple[Tuple[str, Any], ...] = ()
+
+    @property
+    def duration(self) -> float:
+        """Interval length in seconds."""
+        return self.end - self.start
+
+    @property
+    def interval(self) -> Tuple[float, float]:
+        """The ``(start, end)`` pair."""
+        return (self.start, self.end)
+
+
+class _NullContext:
+    """Shared do-nothing context manager returned by the null recorder."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc: Any) -> bool:
+        return False
+
+
+_NULL_CONTEXT = _NullContext()
+
+
+class NullRecorder:
+    """The disabled telemetry path: every operation is a no-op.
+
+    Shared as the :data:`NULL_RECORDER` singleton so hot paths pay one
+    attribute lookup and a no-op call, never an allocation.
+    """
+
+    __slots__ = ()
+
+    enabled = False
+    spans: Tuple[Span, ...] = ()
+
+    def bind(self, trace: TraceRecorder,
+             clock: Optional[Callable[[], float]] = None) -> None:
+        """No-op: leaves ``trace.observer`` untouched (``None``)."""
+
+    def observe(self, rec: TraceRecord) -> None:
+        """No-op."""
+
+    def stage_exec_links(self, code_object_name: str, label: str,
+                         symbol_label: Optional[str] = None) -> None:
+        """No-op."""
+
+    def drop_staged(self) -> None:
+        """No-op."""
+
+    def event(self, name: str, ts: float, actor: str = "host",
+              category: str = "decision", **attrs: Any) -> None:
+        """No-op."""
+
+    def span(self, name: str, actor: str = "host", category: str = "span",
+             **attrs: Any) -> _NullContext:
+        """The shared no-op context manager (never a new object)."""
+        return _NULL_CONTEXT
+
+    def request(self, name: str, actor: str = "server",
+                **attrs: Any) -> _NullContext:
+        """The shared no-op context manager (never a new object)."""
+        return _NULL_CONTEXT
+
+
+NULL_RECORDER = NullRecorder()
+
+
+class _SpanContext:
+    """Context manager that records one span on exit.
+
+    The span id is reserved at ``__enter__`` so children created inside
+    the block can reference it (ids stay ordered by opening time even
+    though the span object itself is appended at close).
+    """
+
+    __slots__ = ("_recorder", "_name", "_actor", "_category", "_attrs",
+                 "_is_request", "_span_id", "_start", "_prev_request")
+
+    def __init__(self, recorder: "SpanRecorder", name: str, actor: str,
+                 category: str, attrs: Tuple[Tuple[str, Any], ...],
+                 is_request: bool) -> None:
+        self._recorder = recorder
+        self._name = name
+        self._actor = actor
+        self._category = category
+        self._attrs = attrs
+        self._is_request = is_request
+        self._span_id = 0
+        self._start = 0.0
+        self._prev_request: Optional[int] = None
+
+    def __enter__(self) -> int:
+        recorder = self._recorder
+        self._span_id = recorder._reserve_id()
+        self._start = recorder.clock()
+        if self._is_request:
+            self._prev_request = recorder._request_id
+            recorder._request_id = self._span_id
+        return self._span_id
+
+    def __exit__(self, *exc: Any) -> bool:
+        recorder = self._recorder
+        if self._is_request:
+            parent = self._prev_request
+            recorder._request_id = self._prev_request
+        else:
+            parent = recorder._request_id
+        recorder._append(Span(
+            self._span_id, self._name, self._category, self._actor,
+            self._start, recorder.clock(), parent, (), self._attrs))
+        return False
+
+
+class SpanRecorder:
+    """Collects causal spans; the enabled counterpart of the null path.
+
+    Span ids are sequential from 1 in creation order, so two identical
+    runs produce identical span lists (the determinism the Perfetto
+    golden test pins).  ``clock`` supplies "now" for the context-manager
+    API — bind it to the simulation clock via :meth:`bind`.
+    """
+
+    __slots__ = ("spans", "clock", "_next_id", "_request_id", "_load_spans",
+                 "_check_spans", "_staged")
+
+    enabled = True
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None) -> None:
+        self.spans: List[Span] = []
+        self.clock: Callable[[], float] = clock if clock is not None \
+            else (lambda: 0.0)
+        self._next_id = 1
+        self._request_id: Optional[int] = None
+        # Most recent LOAD span per code-object/symbol label and CHECK
+        # span per instruction label: the link sources EXEC spans cite.
+        self._load_spans: Dict[str, int] = {}
+        self._check_spans: Dict[str, int] = {}
+        self._staged: Tuple[int, ...] = ()
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def bind(self, trace: TraceRecorder,
+             clock: Optional[Callable[[], float]] = None) -> None:
+        """Observe every record ``trace`` ingests; optionally rebind the
+        clock (usually ``lambda: env.now``)."""
+        trace.observer = self.observe
+        if clock is not None:
+            self.clock = clock
+
+    def _reserve_id(self) -> int:
+        span_id = self._next_id
+        self._next_id = span_id + 1
+        return span_id
+
+    def _append(self, span: Span) -> None:
+        self.spans.append(span)
+
+    # ------------------------------------------------------------------
+    # Observation (the TraceRecorder hook)
+    # ------------------------------------------------------------------
+    def observe(self, rec: TraceRecord) -> Span:
+        """Mirror one trace record into a span.
+
+        The span reuses the record's exact start/end floats, which is
+        what keeps span-based attribution byte-identical to the
+        trace-based metrics.  LOAD and CHECK spans register themselves
+        as link sources; an EXEC span consumes whatever links
+        :meth:`stage_exec_links` staged for it.
+        """
+        phase = rec.phase
+        links = ()
+        if phase is Phase.EXEC and self._staged:
+            links = self._staged
+            self._staged = ()
+        span = Span(self._reserve_id(), rec.label, phase.value, rec.actor,
+                    rec.start, rec.end, self._request_id, links, rec.meta)
+        self.spans.append(span)
+        if phase is Phase.LOAD:
+            self._load_spans[rec.label] = span.span_id
+        elif phase is Phase.CHECK:
+            self._check_spans[rec.label] = span.span_id
+        return span
+
+    # ------------------------------------------------------------------
+    # Causal links
+    # ------------------------------------------------------------------
+    def stage_exec_links(self, code_object_name: str, label: str,
+                         symbol_label: Optional[str] = None) -> None:
+        """Stage the spans the next EXEC span waited on.
+
+        Called by the runtime just before it enqueues a kernel: the
+        kernel depended on its code object's LOAD span, the symbol's
+        resolve span (``"module:symbol"``) and the CHECK span of its
+        instruction (labels like ``"layer/reused"`` fall back to the
+        base name before the ``/``).
+        """
+        links: List[int] = []
+        load_id = self._load_spans.get(code_object_name)
+        if load_id is not None:
+            links.append(load_id)
+        if symbol_label is not None:
+            symbol_id = self._load_spans.get(symbol_label)
+            if symbol_id is not None and symbol_id not in links:
+                links.append(symbol_id)
+        check_id = self._check_spans.get(label)
+        if check_id is None and "/" in label:
+            check_id = self._check_spans.get(label.split("/", 1)[0])
+        if check_id is not None:
+            links.append(check_id)
+        self._staged = tuple(links)
+
+    def drop_staged(self) -> None:
+        """Discard staged links (the kernel they were staged for was
+        never recorded, e.g. a zero-duration exec)."""
+        self._staged = ()
+
+    # ------------------------------------------------------------------
+    # Explicit spans
+    # ------------------------------------------------------------------
+    def event(self, name: str, ts: float, actor: str = "host",
+              category: str = "decision", **attrs: Any) -> Span:
+        """A zero-duration marker span (e.g. a scheduling decision)."""
+        span = Span(self._reserve_id(), name, category, actor, ts, ts,
+                    self._request_id, (), tuple(sorted(attrs.items())))
+        self.spans.append(span)
+        return span
+
+    def span(self, name: str, actor: str = "host", category: str = "span",
+             **attrs: Any) -> _SpanContext:
+        """Context manager recording one span from enter to exit."""
+        return _SpanContext(self, name, actor, category,
+                            tuple(sorted(attrs.items())), is_request=False)
+
+    def request(self, name: str, actor: str = "server",
+                **attrs: Any) -> _SpanContext:
+        """Context manager for a request lifecycle span.
+
+        While the block is open every observed span parents to it, which
+        is how per-request attribution scopes a shared recorder.
+        """
+        return _SpanContext(self, name, actor, "request",
+                            tuple(sorted(attrs.items())), is_request=True)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def by_id(self) -> Dict[int, Span]:
+        """Mapping of span id -> span."""
+        return {span.span_id: span for span in self.spans}
+
+    def filtered(self, category: Optional[str] = None,
+                 actor: Optional[str] = None,
+                 parent_id: Optional[int] = None) -> List[Span]:
+        """Spans matching the given category/actor/parent filters."""
+        return [s for s in self.spans
+                if (category is None or s.category == category)
+                and (actor is None or s.actor == actor)
+                and (parent_id is None or s.parent_id == parent_id)]
+
+    def requests(self) -> List[Span]:
+        """All request-lifecycle spans, in creation order."""
+        return self.filtered(category="request")
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    def __iter__(self) -> Iterable[Span]:
+        return iter(self.spans)
+
+    def __repr__(self) -> str:
+        return f"SpanRecorder(spans={len(self.spans)})"

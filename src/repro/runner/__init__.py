@@ -29,7 +29,8 @@ from repro.runner.engine import (RunStats, TaskOutcome, prewarm_suite,
                                  run_tasks)
 from repro.runner.grid import bench_grid, experiment_grid
 from repro.runner.profile import (ClusterProfile, EventKernelProfile,
-                                  profile_cluster, profile_event_kernel)
+                                  TelemetryProfile, profile_cluster,
+                                  profile_event_kernel, profile_telemetry)
 from repro.runner.schema import BENCH_SCHEMA, validate_report
 from repro.runner.tasks import (ExperimentTask, cluster_stats_from_payload,
                                 cluster_stats_to_payload, execute_task,
@@ -59,6 +60,8 @@ __all__ = [
     "validate_report",
     "ClusterProfile",
     "EventKernelProfile",
+    "TelemetryProfile",
     "profile_cluster",
     "profile_event_kernel",
+    "profile_telemetry",
 ]

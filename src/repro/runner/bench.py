@@ -110,12 +110,16 @@ def build_report(grid: str, outcomes: Dict[ExperimentTask, TaskOutcome],
     if created_unix is None:
         created_unix = time.time()
     cells: List[Dict[str, Any]] = []
+    metric_dumps: List[Dict[str, Any]] = []
     for task, outcome in outcomes.items():
         builder = _cluster_cell if task.kind == "cluster" else _serve_cell
         cells.append(builder(task, outcome))
+        dump = outcome.payload.get("metrics")
+        if dump:
+            metric_dumps.append(dump)
     simulated = sum(cell["total_time_s"] for cell in cells
                     if cell["kind"] in ("cold", "hot"))
-    return {
+    report: Dict[str, Any] = {
         "schema_version": SCHEMA_VERSION,
         "meta": {"code_version": __version__, "grid": grid,
                  "jobs": stats.jobs},
@@ -131,6 +135,14 @@ def build_report(grid: str, outcomes: Dict[ExperimentTask, TaskOutcome],
         "cells": cells,
         "summary": {"speedups": _summary_speedups(cells)},
     }
+    if metric_dumps:
+        # Per-cell registry dumps fold into one report-level view
+        # (counters/histograms add, gauges last-write-wins); omitted
+        # entirely when no cell collected metrics, so existing reports
+        # keep their exact shape.
+        from repro.obs.metrics import merge_dumps
+        report["metrics"] = merge_dumps(metric_dumps)
+    return report
 
 
 def write_report(report: Dict[str, Any], out_dir: str = ".") -> str:
@@ -195,6 +207,7 @@ def run_bench(grid: str = "quick", jobs: int = 1,
               tolerance: float = 0.05, write: bool = True,
               trace_retention: Optional[str] = None,
               cluster_scale: float = 1.0,
+              collect_metrics: bool = False,
               echo: Optional[Callable[[str], None]] = None) -> BenchReport:
     """Run one full bench cycle: grid → engine → report (→ gate).
 
@@ -202,14 +215,17 @@ def run_bench(grid: str = "quick", jobs: int = 1,
     still writes fresh results back, so the store ends the run warm.
     ``trace_retention``/``cluster_scale`` parameterize the cluster cells
     (request-level tracing and simulated request count; see
-    :func:`~repro.runner.grid.bench_grid`).
+    :func:`~repro.runner.grid.bench_grid`); ``collect_metrics`` attaches
+    telemetry registries and adds a merged ``metrics`` section to the
+    report.
     """
     def say(text: str = "") -> None:
         if echo is not None:
             echo(text)
 
     tasks = bench_grid(grid, trace_retention=trace_retention,
-                       cluster_scale=cluster_scale)
+                       cluster_scale=cluster_scale,
+                       collect_metrics=collect_metrics)
     cache = ResultCache(cache_dir, read=use_cache, write=True)
     say(f"repro bench: grid {grid!r}, {len(tasks)} cells, jobs={jobs}, "
         f"cache {'on' if use_cache else 'bypassed (writes only)'} "

@@ -65,61 +65,75 @@ def experiment_grid(device: str = "MI100",
 
 def _cluster_cells(models: Sequence[str], schemes: Sequence[Scheme],
                    duration_s: float,
-                   trace_retention: Optional[str] = None
+                   trace_retention: Optional[str] = None,
+                   collect_metrics: bool = False
                    ) -> List[ExperimentTask]:
     return [ExperimentTask(kind="cluster", model=model, scheme=scheme.value,
                            rate_hz=20.0, duration_s=duration_s, seed=0,
                            instances=4, keep_alive_s=0.5,
-                           trace_retention=trace_retention)
+                           trace_retention=trace_retention,
+                           collect_metrics=collect_metrics)
             for model in models for scheme in schemes]
 
 
 def bench_grid(name: str = "quick",
                trace_retention: Optional[str] = None,
-               cluster_scale: float = 1.0) -> List[ExperimentTask]:
+               cluster_scale: float = 1.0,
+               collect_metrics: bool = False) -> List[ExperimentTask]:
     """The curated ``repro bench`` grid called ``name``.
 
     ``trace_retention`` turns on request-level tracing for the cluster
     cells (``"full"`` or ``"aggregate"``); ``cluster_scale`` multiplies
     their trace duration, scaling the simulated request count without
     touching the serve cells (a scale of 1000 on the quick grid yields
-    ~10⁶-request replays).
+    ~10⁶-request replays).  ``collect_metrics`` attaches a telemetry
+    registry to every cell; the per-cell dumps merge into the report's
+    ``metrics`` section.
     """
     if name not in BENCH_GRIDS:
         raise ValueError(f"unknown bench grid {name!r}; "
                          f"expected one of {BENCH_GRIDS}")
     if cluster_scale <= 0:
         raise ValueError("cluster_scale must be positive")
+    cm = collect_metrics
     tasks: List[ExperimentTask] = []
     if name == "quick":
         models = ("res", "vit")
         for model in models:
             for scheme in (Scheme.BASELINE, Scheme.PASK):
                 tasks.append(ExperimentTask(kind="cold", model=model,
-                                            scheme=scheme.value))
-            tasks.append(ExperimentTask(kind="hot", model=model))
+                                            scheme=scheme.value,
+                                            collect_metrics=cm))
+            tasks.append(ExperimentTask(kind="hot", model=model,
+                                        collect_metrics=cm))
         tasks += _cluster_cells(("res",), (Scheme.BASELINE, Scheme.PASK),
                                 duration_s=2.0 * cluster_scale,
-                                trace_retention=trace_retention)
+                                trace_retention=trace_retention,
+                                collect_metrics=cm)
         return tasks
     models = list_models()
     for model in models:
         for scheme in _HEADLINE_SCHEMES:
             tasks.append(ExperimentTask(kind="cold", model=model,
-                                        scheme=scheme.value))
+                                        scheme=scheme.value,
+                                        collect_metrics=cm))
         for batch in (16, 128):
             for scheme in (Scheme.BASELINE, Scheme.PASK):
                 tasks.append(ExperimentTask(kind="cold", model=model,
-                                            scheme=scheme.value, batch=batch))
-        tasks.append(ExperimentTask(kind="hot", model=model))
+                                            scheme=scheme.value, batch=batch,
+                                            collect_metrics=cm))
+        tasks.append(ExperimentTask(kind="hot", model=model,
+                                    collect_metrics=cm))
     for device in ("A100", "6900XT"):
         for model in models:
             for scheme in (Scheme.BASELINE, Scheme.PASK):
                 tasks.append(ExperimentTask(kind="cold", device=device,
-                                            model=model, scheme=scheme.value))
+                                            model=model, scheme=scheme.value,
+                                            collect_metrics=cm))
             tasks.append(ExperimentTask(kind="hot", device=device,
-                                        model=model))
+                                        model=model, collect_metrics=cm))
     tasks += _cluster_cells(("res", "vit"), (Scheme.BASELINE, Scheme.PASK),
                             duration_s=4.0 * cluster_scale,
-                            trace_retention=trace_retention)
+                            trace_retention=trace_retention,
+                            collect_metrics=cm)
     return tasks

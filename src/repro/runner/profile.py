@@ -26,8 +26,8 @@ from repro.serving.requests import poisson_trace
 from repro.serving.server import InferenceServer
 from repro.sim.core import Environment
 
-__all__ = ["ClusterProfile", "EventKernelProfile", "profile_cluster",
-           "profile_event_kernel"]
+__all__ = ["ClusterProfile", "EventKernelProfile", "TelemetryProfile",
+           "profile_cluster", "profile_event_kernel", "profile_telemetry"]
 
 
 @dataclass(frozen=True)
@@ -114,6 +114,69 @@ def profile_cluster(device: str = "MI100", model: str = "res",
         cold_starts=stats.cold_starts,
         mean_latency_s=stats.mean_latency,
     )
+
+
+@dataclass(frozen=True)
+class TelemetryProfile:
+    """Wall-clock cost of causal-span telemetry on a cold serve.
+
+    Two measured configurations of the identical simulation: spans off
+    (the :data:`~repro.obs.spans.NULL_RECORDER` path, which allocates no
+    span objects — pinned by a unit test) and spans + metrics on.
+    """
+
+    requests: int
+    wall_off_s: float
+    wall_on_s: float
+    spans_per_request: int
+
+    @property
+    def per_request_off_s(self) -> float:
+        """Wall-clock per request with telemetry disabled."""
+        return self.wall_off_s / self.requests if self.requests else 0.0
+
+    @property
+    def per_request_on_s(self) -> float:
+        """Wall-clock per request with spans + metrics enabled."""
+        return self.wall_on_s / self.requests if self.requests else 0.0
+
+    @property
+    def overhead_fraction(self) -> float:
+        """Relative slowdown of the telemetry-on path (0.1 = +10%)."""
+        if self.wall_off_s <= 0:
+            return 0.0
+        return self.wall_on_s / self.wall_off_s - 1.0
+
+
+def profile_telemetry(device: str = "MI100", model: str = "res",
+                      scheme: Scheme = Scheme.PASK,
+                      requests: int = 3) -> TelemetryProfile:
+    """Time identical cold serves with telemetry off versus on.
+
+    Program compilation is excluded (one untimed warm-up serve), so the
+    comparison isolates the simulation loop — which is where the span
+    observer and metric increments live.
+    """
+    if requests <= 0:
+        raise ValueError("requests must be positive")
+    from repro.obs import MetricsRegistry, SpanRecorder
+    server = InferenceServer(device)
+    server.serve_cold(model, scheme)  # warm-up: compile + find-db
+    began = perf_counter()
+    for _ in range(requests):
+        server.serve_cold(model, scheme)
+    wall_off = perf_counter() - began
+    span_count = 0
+    began = perf_counter()
+    for _ in range(requests):
+        spans = SpanRecorder()
+        server.serve_cold(model, scheme, spans=spans,
+                          metrics=MetricsRegistry())
+        span_count = len(spans)
+    wall_on = perf_counter() - began
+    return TelemetryProfile(requests=requests, wall_off_s=wall_off,
+                            wall_on_s=wall_on,
+                            spans_per_request=span_count)
 
 
 def profile_event_kernel(events: int = 100_000) -> EventKernelProfile:

@@ -114,6 +114,10 @@ BENCH_SCHEMA: Dict[str, Any] = {
                 },
             },
         },
+        # Optional: merged telemetry-registry dump (repro.obs.metrics),
+        # present when the run collected metrics.  Structure validated
+        # by repro.obs.metrics.validate_dump.
+        "metrics": {"type": "object"},
     },
 }
 
@@ -215,4 +219,10 @@ def validate_report(payload: Any) -> List[str]:
     if not isinstance(summary, dict) or not isinstance(
             summary.get("speedups"), dict):
         errors.append("summary.speedups: missing or not an object")
+    if "metrics" in payload:
+        # Optional telemetry section; when present it must be a valid
+        # registry dump.
+        from repro.obs.metrics import validate_dump
+        errors.extend(f"metrics: {problem}"
+                      for problem in validate_dump(payload["metrics"]))
     return errors

@@ -71,6 +71,10 @@ class ExperimentTask:
     # record, "aggregate" keeps streaming aggregates + a bounded ring.
     trace_retention: Optional[str] = None
     trace_ring: int = 1024
+    # Telemetry: collect a metrics-registry dump alongside the result
+    # (``payload["metrics"]``).  Defaults off, which leaves payloads —
+    # and therefore cache keys and old cached entries — untouched.
+    collect_metrics: bool = False
 
     def __post_init__(self) -> None:
         if self.kind not in ("cold", "hot", "cluster"):
@@ -118,6 +122,9 @@ class ExperimentTask:
             # Keep cache keys for untraced replays stable across the
             # introduction of the tracing knobs.
             del out["trace_retention"], out["trace_ring"]
+        if not self.collect_metrics:
+            # Same stability rule for the metrics knob.
+            del out["collect_metrics"]
         if self.kind == "hot":
             # Hot serves always run the baseline-lowered program.
             del out["scheme"]
@@ -275,13 +282,24 @@ def execute_task(task: ExperimentTask) -> Dict[str, Any]:
     at module top level so :mod:`concurrent.futures` can pickle it.
     """
     server = _server(task.device)
+    metrics = None
+    if task.collect_metrics:
+        from repro.obs.metrics import MetricsRegistry
+        metrics = MetricsRegistry()
+
+    def _with_metrics(payload: Dict[str, Any]) -> Dict[str, Any]:
+        if metrics is not None:
+            payload["metrics"] = metrics.to_json()
+        return payload
+
     if task.kind == "cold":
         result = server.serve_cold(task.model, task.scheme_enum, task.batch,
-                                   faults=task.faults)
-        return result_to_payload(result)
+                                   faults=task.faults, metrics=metrics)
+        return _with_metrics(result_to_payload(result))
     if task.kind == "hot":
-        result = server.serve_hot(task.model, task.batch, faults=task.faults)
-        return result_to_payload(result)
+        result = server.serve_hot(task.model, task.batch, faults=task.faults,
+                                  metrics=metrics)
+        return _with_metrics(result_to_payload(result))
     trace = poisson_trace(task.model, task.rate_hz, task.duration_s,
                           seed=task.seed, batch=task.batch)
     config = ClusterConfig(scheme=task.scheme_enum,
@@ -290,5 +308,5 @@ def execute_task(task: ExperimentTask) -> Dict[str, Any]:
                            faults=task.faults,
                            trace_retention=task.trace_retention,
                            trace_ring=task.trace_ring)
-    stats = ClusterSimulator(server, config).run(trace)
-    return cluster_stats_to_payload(stats)
+    stats = ClusterSimulator(server, config, metrics=metrics).run(trace)
+    return _with_metrics(cluster_stats_to_payload(stats))

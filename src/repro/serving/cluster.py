@@ -14,7 +14,6 @@ queueing, autoscaling and keep-alive on top.
 
 from __future__ import annotations
 
-import math
 import heapq
 import operator
 from dataclasses import dataclass, field
@@ -22,6 +21,7 @@ from typing import Dict, List, Optional, Tuple
 from weakref import WeakKeyDictionary
 
 from repro.core.schemes import Scheme
+from repro.serving.metrics import percentile as nearest_rank_percentile
 from repro.serving.requests import RequestTrace
 from repro.serving.server import InferenceServer
 from repro.sim.faults import FaultCounters, FaultInjector, FaultPlan
@@ -122,19 +122,16 @@ class ClusterStats:
     def percentile(self, q: float) -> float:
         """The q-quantile (0..1) of request latency, by nearest rank.
 
-        Uses the standard nearest-rank definition (rank ``ceil(q * n)``,
-        1-based), so ``percentile(0.5)`` of an odd-length sample is its
-        true median and ``percentile(1.0)`` is the maximum.  ``0.0``
-        when nothing completed, for the same reason as
-        :attr:`mean_latency`.
+        Delegates to :func:`repro.serving.metrics.percentile` (the same
+        definition the metrics registry summaries use), except that an
+        empty sample returns ``0.0`` instead of raising, for the same
+        reason as :attr:`mean_latency`.
         """
         if not 0 <= q <= 1:
             raise ValueError(f"quantile out of range: {q}")
         if not self.latencies:
             return 0.0
-        ordered = sorted(self.latencies)
-        rank = max(1, math.ceil(q * len(ordered)))
-        return ordered[rank - 1]
+        return nearest_rank_percentile(self.latencies, q)
 
     @property
     def cold_start_fraction(self) -> float:
@@ -156,9 +153,22 @@ _SERVICE_TIMES: "WeakKeyDictionary[InferenceServer, Dict[Tuple, float]]" = \
 class ClusterSimulator:
     """Replays a request trace against an autoscaled instance pool."""
 
-    def __init__(self, server: InferenceServer, config: ClusterConfig) -> None:
+    def __init__(self, server: InferenceServer, config: ClusterConfig,
+                 metrics=None, spans=None) -> None:
         self.server = server
         self.config = config
+        # Telemetry (repro.obs), both optional.  ``spans`` requires a
+        # trace retention policy — spans mirror the cluster's trace
+        # records, including the ones the fast-forward path synthesizes.
+        self.metrics = metrics
+        self.spans = spans
+        if metrics is not None:
+            self._m_requests = metrics.counter(
+                "cluster_requests_total", "Requests served by outcome")
+            self._m_queue_wait = metrics.histogram(
+                "cluster_queue_wait_seconds", "Request queueing delay")
+            self._m_latency = metrics.histogram(
+                "cluster_latency_seconds", "End-to-end request latency")
         try:
             self._service_times = _SERVICE_TIMES.setdefault(server, {})
         except TypeError:  # non-weakref-able server stand-in (tests)
@@ -202,6 +212,8 @@ class ClusterSimulator:
             stats.trace = TraceRecorder(retention=config.trace_retention,
                                         ring_size=config.trace_ring)
         recorder = stats.trace
+        if self.spans is not None and recorder is not None:
+            self.spans.bind(recorder)
         injector: Optional[FaultInjector] = (
             config.faults.injector() if config.faults is not None else None)
         instances: List[_Instance] = []
@@ -288,6 +300,26 @@ class ClusterSimulator:
                 now = crash_time
         if injector is not None:
             stats.faults = injector.counters
+        if self.metrics is not None:
+            # Fed once from the collected stats (covers both the
+            # stepping and fast-forward paths) so the hot scheduling
+            # loop stays untouched.
+            label = self.config.scheme.label
+            if stats.warm_hits:
+                self._m_requests.inc(stats.warm_hits,
+                                     outcome="warm", scheme=label)
+            if stats.cold_starts:
+                self._m_requests.inc(stats.cold_starts,
+                                     outcome="cold", scheme=label)
+            if stats.failed:
+                self._m_requests.inc(stats.failed,
+                                     outcome="failed", scheme=label)
+            wait_series = self._m_queue_wait.labels(scheme=label)
+            for wait in stats.queue_waits:
+                wait_series.observe(wait)
+            latency_series = self._m_latency.labels(scheme=label)
+            for latency in stats.latencies:
+                latency_series.observe(latency)
         return stats
 
     def _fast_forward(self, arrivals: Tuple[float, ...], index: int,

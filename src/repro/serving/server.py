@@ -78,18 +78,28 @@ class InferenceServer:
     # ------------------------------------------------------------------
     def serve_cold(self, model: str, scheme: Scheme = Scheme.BASELINE,
                    batch: int = 1,
-                   faults: Optional[FaultPlan] = None) -> ExecutionResult:
+                   faults: Optional[FaultPlan] = None,
+                   spans=None, metrics=None) -> ExecutionResult:
         """Serve one request on a fresh instance (no loaded kernels).
 
         With a ``faults`` plan, the run is subject to deterministic fault
         injection; a request whose faults exhaust every mitigation is
         returned *explicitly failed* (``result.failed``) rather than
         raising -- no request is ever silently lost.
+
+        ``spans`` (a :class:`repro.obs.SpanRecorder`) and ``metrics``
+        (a :class:`repro.obs.MetricsRegistry`) opt into telemetry: the
+        run is wrapped in a request-lifecycle span and every runtime /
+        middleware activity mirrors into causal spans.  Both default to
+        off, which costs nothing and changes nothing.
         """
         program = self._lowered(model, scheme, batch)
         env = Environment()
         injector = faults.injector() if faults is not None else None
-        runtime = HipRuntime(env, self.device, faults=injector)
+        if injector is not None and metrics is not None:
+            injector.bind_metrics(metrics)
+        runtime = HipRuntime(env, self.device, faults=injector,
+                             spans=spans, metrics=metrics)
         executor = build_executor(scheme)
 
         outcome: Dict[str, object] = {}
@@ -97,8 +107,10 @@ class InferenceServer:
         failed = False
 
         def driver():
-            stats = yield from executor(env, runtime, self.library,
-                                        self.blas, program)
+            with runtime.spans.request(f"serve:{model}", model=model,
+                                       scheme=scheme.label, batch=batch):
+                stats = yield from executor(env, runtime, self.library,
+                                            self.blas, program)
             outcome.update(stats or {})
 
         process = env.process(driver(), name=f"serve-{model}")
@@ -129,7 +141,8 @@ class InferenceServer:
                       n_requests: int = 3, interval_s: float = 0.05,
                       interval_preload: bool = True,
                       batch: int = 1,
-                      faults: Optional[FaultPlan] = None
+                      faults: Optional[FaultPlan] = None,
+                      spans=None, metrics=None
                       ) -> List[ExecutionResult]:
         """Serve consecutive requests on one warm instance (Sec. VI).
 
@@ -138,6 +151,10 @@ class InferenceServer:
         the idle gap between requests is used to load the desired
         solutions PASK skipped, so later requests run their optimal
         kernels -- the paper's inter-request loading discussion.
+
+        With ``spans``, each request becomes one request-lifecycle span
+        in the shared recorder (request 0 cold, the rest warm), which is
+        the input per-request cold-start attribution works from.
         """
         if n_requests < 1:
             raise ValueError("need at least one request")
@@ -146,7 +163,10 @@ class InferenceServer:
         program = self._lowered(model, scheme, batch)
         env = Environment()
         injector = faults.injector() if faults is not None else None
-        runtime = HipRuntime(env, self.device, faults=injector)
+        if injector is not None and metrics is not None:
+            injector.bind_metrics(metrics)
+        runtime = HipRuntime(env, self.device, faults=injector,
+                             spans=spans, metrics=metrics)
         executor = build_executor(scheme)
         results: List[ExecutionResult] = []
 
@@ -157,11 +177,20 @@ class InferenceServer:
                 trace = TraceRecorder()
                 runtime.trace = trace
                 runtime.stream.trace = trace
+                # Each request gets a fresh recorder; re-attach the span
+                # observer so its activities keep mirroring (no-op when
+                # telemetry is off).
+                if spans is not None:
+                    spans.bind(trace)
                 loads_before = runtime.load_count
                 start = self.env_now(env)
                 try:
-                    stats = yield from executor(env, runtime, self.library,
-                                                self.blas, program)
+                    with runtime.spans.request(f"request-{request}",
+                                               model=model, request=request,
+                                               scheme=scheme.label):
+                        stats = yield from executor(env, runtime,
+                                                    self.library,
+                                                    self.blas, program)
                 except FaultError as error:
                     # The instance died mid-request: record the request
                     # as explicitly failed and end the session (the
@@ -217,7 +246,8 @@ class InferenceServer:
         return env.now
 
     def serve_hot(self, model: str, batch: int = 1,
-                  faults: Optional[FaultPlan] = None) -> ExecutionResult:
+                  faults: Optional[FaultPlan] = None,
+                  spans=None, metrics=None) -> ExecutionResult:
         """A successive-iteration run: program parsed, kernels resident.
 
         This is the denominator of Fig. 1(a)'s cold/hot slowdowns.
@@ -225,18 +255,23 @@ class InferenceServer:
         program = self._lowered(model, Scheme.BASELINE, batch)
         env = Environment()
         injector = faults.injector() if faults is not None else None
-        runtime = HipRuntime(env, self.device, faults=injector)
+        if injector is not None and metrics is not None:
+            injector.bind_metrics(metrics)
+        runtime = HipRuntime(env, self.device, faults=injector,
+                             spans=spans, metrics=metrics)
         runtime.preload(program_code_objects(program, self.library, self.blas))
 
         def driver():
             from repro.core.schemes import _issue_instruction
             bundle = program.engine_bundle
-            for instr in program.instructions:
-                yield from _issue_instruction(env, runtime, self.library,
-                                              self.blas, instr,
-                                              actor="host", lazy=True,
-                                              engine_bundle=bundle)
-            yield from runtime.synchronize()
+            with runtime.spans.request(f"hot:{model}", model=model,
+                                       scheme="Hot", batch=batch):
+                for instr in program.instructions:
+                    yield from _issue_instruction(env, runtime, self.library,
+                                                  self.blas, instr,
+                                                  actor="host", lazy=True,
+                                                  engine_bundle=bundle)
+                yield from runtime.synchronize()
 
         metadata = {"device": self.device.name, "instructions": len(program)}
         failed = False

@@ -178,6 +178,15 @@ class FaultInjector:
         self.plan = plan
         self.counters = FaultCounters()
         self._draws: Dict[str, int] = {}
+        self._m_faults = None
+
+    def bind_metrics(self, metrics) -> None:
+        """Count injected faults per site in a metrics registry
+        (:class:`repro.obs.metrics.MetricsRegistry`).  Counting never
+        consumes randomness, so binding leaves the fault sequence — and
+        therefore the simulation — unchanged."""
+        self._m_faults = metrics.counter(
+            "faults_injected_total", "Injected faults by site")
 
     def roll(self, site: str) -> float:
         """Deterministic uniform draw in ``[0, 1)`` for ``site``."""
@@ -191,7 +200,10 @@ class FaultInjector:
         """Whether the visit at ``site`` faults (no draw when rate is 0)."""
         if rate <= 0.0:
             return False
-        return self.roll(site) < rate
+        failed = self.roll(site) < rate
+        if failed and self._m_faults is not None:
+            self._m_faults.inc(site=site)
+        return failed
 
     # ------------------------------------------------------------------
     # Site-specific helpers (the named injection points)

@@ -233,6 +233,11 @@ class TraceRecorder:
         self._synced = 0         # records folded from the full-mode list
         self._span_start = 0.0
         self._span_end = 0.0
+        # Optional telemetry hook (repro.obs): called with every record
+        # that flows through ingest()/ingest_stream().  None (default)
+        # keeps the hot path to a single falsy check; records appended
+        # directly to ``records`` by legacy callers bypass it.
+        self.observer: Optional[Any] = None
         if records is not None:
             for record in records:
                 self.ingest(record)
@@ -257,6 +262,8 @@ class TraceRecorder:
         self._fold(rec)
         self.records.append(rec)
         self._synced = self._count
+        if self.observer is not None:
+            self.observer(rec)
 
     def ingest_stream(self, spans: Iterable[Tuple[float, float]],
                       actor: str, phase: Phase, label: str = "") -> None:
@@ -341,6 +348,13 @@ class TraceRecorder:
                 segs.extend(islice(union, overlap, None))
             else:
                 segs.extend(union)
+        if self.observer is not None:
+            # Fast-forwarded / batched segments still surface as
+            # individual spans downstream: synthesize the records a
+            # per-record ingest would have produced.
+            observer = self.observer
+            for start, end in span_list:
+                observer(TraceRecord(start, end, actor, phase, label))
         lo = min(starts)
         hi = max(ends)
         if self._count == 0:

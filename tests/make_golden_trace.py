@@ -1,0 +1,27 @@
+#!/usr/bin/env python3
+"""Regenerate ``tests/data/golden_trace.json``.
+
+The golden Perfetto export of an instrumented tiny-ResNet cold start
+(see ``tests/test_obs_perfetto.py``).  Rerun after an intentional
+change to the exporter, the span model or the simulator's calibrated
+timings::
+
+    PYTHONPATH=src python tests/make_golden_trace.py
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from test_obs_perfetto import GOLDEN_PATH, _export_tiny  # noqa: E402
+
+
+def main():
+    os.makedirs(os.path.dirname(GOLDEN_PATH), exist_ok=True)
+    payload = _export_tiny(GOLDEN_PATH)
+    print(f"wrote {GOLDEN_PATH}: {len(payload['traceEvents'])} events")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,136 @@
+"""Cold-start attribution: exact sums, critical-path loads, parity.
+
+Pins the two acceptance criteria of the telemetry work:
+
+- per-request attribution components sum to the request latency within
+  1e-9 on a mixed warm/cold session, and
+- the non-exclusive ``spans_breakdown`` is byte-identical to
+  ``TraceRecorder.breakdown`` for the paper's four schemes.
+"""
+
+import pytest
+
+from repro.core.schemes import Scheme
+from repro.obs import (SpanRecorder, attribute_request, attribute_result,
+                       attribute_spans, spans_breakdown)
+from repro.obs.spans import Span
+from repro.serving.server import InferenceServer
+from repro.sim.trace import Phase
+
+FOUR_SCHEMES = (Scheme.BASELINE, Scheme.NNV12, Scheme.PASK, Scheme.IDEAL)
+BREAKDOWN_PHASES = (Phase.PARSE, Phase.LOAD, Phase.ISSUE, Phase.EXEC,
+                    Phase.CHECK, Phase.OVERHEAD)
+
+
+@pytest.fixture(scope="module")
+def server():
+    return InferenceServer("MI100")
+
+
+class TestExclusiveAttribution:
+    def test_components_sum_exactly_to_window(self):
+        spans = [
+            Span(1, "load", "load", "loader", 0.0, 3.0, attrs=(("size", 10),)),
+            Span(2, "exec", "exec", "gpu", 2.0, 4.0),
+            Span(3, "check", "check", "host", 0.5, 1.0),
+        ]
+        verdict = attribute_spans(spans, window=(0.0, 5.0))
+        components = verdict.components()
+        assert sum(components.values()) == verdict.total_time == 5.0
+        # EXEC outranks LOAD on the overlap [2, 3].
+        assert components["exec"] == 2.0
+        assert components["load"] == 2.0
+        assert components["check"] == 0.0  # fully shadowed by the load
+        assert components["others"] == 1.0
+
+    def test_critical_loads_and_bytes(self):
+        spans = [
+            Span(1, "mod_a", "load", "loader", 0.0, 2.0,
+                 attrs=(("size", 100),)),
+            Span(2, "mod_b", "load", "loader", 0.0, 2.0,
+                 attrs=(("size", 7),)),   # fully shadowed by mod_a
+            Span(3, "mod_c", "load", "loader", 2.0, 3.0,
+                 attrs=(("size", 30),)),
+        ]
+        verdict = attribute_spans(spans, window=(0.0, 3.0))
+        assert verdict.critical_loads == ["mod_a", "mod_c"]
+        assert verdict.critical_load_bytes == 130
+        assert sum(verdict.load_seconds.values()) == 3.0
+
+    def test_empty_spans(self):
+        verdict = attribute_spans([])
+        assert verdict.total_time == 0.0
+        assert verdict.fractions()["others"] == 0.0
+
+    def test_payload_is_sorted_and_jsonable(self):
+        import json
+        spans = [Span(1, "m", "load", "loader", 0.0, 1.0,
+                      attrs=(("size", 5),))]
+        payload = attribute_spans(spans).to_payload()
+        json.dumps(payload)
+        assert payload["critical_load_bytes"] == 5
+
+
+class TestPerRequestAttribution:
+    def test_session_mixed_warm_cold_sums_to_latency(self, server):
+        # Request 0 is the cold start, later requests run warm -- the
+        # acceptance scenario for per-request attribution.
+        spans = SpanRecorder()
+        results = server.serve_session("res", Scheme.PASK, n_requests=3,
+                                       spans=spans)
+        requests = spans.requests()
+        assert len(requests) == len(results) == 3
+        all_spans = list(spans)
+        for request, result in zip(requests, results):
+            verdict = attribute_request(all_spans, request)
+            total = sum(verdict.components().values())
+            assert total == pytest.approx(result.total_time, abs=1e-9)
+            assert verdict.total_time == pytest.approx(result.total_time,
+                                                       abs=1e-9)
+        cold = attribute_request(all_spans, requests[0])
+        warm = attribute_request(all_spans, requests[-1])
+        assert cold.critical_load_bytes > 0
+        assert cold.phase_seconds[Phase.LOAD] > warm.phase_seconds[Phase.LOAD]
+
+    def test_cold_serve_request_attribution(self, server):
+        spans = SpanRecorder()
+        result = server.serve_cold("res", Scheme.PASK, spans=spans)
+        request = spans.requests()[0]
+        verdict = attribute_request(list(spans), request)
+        assert sum(verdict.components().values()) == pytest.approx(
+            result.total_time, abs=1e-9)
+        assert verdict.critical_load_bytes > 0
+
+
+class TestBreakdownParity:
+    @pytest.mark.parametrize("scheme", FOUR_SCHEMES,
+                             ids=[s.label for s in FOUR_SCHEMES])
+    def test_spans_breakdown_matches_trace_breakdown(self, server, scheme):
+        spans = SpanRecorder()
+        result = server.serve_cold("res", scheme, spans=spans)
+        trace = result.trace
+        expected = trace.breakdown(BREAKDOWN_PHASES,
+                                   total_time=result.total_time)
+        got = spans_breakdown(list(spans), BREAKDOWN_PHASES,
+                              total_time=result.total_time)
+        # Byte-identical floats, not approximately equal.
+        assert got == expected
+
+    def test_attribute_result_covers_whole_run(self, server):
+        result = server.serve_cold("res", Scheme.BASELINE)
+        verdict = attribute_result(result)
+        start, end = result.trace.span()
+        assert sum(verdict.components().values()) == pytest.approx(
+            end - start, abs=1e-9)
+        assert verdict.critical_load_bytes > 0
+
+    def test_pask_attribution_cuts_critical_load_bytes(self, server):
+        # The paper's headline: PASK keeps load bytes off the critical
+        # path relative to the baseline.
+        def critical_bytes(scheme):
+            spans = SpanRecorder()
+            server.serve_cold("res", scheme, spans=spans)
+            request = spans.requests()[0]
+            return attribute_request(list(spans), request).critical_load_bytes
+
+        assert critical_bytes(Scheme.PASK) < critical_bytes(Scheme.BASELINE)

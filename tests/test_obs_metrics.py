@@ -1,0 +1,193 @@
+"""Unit tests for the telemetry metrics registry."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (DEFAULT_SIZE_BUCKETS, DEFAULT_TIME_BUCKETS,
+                               MetricsRegistry, exponential_buckets,
+                               merge_dumps, validate_dump)
+
+
+class TestExponentialBuckets:
+    def test_geometric_ladder(self):
+        assert exponential_buckets(1.0, 2.0, 4) == (1.0, 2.0, 4.0, 8.0)
+
+    def test_default_ladders_are_fixed(self):
+        assert len(DEFAULT_TIME_BUCKETS) == 16
+        assert DEFAULT_TIME_BUCKETS[0] == 1e-4
+        assert len(DEFAULT_SIZE_BUCKETS) == 11
+        assert DEFAULT_SIZE_BUCKETS[0] == 1024.0
+
+    @pytest.mark.parametrize("start,factor,count",
+                             [(0.0, 2.0, 4), (-1.0, 2.0, 4),
+                              (1.0, 1.0, 4), (1.0, 2.0, 0)])
+    def test_invalid_parameters(self, start, factor, count):
+        with pytest.raises(ValueError):
+            exponential_buckets(start, factor, count)
+
+
+class TestInstruments:
+    def test_counter_increments_per_label_set(self):
+        registry = MetricsRegistry()
+        loads = registry.counter("loads_total", "Loads")
+        loads.inc(mode="reactive")
+        loads.inc(2.0, mode="reactive")
+        loads.inc(mode="proactive")
+        assert loads.value(mode="reactive") == 3.0
+        assert loads.value(mode="proactive") == 1.0
+        assert loads.value(mode="missing") == 0.0
+
+    def test_counter_rejects_negative(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError, match="only increase"):
+            registry.counter("c").inc(-1.0)
+
+    def test_gauge_set_inc_dec(self):
+        registry = MetricsRegistry()
+        depth = registry.gauge("queue_depth")
+        depth.set(4.0)
+        depth.inc()
+        depth.dec(2.0)
+        assert depth.value() == 3.0
+
+    def test_histogram_bucket_placement(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat", buckets=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.5, 3.0, 100.0):
+            hist.observe(value)
+        series = hist.labels()
+        assert series.counts == [1, 1, 1, 1]  # one lands in +Inf
+        assert series.count == 4
+        assert series.total == 105.0
+
+    def test_histogram_rejects_unsorted_bounds(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError, match="strictly increasing"):
+            registry.histogram("bad", buckets=(2.0, 1.0))
+        with pytest.raises(ValueError, match="at least one"):
+            registry.histogram("empty", buckets=())
+
+    def test_registration_is_idempotent(self):
+        registry = MetricsRegistry()
+        first = registry.counter("c", "help")
+        second = registry.counter("c")
+        assert first is second
+        assert len(registry) == 1
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("name")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("name")
+
+
+class TestDumps:
+    def build(self):
+        registry = MetricsRegistry()
+        registry.counter("b_counter", "B").inc(2.0, scheme="PaSK")
+        registry.gauge("a_gauge", "A").set(1.5)
+        hist = registry.histogram("c_hist", "C", buckets=(1.0, 2.0))
+        hist.observe(0.5)
+        hist.observe(9.0)
+        return registry
+
+    def test_to_json_sorted_and_valid(self):
+        dump = self.build().to_json()
+        assert list(dump) == ["a_gauge", "b_counter", "c_hist"]
+        assert dump["c_hist"]["bounds"] == [1.0, 2.0]
+        assert dump["c_hist"]["series"][0]["buckets"] == [1, 0, 1]
+        assert validate_dump(dump) == []
+        json.dumps(dump)  # JSON-able
+
+    def test_to_prometheus_format(self):
+        text = self.build().to_prometheus()
+        assert text.endswith("\n")
+        lines = text.splitlines()
+        assert "# TYPE a_gauge gauge" in lines
+        assert "a_gauge 1.5" in lines
+        assert 'b_counter{scheme="PaSK"} 2' in lines
+        # Cumulative buckets with a +Inf terminator.
+        assert 'c_hist_bucket{le="1"} 1' in lines
+        assert 'c_hist_bucket{le="2"} 1' in lines
+        assert 'c_hist_bucket{le="+Inf"} 2' in lines
+        assert "c_hist_sum 9.5" in lines
+        assert "c_hist_count 2" in lines
+
+    def test_dump_is_deterministic(self):
+        assert self.build().to_json() == self.build().to_json()
+        assert self.build().to_prometheus() == self.build().to_prometheus()
+
+    def test_empty_registry(self):
+        registry = MetricsRegistry()
+        assert registry.to_json() == {}
+        assert registry.to_prometheus() == ""
+
+
+class TestMerge:
+    def test_counters_and_histograms_add_gauges_overwrite(self):
+        def shard(gauge_value):
+            registry = MetricsRegistry()
+            registry.counter("hits").inc(3.0)
+            registry.gauge("depth").set(gauge_value)
+            registry.histogram("lat", buckets=(1.0,)).observe(0.5)
+            return registry.to_json()
+
+        merged = merge_dumps([shard(1.0), shard(7.0)])
+        assert merged["hits"]["series"][0]["value"] == 6.0
+        assert merged["depth"]["series"][0]["value"] == 7.0  # last write
+        assert merged["lat"]["series"][0]["count"] == 2
+        assert merged["lat"]["series"][0]["buckets"] == [2, 0]
+        assert validate_dump(merged) == []
+
+    def test_merge_is_associative(self):
+        def shard(n):
+            registry = MetricsRegistry()
+            registry.counter("hits").inc(float(n))
+            return registry.to_json()
+
+        a, b, c = shard(1), shard(2), shard(4)
+        left = merge_dumps([merge_dumps([a, b]), c])
+        right = merge_dumps([a, merge_dumps([b, c])])
+        assert left == right
+
+    def test_merge_rejects_bound_mismatch(self):
+        first = MetricsRegistry()
+        first.histogram("lat", buckets=(1.0, 2.0)).observe(0.5)
+        second = MetricsRegistry()
+        second.histogram("lat", buckets=(1.0, 3.0)).observe(0.5)
+        registry = MetricsRegistry()
+        registry.merge(first.to_json())
+        with pytest.raises(ValueError):
+            registry.merge(second.to_json())
+
+
+class TestValidateDump:
+    def test_rejects_non_object(self):
+        assert validate_dump([]) == ["metrics dump must be an object"]
+
+    def test_rejects_unknown_kind(self):
+        problems = validate_dump({"m": {"kind": "summary", "series": []}})
+        assert any("unknown kind" in p for p in problems)
+
+    def test_rejects_negative_counter(self):
+        dump = {"m": {"kind": "counter",
+                      "series": [{"labels": {}, "value": -1.0}]}}
+        assert any("negative counter" in p for p in validate_dump(dump))
+
+    def test_rejects_bucket_arity_mismatch(self):
+        dump = {"m": {"kind": "histogram", "bounds": [1.0, 2.0],
+                      "series": [{"labels": {}, "count": 1, "sum": 0.5,
+                                  "buckets": [1, 0]}]}}
+        assert any("bucket counts" in p for p in validate_dump(dump))
+
+    def test_rejects_count_sum_mismatch(self):
+        dump = {"m": {"kind": "histogram", "bounds": [1.0],
+                      "series": [{"labels": {}, "count": 5, "sum": 0.5,
+                                  "buckets": [1, 0]}]}}
+        assert any("count != sum" in p for p in validate_dump(dump))
+
+    def test_accepts_real_registry_dump(self):
+        registry = MetricsRegistry()
+        registry.counter("ok").inc()
+        assert validate_dump(registry.to_json()) == []

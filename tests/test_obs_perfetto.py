@@ -1,0 +1,157 @@
+"""Perfetto export: structure, validation, determinism, golden file.
+
+The golden trace is a full instrumented cold start of a tiny
+ResNet-style model (see ``_tiny_graph``), regenerated with::
+
+    PYTHONPATH=src python tests/make_golden_trace.py
+
+and compared structurally (parsed JSON) so the expected Perfetto
+payload is pinned across refactors of the exporter and the simulator.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.core.schemes import Scheme
+from repro.graph import GraphBuilder
+from repro.obs import (SpanRecorder, to_perfetto, trace_events,
+                       validate_trace, write_trace)
+from repro.obs.spans import Span
+from repro.serving.server import InferenceServer
+
+GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "data",
+                           "golden_trace.json")
+
+
+def _tiny_graph():
+    """The golden model: two conv/relu stages and a linear head."""
+    b = GraphBuilder("tinyres")
+    x = b.input("x", (1, 3, 16, 16))
+    y = b.conv(x, out_channels=4, kernel=3, pad=1, name="c1")
+    y = b.relu(y, name="r1")
+    y = b.conv(y, out_channels=4, kernel=3, pad=1, name="c2")
+    y = b.relu(y, name="r2")
+    y = b.gemm(b.flatten(b.global_avgpool(y)), out_features=10, name="fc")
+    b.output(y)
+    return b.finish()
+
+
+def _export_tiny(path):
+    server = InferenceServer("MI100")
+    server.register_model(_tiny_graph())
+    spans = SpanRecorder()
+    result = server.serve_cold("tinyres", Scheme.PASK, spans=spans)
+    payload = write_trace(path, list(spans), device="MI100",
+                          metadata={"model": "tinyres",
+                                    "scheme": Scheme.PASK.label,
+                                    "total_time_s": result.total_time})
+    return payload
+
+
+SAMPLE_SPANS = [
+    Span(1, "serve", "request", "server", 0.0, 4.0),
+    Span(2, "mod_a", "load", "loader", 0.0, 2.0, parent_id=1,
+         attrs=(("size", 64),)),
+    Span(3, "k1", "exec", "gpu", 2.0, 3.5, parent_id=1, links=(2,)),
+]
+
+
+class TestTraceEvents:
+    def test_metadata_names_device_and_actors(self):
+        events = trace_events(SAMPLE_SPANS, device="MI100")
+        meta = [e for e in events if e["ph"] == "M"]
+        names = {e["args"]["name"] for e in meta}
+        assert "device:MI100" in names
+        assert {"gpu", "loader", "server"} <= names
+
+    def test_complete_events_use_integer_micros(self):
+        events = trace_events(SAMPLE_SPANS)
+        exec_event = next(e for e in events if e.get("name") == "k1")
+        assert exec_event["ph"] == "X"
+        assert exec_event["ts"] == 2_000_000
+        assert exec_event["dur"] == 1_500_000
+        assert exec_event["args"]["span_id"] == 3
+        assert exec_event["args"]["parent_id"] == 1
+
+    def test_links_become_matched_flow_pairs(self):
+        events = trace_events(SAMPLE_SPANS)
+        starts = [e for e in events if e["ph"] == "s"]
+        finishes = [e for e in events if e["ph"] == "f"]
+        assert len(starts) == len(finishes) == 1
+        assert starts[0]["id"] == finishes[0]["id"] == "2-3"
+        assert starts[0]["ts"] == 2_000_000   # at the load's end
+        assert finishes[0]["ts"] == 2_000_000  # at the exec's start
+        assert finishes[0]["bp"] == "e"
+
+    def test_ts_monotonic_per_tid(self):
+        events = trace_events(SAMPLE_SPANS)
+        last = {}
+        for event in events:
+            if event["ph"] == "M":
+                continue
+            tid = event["tid"]
+            assert event["ts"] >= last.get(tid, 0)
+            last[tid] = event["ts"]
+
+    def test_sample_payload_validates(self):
+        assert validate_trace(to_perfetto(SAMPLE_SPANS)) == []
+
+
+class TestValidateTrace:
+    def test_rejects_non_payload(self):
+        assert validate_trace([]) != []
+        assert validate_trace({"traceEvents": 3}) != []
+
+    def test_rejects_missing_dur(self):
+        payload = {"traceEvents": [
+            {"ph": "X", "name": "k", "pid": 1, "tid": 1, "ts": 0}]}
+        assert any("dur" in p for p in validate_trace(payload))
+
+    def test_rejects_backwards_ts(self):
+        payload = {"traceEvents": [
+            {"ph": "X", "name": "a", "pid": 1, "tid": 1, "ts": 10, "dur": 0},
+            {"ph": "X", "name": "b", "pid": 1, "tid": 1, "ts": 5, "dur": 0}]}
+        assert any("backwards" in p for p in validate_trace(payload))
+
+    def test_rejects_unmatched_flow(self):
+        payload = {"traceEvents": [
+            {"ph": "s", "name": "w", "id": "1-2", "pid": 1, "tid": 1,
+             "ts": 0}]}
+        assert any("matched s/f pair" in p for p in validate_trace(payload))
+
+    def test_rejects_float_ts(self):
+        payload = {"traceEvents": [
+            {"ph": "X", "name": "k", "pid": 1, "tid": 1, "ts": 0.5,
+             "dur": 1}]}
+        assert any("non-negative integer" in p
+                   for p in validate_trace(payload))
+
+
+class TestGoldenExport:
+    def test_export_is_deterministic_across_runs(self, tmp_path):
+        first = tmp_path / "a.json"
+        second = tmp_path / "b.json"
+        _export_tiny(str(first))
+        _export_tiny(str(second))
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_matches_checked_in_golden(self, tmp_path):
+        exported = _export_tiny(str(tmp_path / "trace.json"))
+        with open(GOLDEN_PATH, encoding="utf-8") as handle:
+            golden = json.load(handle)
+        assert exported["metadata"] == golden["metadata"]
+        assert exported["traceEvents"] == golden["traceEvents"]
+        assert exported == golden
+
+    def test_golden_file_validates(self):
+        with open(GOLDEN_PATH, encoding="utf-8") as handle:
+            golden = json.load(handle)
+        assert validate_trace(golden) == []
+        # The cold start must exhibit the full causal story: loads,
+        # linked execs and a request lifecycle.
+        events = golden["traceEvents"]
+        assert any(e.get("cat") == "load" for e in events)
+        assert any(e.get("cat") == "request" for e in events)
+        assert any(e["ph"] == "s" for e in events)

@@ -1,0 +1,181 @@
+"""Unit tests for repro.obs.spans: recorder, causal links, null path."""
+
+import pytest
+
+import repro.obs.spans as spans_mod
+from repro.core.schemes import Scheme
+from repro.obs import NULL_RECORDER, Span, SpanRecorder
+from repro.serving.server import InferenceServer
+from repro.sim.trace import Phase, TraceRecorder
+
+
+class TestSpanRecorder:
+    def test_observe_mirrors_record_floats(self):
+        trace = TraceRecorder()
+        spans = SpanRecorder()
+        spans.bind(trace)
+        rec = trace.record(0.125, 0.375, "gpu", Phase.EXEC, "k1")
+        assert len(spans) == 1
+        span = spans.spans[0]
+        assert span.interval == (rec.start, rec.end)
+        assert span.category == "exec"
+        assert span.actor == "gpu"
+        assert span.name == "k1"
+
+    def test_span_ids_sequential_from_one(self):
+        trace = TraceRecorder()
+        spans = SpanRecorder()
+        spans.bind(trace)
+        for i in range(3):
+            trace.record(i, i + 1, "gpu", Phase.EXEC, f"k{i}")
+        assert [s.span_id for s in spans] == [1, 2, 3]
+
+    def test_request_context_parents_observed_spans(self):
+        trace = TraceRecorder()
+        spans = SpanRecorder()
+        spans.bind(trace)
+        with spans.request("req", model="res") as req_id:
+            trace.record(0.0, 1.0, "gpu", Phase.EXEC, "inside")
+        trace.record(1.0, 2.0, "gpu", Phase.EXEC, "outside")
+        inside = next(s for s in spans if s.name == "inside")
+        outside = next(s for s in spans if s.name == "outside")
+        request = spans.requests()[0]
+        assert request.span_id == req_id
+        assert request.attrs == (("model", "res"),)
+        assert inside.parent_id == req_id
+        assert outside.parent_id is None
+
+    def test_request_id_reserved_before_children(self):
+        # The request opens before its children, so its id sorts first
+        # even though the span object is appended at close.
+        trace = TraceRecorder()
+        spans = SpanRecorder()
+        spans.bind(trace)
+        with spans.request("req") as req_id:
+            trace.record(0.0, 1.0, "gpu", Phase.EXEC, "child")
+        child = next(s for s in spans if s.name == "child")
+        assert req_id < child.span_id
+
+    def test_exec_links_to_load_and_check(self):
+        trace = TraceRecorder()
+        spans = SpanRecorder()
+        spans.bind(trace)
+        trace.record(0.0, 1.0, "loader", Phase.LOAD, "mod_a")
+        trace.record(1.0, 1.1, "host", Phase.CHECK, "layer0")
+        spans.stage_exec_links("mod_a", "layer0")
+        trace.record(1.1, 2.0, "gpu", Phase.EXEC, "layer0")
+        exec_span = spans.filtered(category="exec")[0]
+        load_id = spans.filtered(category="load")[0].span_id
+        check_id = spans.filtered(category="check")[0].span_id
+        assert set(exec_span.links) == {load_id, check_id}
+
+    def test_check_link_falls_back_on_base_label(self):
+        # "layer0/reused" finds the CHECK span recorded as "layer0".
+        trace = TraceRecorder()
+        spans = SpanRecorder()
+        spans.bind(trace)
+        trace.record(0.0, 0.1, "host", Phase.CHECK, "layer0")
+        spans.stage_exec_links("mod_a", "layer0/reused")
+        trace.record(0.1, 0.5, "gpu", Phase.EXEC, "layer0/reused")
+        exec_span = spans.filtered(category="exec")[0]
+        assert exec_span.links == (spans.filtered(category="check")[0].span_id,)
+
+    def test_staged_links_consumed_only_by_exec(self):
+        trace = TraceRecorder()
+        spans = SpanRecorder()
+        spans.bind(trace)
+        trace.record(0.0, 1.0, "loader", Phase.LOAD, "mod_a")
+        spans.stage_exec_links("mod_a", "layer0")
+        # A FAULT record in between must not steal the staged links.
+        trace.record(1.0, 1.0, "gpu", Phase.FAULT, "boom")
+        trace.record(1.0, 2.0, "gpu", Phase.EXEC, "layer0")
+        fault = spans.filtered(category="fault")[0]
+        exec_span = spans.filtered(category="exec")[0]
+        assert fault.links == ()
+        assert exec_span.links != ()
+
+    def test_drop_staged_discards_links(self):
+        trace = TraceRecorder()
+        spans = SpanRecorder()
+        spans.bind(trace)
+        trace.record(0.0, 1.0, "loader", Phase.LOAD, "mod_a")
+        spans.stage_exec_links("mod_a", "layer0")
+        spans.drop_staged()
+        trace.record(1.0, 2.0, "gpu", Phase.EXEC, "layer0")
+        assert spans.filtered(category="exec")[0].links == ()
+
+    def test_event_is_zero_duration_marker(self):
+        spans = SpanRecorder()
+        span = spans.event("plan:layer0", 0.5, actor="loader", plan="preload")
+        assert span.duration == 0.0
+        assert span.category == "decision"
+        assert ("plan", "preload") in span.attrs
+
+    def test_span_context_uses_clock(self):
+        ticks = iter([1.0, 3.5])
+        spans = SpanRecorder(clock=lambda: next(ticks))
+        with spans.span("section", actor="host"):
+            pass
+        assert spans.spans[0].interval == (1.0, 3.5)
+
+    def test_by_id_and_filtered(self):
+        trace = TraceRecorder()
+        spans = SpanRecorder()
+        spans.bind(trace)
+        trace.record(0.0, 1.0, "gpu", Phase.EXEC, "k")
+        trace.record(0.0, 1.0, "loader", Phase.LOAD, "m")
+        assert set(spans.by_id()) == {1, 2}
+        assert [s.name for s in spans.filtered(actor="loader")] == ["m"]
+
+
+class TestNullRecorder:
+    def test_singleton_is_disabled(self):
+        assert NULL_RECORDER.enabled is False
+        assert SpanRecorder.enabled is True
+
+    def test_contexts_are_shared_and_noop(self):
+        first = NULL_RECORDER.request("a")
+        second = NULL_RECORDER.span("b")
+        assert first is second  # one shared context object, ever
+        with first:
+            pass
+
+    def test_bind_leaves_observer_untouched(self):
+        trace = TraceRecorder()
+        NULL_RECORDER.bind(trace)
+        assert trace.observer is None
+
+    def test_disabled_serve_allocates_no_span_objects(self, monkeypatch):
+        # Pin the zero-cost claim: with telemetry off, serving never
+        # constructs a Span (or a live span context).  Any allocation
+        # would trip the poisoned constructors.
+        def boom(*args, **kwargs):
+            raise AssertionError("span object allocated on the null path")
+
+        monkeypatch.setattr(spans_mod.Span, "__init__", boom)
+        monkeypatch.setattr(spans_mod._SpanContext, "__init__", boom)
+        server = InferenceServer("MI100")
+        result = server.serve_cold("res", Scheme.PASK)
+        assert result.total_time > 0
+
+    def test_telemetry_does_not_perturb_simulation(self):
+        # The observer only mirrors records; simulated results with
+        # spans on are byte-identical to the plain run.
+        server = InferenceServer("MI100")
+        plain = server.serve_cold("res", Scheme.PASK)
+        observed = server.serve_cold("res", Scheme.PASK,
+                                     spans=SpanRecorder())
+        assert observed.total_time == plain.total_time
+        assert observed.trace.records == plain.trace.records
+
+
+class TestSpan:
+    def test_duration_and_interval(self):
+        span = Span(1, "k", "exec", "gpu", 0.25, 0.75)
+        assert span.duration == 0.5
+        assert span.interval == (0.25, 0.75)
+
+    def test_frozen(self):
+        span = Span(1, "k", "exec", "gpu", 0.0, 1.0)
+        with pytest.raises(AttributeError):
+            span.name = "other"
