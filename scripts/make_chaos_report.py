@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""Regenerate the checked-in chaos resilience comparison report.
+
+Usage::
+
+    python scripts/make_chaos_report.py [OUTPUT]
+
+Writes ``benchmarks/chaos_resilience_report.json`` (or OUTPUT) — the
+``repro chaos --resilience`` comparison with the volatile ``run``
+section pinned (``created_unix=0``), so the payload is byte-stable and
+the regression tests can assert the checked-in copy matches a fresh
+regeneration exactly.  Rerun this script whenever a deliberate change
+to the simulator, the fault layer or the resilience policy shifts the
+scenario numbers, and commit the diff alongside the change.
+"""
+
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.runner import chaos_report  # noqa: E402
+
+DEFAULT_OUTPUT = os.path.join(os.path.dirname(__file__), "..",
+                              "benchmarks", "chaos_resilience_report.json")
+
+
+def main(argv):
+    output = argv[0] if argv else DEFAULT_OUTPUT
+    report = chaos_report(created_unix=0.0)
+    with open(output, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    scenarios = report["chaos"]["scenarios"]
+    passed = sum(1 for s in scenarios if s["pass"])
+    print(f"wrote {os.path.relpath(output)}: {passed}/{len(scenarios)} "
+          f"scenarios passed")
+    return 0 if passed == len(scenarios) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

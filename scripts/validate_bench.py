@@ -45,6 +45,17 @@ def main(argv):
             metrics = payload.get("metrics")
             extra = (f", {len(metrics)} metric families"
                      if isinstance(metrics, dict) else "")
+            chaos_cells = [cell for cell in payload.get("cells", [])
+                           if "availability" in cell]
+            if chaos_cells:
+                shed = sum(cell.get("shed", 0) for cell in chaos_cells)
+                avail = min(cell["availability"] for cell in chaos_cells)
+                extra += (f", {len(chaos_cells)} chaos cells "
+                          f"(min availability {avail:.4f}, {shed} shed)")
+            scenarios = payload.get("chaos", {}).get("scenarios", [])
+            if scenarios:
+                passed = sum(1 for s in scenarios if s.get("pass"))
+                extra += f", {passed}/{len(scenarios)} scenarios passed"
             print(f"{path}: ok "
                   f"({payload['totals']['cells']} cells, "
                   f"schema v{payload['schema_version']}{extra})")

@@ -11,6 +11,9 @@ Commands
 - ``chaos MODEL`` — the same stack under seeded fault injection:
   load/launch faults with retry, loader stalls with reactive fallback,
   and instance crash/restart churn during a trace replay.
+  ``--resilience`` runs the curated chaos comparison instead (crash-
+  heavy and overload scenarios without/with the resilience policy),
+  gated on availability and p99.
 - ``bench`` — run a curated benchmark grid through the parallel engine
   (``--jobs``) with the on-disk result cache, emit a machine-readable
   ``BENCH_<timestamp>.json`` and optionally gate against a baseline.
@@ -145,6 +148,23 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=["MI100", "A100", "6900XT"])
     chaos.add_argument("--timeline", action="store_true",
                        help="render the faulted cold start as a Gantt")
+    chaos.add_argument("--resilience", action="store_true",
+                       help="run the curated chaos comparison instead: "
+                            "crash-heavy and overload scenarios without/"
+                            "with the resilience policy, gated on "
+                            "availability and p99")
+    chaos.add_argument("--jobs", type=int, default=1,
+                       help="worker processes for --resilience "
+                            "(default: 1, serial)")
+    chaos.add_argument("--min-availability", type=float, default=None,
+                       metavar="FRAC",
+                       help="override the per-scenario availability gate "
+                            "for --resilience (default: each scenario's "
+                            "own threshold, 0.999)")
+    chaos.add_argument("--output", default=None, metavar="FILE",
+                       help="write the --resilience comparison report "
+                            "(BENCH-shaped JSON with a 'chaos' section) "
+                            "to this path")
 
     bench = sub.add_parser(
         "bench", help="run the benchmark grid through the parallel engine "
@@ -182,6 +202,10 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--metrics", action="store_true",
                        help="collect telemetry metrics per cell and add "
                             "a merged 'metrics' section to the report")
+    bench.add_argument("--resilience", action="store_true",
+                       help="add the resilience dimension: every cluster "
+                            "cell also runs with the default "
+                            "ResiliencePolicy attached ('/rz' cells)")
 
     profile = sub.add_parser(
         "profile", help="measure simulator throughput: wall-clock per "
@@ -343,6 +367,10 @@ def _cmd_experiment(args, out) -> int:
 
 def _cmd_bench(args, out) -> int:
     from repro.runner import run_bench
+    resilience = None
+    if args.resilience:
+        from repro.serving.resilience import ResiliencePolicy
+        resilience = ResiliencePolicy()
     report = run_bench(
         grid="quick" if args.quick else "full",
         jobs=args.jobs,
@@ -355,6 +383,7 @@ def _cmd_bench(args, out) -> int:
         trace_retention=args.trace_retention,
         cluster_scale=args.cluster_scale,
         collect_metrics=args.metrics,
+        resilience=resilience,
         echo=out,
     )
     return 0 if report.ok else 1
@@ -515,8 +544,49 @@ def _cmd_cluster(args, out) -> int:
     return 0
 
 
+def _cmd_chaos_resilience(args, out) -> int:
+    import json
+
+    from repro.runner import chaos_report
+
+    report = chaos_report(device=args.device, model=args.model,
+                          jobs=args.jobs,
+                          min_availability=args.min_availability)
+    failures = 0
+    for scenario in report["chaos"]["scenarios"]:
+        verdict = "PASS" if scenario["pass"] else "FAIL"
+        failures += not scenario["pass"]
+        out(f"[{verdict}] {scenario['name']}: {scenario['description']}")
+        out(f"  p99 {scenario['baseline_p99_s'] * 1e3:.2f} ms -> "
+            f"{scenario['resilient_p99_s'] * 1e3:.2f} ms "
+            f"({scenario['p99_speedup']:.1f}x); cold starts "
+            f"{scenario['baseline_cold_starts']} -> "
+            f"{scenario['resilient_cold_starts']}")
+        out(f"  availability {scenario['availability']:.4%} "
+            f"(gate {scenario['min_availability']:.4%}), "
+            f"shed {scenario['shed']}")
+        counters = scenario["resilient_faults"]
+        if counters:
+            interesting = {k: v for k, v in sorted(counters.items()) if v}
+            if interesting:
+                out("  counters: " + ", ".join(
+                    f"{k}={v}" for k, v in interesting.items()))
+        out("")
+    if args.output is not None:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        out(f"wrote {args.output}")
+    out(f"{len(report['chaos']['scenarios']) - failures}/"
+        f"{len(report['chaos']['scenarios'])} scenarios passed")
+    return 1 if failures else 0
+
+
 def _cmd_chaos(args, out) -> int:
     from repro.sim.faults import FaultPlan
+
+    if args.resilience:
+        return _cmd_chaos_resilience(args, out)
 
     plan = FaultPlan(
         seed=args.seed,

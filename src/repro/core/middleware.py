@@ -87,6 +87,9 @@ class _Shared:
 
     reused_layers: int = 0
     skipped_loads: int = 0
+    # Layers whose desired binary was already resident because a warm-
+    # state restore re-materialized it (no load, no cache query needed).
+    restored_hits: int = 0
     issue_errors: List[BaseException] = field(default_factory=list)
     # Desired solutions whose loads were skipped by reuse: candidates for
     # loading in the interval between requests (Sec. VI).
@@ -153,6 +156,7 @@ class PaskMiddleware:
             "milestone": self.tracker.milestone,
             "reused_layers": self.shared.reused_layers,
             "skipped_loads": self.shared.skipped_loads,
+            "restored_hits": self.shared.restored_hits,
             "cache_stats": self.cache.stats,
             "skipped_desired": list(self.shared.skipped_desired),
         }
@@ -263,6 +267,8 @@ class PaskMiddleware:
 
         if self.runtime.is_loaded(main_co.name):
             # Desired solution already resident (Algorithm 1 line 3).
+            if main_co.name in self.runtime.restored_names:
+                self.shared.restored_hits += 1
             try:
                 yield from self._load_all(casts)
             except LoadFault:

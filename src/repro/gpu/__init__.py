@@ -12,8 +12,10 @@ dominates cold start.
 
 from repro.gpu.device import DeviceSpec, A100, MI100, RX6900XT, get_device, list_devices
 from repro.gpu.codeobject import CodeObjectFile, KernelSymbol
-from repro.gpu.loader import load_time, symbol_resolve_time
-from repro.gpu.runtime import HipModule, HipRuntime, KernelNotLoadedError
+from repro.gpu.loader import (checkpoint_time, load_time, restore_time,
+                              symbol_resolve_time)
+from repro.gpu.runtime import (HipModule, HipRuntime, KernelNotLoadedError,
+                               RuntimeSnapshot)
 from repro.gpu.stream import Stream
 
 __all__ = [
@@ -26,9 +28,12 @@ __all__ = [
     "KernelSymbol",
     "MI100",
     "RX6900XT",
+    "RuntimeSnapshot",
     "Stream",
+    "checkpoint_time",
     "get_device",
     "list_devices",
     "load_time",
+    "restore_time",
     "symbol_resolve_time",
 ]

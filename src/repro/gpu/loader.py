@@ -10,7 +10,17 @@ from __future__ import annotations
 from repro.gpu.codeobject import CodeObjectFile
 from repro.gpu.device import DeviceSpec
 
-__all__ = ["load_time", "symbol_resolve_time"]
+__all__ = ["load_time", "symbol_resolve_time", "checkpoint_time",
+           "restore_time", "CHECKPOINT_WRITE_FACTOR", "RESTORE_SPEEDUP"]
+
+# Warm-state checkpoint/restore cost constants (GPUReplay-style record/
+# replay of the loaded-code-object registry).  A checkpoint is one
+# sequential append of already-relocated images, so it streams much
+# faster than the scattered ELF read + relocation of a load; a restore
+# reads that single image back and re-maps it, skipping the per-module
+# driver entry and relocation passes entirely.
+CHECKPOINT_WRITE_FACTOR = 8.0   # write bandwidth vs. load bandwidth
+RESTORE_SPEEDUP = 6.0           # restore bandwidth vs. load bandwidth
 
 
 def load_time(code_object: CodeObjectFile, device: DeviceSpec,
@@ -31,3 +41,29 @@ def load_time(code_object: CodeObjectFile, device: DeviceSpec,
 def symbol_resolve_time(device: DeviceSpec) -> float:
     """Seconds for one ``hipModuleGetFunction`` on ``device``."""
     return device.symbol_resolve_s
+
+
+def checkpoint_time(n_bytes: int, device: DeviceSpec) -> float:
+    """Seconds to write a warm-state checkpoint of ``n_bytes`` of loaded
+    code objects on ``device``.
+
+    One fixed serialization entry plus a sequential streaming write at
+    ``CHECKPOINT_WRITE_FACTOR`` times the load bandwidth.
+    """
+    if n_bytes < 0:
+        raise ValueError("checkpoint size must be non-negative")
+    write = n_bytes / (device.code_io_bandwidth * CHECKPOINT_WRITE_FACTOR)
+    return 0.5 * device.code_load_base_s + write
+
+
+def restore_time(n_bytes: int, device: DeviceSpec) -> float:
+    """Seconds to restore ``n_bytes`` of checkpointed code objects.
+
+    One fixed map-in entry, a sequential image read at
+    ``RESTORE_SPEEDUP`` times the load bandwidth, and a single memory
+    permission pass for the whole image (instead of one per module).
+    """
+    if n_bytes < 0:
+        raise ValueError("restore size must be non-negative")
+    read = n_bytes / (device.code_io_bandwidth * RESTORE_SPEEDUP)
+    return device.code_load_base_s + read + device.mem_protect_s

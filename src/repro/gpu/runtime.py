@@ -18,22 +18,57 @@ Two behaviours from the paper are reproduced exactly:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Optional, Set
+from typing import Dict, FrozenSet, Iterable, Optional, Set, Tuple
 
 from repro.gpu.codeobject import CodeObjectFile
 from repro.gpu.device import DeviceSpec
-from repro.gpu.loader import load_time, symbol_resolve_time
+from repro.gpu.loader import (checkpoint_time, load_time, restore_time,
+                              symbol_resolve_time)
 from repro.gpu.stream import Stream
 from repro.obs.spans import NULL_RECORDER
 from repro.sim.core import Environment, Event
-from repro.sim.faults import FaultInjector, FaultPlan, LaunchFault, LoadFault
+from repro.sim.faults import (CheckpointFault, FaultInjector, FaultPlan,
+                              LaunchFault, LoadFault, RestoreFault)
 from repro.sim.trace import Phase, TraceRecorder
 
-__all__ = ["HipModule", "HipRuntime", "KernelNotLoadedError"]
+__all__ = ["HipModule", "HipRuntime", "KernelNotLoadedError",
+           "RuntimeSnapshot"]
 
 
 class KernelNotLoadedError(Exception):
     """Raised when launching with ``lazy=False`` and the module is absent."""
+
+
+@dataclass(frozen=True)
+class RuntimeSnapshot:
+    """Immutable warm-state checkpoint of a runtime's loaded modules.
+
+    Captures, per module, the code object and the set of symbols already
+    resolved -- enough to re-materialize the managed host memory without
+    replaying the per-module load + relocation + resolve sequence
+    (GPUReplay-style record/replay of the registry).  ``corrupt`` marks a
+    checkpoint whose write was silently damaged by an injected
+    ``checkpoint.write`` fault; the damage surfaces only when the
+    snapshot is restored.
+    """
+
+    device_name: str
+    taken_at: float
+    entries: Tuple[Tuple[CodeObjectFile, FrozenSet[str]], ...]
+    corrupt: bool = False
+
+    @property
+    def size_bytes(self) -> int:
+        """Total bytes of code objects captured in this snapshot."""
+        return sum(co.size_bytes for co, _ in self.entries)
+
+    @property
+    def names(self) -> FrozenSet[str]:
+        """Names of the code objects captured in this snapshot."""
+        return frozenset(co.name for co, _ in self.entries)
+
+    def __len__(self) -> int:
+        return len(self.entries)
 
 
 @dataclass
@@ -88,6 +123,10 @@ class HipRuntime:
         self._pending: Dict[str, Event] = {}
         self.load_count = 0
         self.total_load_time = 0.0
+        # Warm-restore accounting: modules that became resident via
+        # RuntimeSnapshot.restore() rather than a full load.
+        self.restored_names: Set[str] = set()
+        self.restored_bytes = 0
 
     # ------------------------------------------------------------------
     # Module management
@@ -211,6 +250,93 @@ class HipRuntime:
             self._m_evictions.inc(len(self._modules),
                                   device=self.device.name)
         self._modules.clear()
+        self.restored_names.clear()
+
+    # ------------------------------------------------------------------
+    # Warm-state checkpoint / restore
+    # ------------------------------------------------------------------
+    def snapshot(self, actor: str = "host"):
+        """Write a warm-state checkpoint of the loaded modules (generator).
+
+        Bills a sequential streaming write of the already-relocated
+        images (:func:`repro.gpu.loader.checkpoint_time`) and returns an
+        immutable :class:`RuntimeSnapshot`.  An injected
+        ``checkpoint.write`` fault corrupts the checkpoint *silently*:
+        the snapshot is still returned and the damage only surfaces at
+        restore time.
+        """
+        if self._pending:
+            raise RuntimeError("cannot snapshot while loads are in flight")
+        entries = tuple(
+            (module.code_object, frozenset(module.resolved_symbols))
+            for module in self._modules.values())
+        total = sum(co.size_bytes for co, _ in entries)
+        duration = checkpoint_time(total, self.device)
+        start = self.env.now
+        yield self.env.timeout(duration)
+        corrupt = False
+        if self.faults is not None and self.faults.checkpoint_corrupts():
+            corrupt = True
+            self.faults.counters.checkpoint_corruptions += 1
+        self.trace.record(start, self.env.now, actor, Phase.CHECKPOINT,
+                          "snapshot", size=total, modules=len(entries))
+        return RuntimeSnapshot(device_name=self.device.name,
+                               taken_at=self.env.now,
+                               entries=entries, corrupt=corrupt)
+
+    def restore(self, snapshot: RuntimeSnapshot, actor: str = "host"):
+        """Restore a warm-state checkpoint (generator).
+
+        Only the *delta* is billed: modules already resident cost
+        nothing, missing ones are read back as one sequential image
+        (:func:`repro.gpu.loader.restore_time`) and marked resident with
+        their recorded resolved symbols -- no per-module load or resolve
+        is replayed, and ``load_count`` does not move.  Raises
+        :class:`CheckpointFault` when the snapshot was corrupted on
+        write, :class:`RestoreFault` on an injected ``restore.load``
+        failure; in both cases the caller must fall back to a cold path.
+        """
+        if snapshot.device_name != self.device.name:
+            raise ValueError(
+                f"snapshot taken on device {snapshot.device_name!r} cannot "
+                f"be restored on {self.device.name!r}")
+        if self._pending:
+            raise RuntimeError("cannot restore while loads are in flight")
+        missing = [(co, symbols) for co, symbols in snapshot.entries
+                   if co.name not in self._modules]
+        missing_bytes = sum(co.size_bytes for co, _ in missing)
+        duration = restore_time(missing_bytes, self.device)
+        start = self.env.now
+        yield self.env.timeout(duration)
+        if snapshot.corrupt:
+            if self.faults is not None:
+                self.faults.counters.restore_failures += 1
+            self.trace.record(start, self.env.now, actor, Phase.FAULT,
+                              "restore/corrupt", size=missing_bytes)
+            raise CheckpointFault(
+                "checkpoint failed checksum on restore (corrupted on write)")
+        if self.faults is not None and self.faults.restore_fails():
+            self.faults.counters.restore_failures += 1
+            self.trace.record(start, self.env.now, actor, Phase.FAULT,
+                              "restore/fault", size=missing_bytes)
+            raise RestoreFault("warm-state restore failed")
+        for code_object, symbols in missing:
+            module = HipModule(code_object, loaded_at=self.env.now)
+            module.resolved_symbols = set(symbols)
+            self._modules[code_object.name] = module
+            self.restored_names.add(code_object.name)
+        self.restored_bytes += missing_bytes
+        if self.faults is not None:
+            self.faults.counters.warm_restores += 1
+        self.trace.record(start, self.env.now, actor, Phase.RESTORE,
+                          "restore", size=missing_bytes,
+                          modules=len(missing))
+        if self.metrics is not None:
+            self.metrics.counter(
+                "runtime_restored_bytes_total",
+                "Bytes re-materialized from warm-state checkpoints",
+            ).inc(missing_bytes, device=self.device.name)
+        return len(missing)
 
     # ------------------------------------------------------------------
     # Kernel launch

@@ -26,6 +26,9 @@ _PHASE_CHARS = {
     Phase.OTHER: ".",
     Phase.FAULT: "!",
     Phase.RETRY: "r",
+    Phase.CHECKPOINT: "k",
+    Phase.RESTORE: "R",
+    Phase.DRAIN: "d",
 }
 
 _DEFAULT_ACTOR_ORDER = ("parser", "loader", "issuer", "host", "gpu")

@@ -25,6 +25,7 @@ serial path, and the determinism tests pin that property.
 from repro.runner.bench import (BenchReport, compare_reports, run_bench,
                                 write_report)
 from repro.runner.cache import CacheCounters, ResultCache, task_key
+from repro.runner.chaos import ChaosScenario, chaos_report, chaos_scenarios
 from repro.runner.engine import (RunStats, TaskOutcome, prewarm_suite,
                                  run_tasks)
 from repro.runner.grid import bench_grid, experiment_grid
@@ -58,6 +59,9 @@ __all__ = [
     "BenchReport",
     "BENCH_SCHEMA",
     "validate_report",
+    "ChaosScenario",
+    "chaos_report",
+    "chaos_scenarios",
     "ClusterProfile",
     "EventKernelProfile",
     "TelemetryProfile",

@@ -67,7 +67,7 @@ def _cluster_cell(task: ExperimentTask, outcome: TaskOutcome
                   ) -> Dict[str, Any]:
     stats = cluster_stats_from_payload(outcome.payload)
     trace = stats.trace
-    return {
+    cell = {
         "id": task.cell_id, "kind": "cluster", "device": task.device,
         "model": task.model, "scheme": task.scheme, "batch": task.batch,
         "cache_hit": outcome.cached, "requests": stats.requests,
@@ -79,6 +79,15 @@ def _cluster_cell(task: ExperimentTask, outcome: TaskOutcome
         "trace_records": trace.record_count if trace is not None else 0,
         "trace_retained": trace.retained_records if trace is not None else 0,
     }
+    if task.faults is not None or task.resilience is not None:
+        # Robustness columns, only for cells that can exercise them --
+        # policy-free, fault-free grids keep their exact report shape
+        # (and therefore byte-identical BENCH outputs).
+        cell["shed"] = stats.shed
+        cell["availability"] = stats.availability
+        cell["faults"] = stats.faults.as_dict()
+        cell["resilience"] = task.resilience is not None
+    return cell
 
 
 def _summary_speedups(cells: List[Dict[str, Any]]) -> Dict[str, float]:
@@ -164,9 +173,10 @@ def compare_reports(current: Dict[str, Any], baseline: Dict[str, Any],
 
     A cold/hot cell regresses when its simulated time grew by more than
     ``tolerance`` (relative); a cluster cell when its mean or p99
-    latency did; a summary speedup when it shrank by more than
-    ``tolerance``.  Cells present in only one report are ignored — a
-    grid change is not a regression.
+    latency did, or when its availability *shrank* by more than
+    ``tolerance`` (chaos cells report it); a summary speedup when it
+    shrank by more than ``tolerance``.  Cells present in only one
+    report are ignored — a grid change is not a regression.
     """
     if tolerance < 0:
         raise ValueError("tolerance must be non-negative")
@@ -188,6 +198,15 @@ def compare_reports(current: Dict[str, Any], baseline: Dict[str, Any],
                     f"{cell['id']}: {metric} {old:.6g} -> {new:.6g} "
                     f"(+{(new / old - 1.0):.1%}, tolerance "
                     f"{tolerance:.1%})")
+        if cell["kind"] == "cluster":
+            old = base.get("availability")
+            new = cell.get("availability")
+            if (old is not None and new is not None and old > 0
+                    and new < old * (1.0 - tolerance)):
+                regressions.append(
+                    f"{cell['id']}: availability {old:.6g} -> {new:.6g} "
+                    f"(-{(1.0 - new / old):.1%}, tolerance "
+                    f"{tolerance:.1%})")
     base_speedups = baseline.get("summary", {}).get("speedups", {})
     for scheme, new in current.get("summary", {}).get("speedups",
                                                       {}).items():
@@ -208,6 +227,7 @@ def run_bench(grid: str = "quick", jobs: int = 1,
               trace_retention: Optional[str] = None,
               cluster_scale: float = 1.0,
               collect_metrics: bool = False,
+              resilience=None,
               echo: Optional[Callable[[str], None]] = None) -> BenchReport:
     """Run one full bench cycle: grid → engine → report (→ gate).
 
@@ -217,7 +237,9 @@ def run_bench(grid: str = "quick", jobs: int = 1,
     (request-level tracing and simulated request count; see
     :func:`~repro.runner.grid.bench_grid`); ``collect_metrics`` attaches
     telemetry registries and adds a merged ``metrics`` section to the
-    report.
+    report.  ``resilience`` (a
+    :class:`~repro.serving.resilience.ResiliencePolicy`) adds the
+    resilience dimension to the cluster cells.
     """
     def say(text: str = "") -> None:
         if echo is not None:
@@ -225,7 +247,8 @@ def run_bench(grid: str = "quick", jobs: int = 1,
 
     tasks = bench_grid(grid, trace_retention=trace_retention,
                        cluster_scale=cluster_scale,
-                       collect_metrics=collect_metrics)
+                       collect_metrics=collect_metrics,
+                       resilience=resilience)
     cache = ResultCache(cache_dir, read=use_cache, write=True)
     say(f"repro bench: grid {grid!r}, {len(tasks)} cells, jobs={jobs}, "
         f"cache {'on' if use_cache else 'bypassed (writes only)'} "

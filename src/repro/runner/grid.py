@@ -18,6 +18,7 @@ from typing import List, Optional, Sequence
 from repro.core.schemes import Scheme
 from repro.models import list_models
 from repro.runner.tasks import ExperimentTask
+from repro.serving.resilience import ResiliencePolicy
 from repro.sim.faults import FaultPlan
 
 __all__ = ["bench_grid", "experiment_grid", "BENCH_GRIDS"]
@@ -66,20 +67,36 @@ def experiment_grid(device: str = "MI100",
 def _cluster_cells(models: Sequence[str], schemes: Sequence[Scheme],
                    duration_s: float,
                    trace_retention: Optional[str] = None,
-                   collect_metrics: bool = False
+                   collect_metrics: bool = False,
+                   resilience: Optional[ResiliencePolicy] = None
                    ) -> List[ExperimentTask]:
-    return [ExperimentTask(kind="cluster", model=model, scheme=scheme.value,
-                           rate_hz=20.0, duration_s=duration_s, seed=0,
-                           instances=4, keep_alive_s=0.5,
-                           trace_retention=trace_retention,
-                           collect_metrics=collect_metrics)
-            for model in models for scheme in schemes]
+    tasks = [ExperimentTask(kind="cluster", model=model, scheme=scheme.value,
+                            rate_hz=20.0, duration_s=duration_s, seed=0,
+                            instances=4, keep_alive_s=0.5,
+                            trace_retention=trace_retention,
+                            collect_metrics=collect_metrics)
+             for model in models for scheme in schemes]
+    if resilience is not None:
+        # The resilience dimension: every cluster cell also runs with
+        # the policy attached (the ``/rz`` cell), so one report carries
+        # the side-by-side comparison.
+        tasks += [ExperimentTask(kind="cluster", model=model,
+                                 scheme=scheme.value, rate_hz=20.0,
+                                 duration_s=duration_s, seed=0,
+                                 instances=4, keep_alive_s=0.5,
+                                 trace_retention=trace_retention,
+                                 collect_metrics=collect_metrics,
+                                 resilience=resilience)
+                  for model in models for scheme in schemes]
+    return tasks
 
 
 def bench_grid(name: str = "quick",
                trace_retention: Optional[str] = None,
                cluster_scale: float = 1.0,
-               collect_metrics: bool = False) -> List[ExperimentTask]:
+               collect_metrics: bool = False,
+               resilience: Optional[ResiliencePolicy] = None
+               ) -> List[ExperimentTask]:
     """The curated ``repro bench`` grid called ``name``.
 
     ``trace_retention`` turns on request-level tracing for the cluster
@@ -88,7 +105,8 @@ def bench_grid(name: str = "quick",
     touching the serve cells (a scale of 1000 on the quick grid yields
     ~10⁶-request replays).  ``collect_metrics`` attaches a telemetry
     registry to every cell; the per-cell dumps merge into the report's
-    ``metrics`` section.
+    ``metrics`` section.  ``resilience`` adds the resilience dimension:
+    every cluster cell is duplicated with the policy attached.
     """
     if name not in BENCH_GRIDS:
         raise ValueError(f"unknown bench grid {name!r}; "
@@ -109,7 +127,7 @@ def bench_grid(name: str = "quick",
         tasks += _cluster_cells(("res",), (Scheme.BASELINE, Scheme.PASK),
                                 duration_s=2.0 * cluster_scale,
                                 trace_retention=trace_retention,
-                                collect_metrics=cm)
+                                collect_metrics=cm, resilience=resilience)
         return tasks
     models = list_models()
     for model in models:
@@ -135,5 +153,5 @@ def bench_grid(name: str = "quick",
     tasks += _cluster_cells(("res", "vit"), (Scheme.BASELINE, Scheme.PASK),
                             duration_s=4.0 * cluster_scale,
                             trace_retention=trace_retention,
-                            collect_metrics=cm)
+                            collect_metrics=cm, resilience=resilience)
     return tasks

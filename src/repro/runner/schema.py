@@ -47,7 +47,18 @@ _CLUSTER_CELL_PROPS = {
     "fast_forwarded": {"type": "integer", "minimum": 0},
     "trace_records": {"type": "integer", "minimum": 0},
     "trace_retained": {"type": "integer", "minimum": 0},
+    # Robustness columns, present only on cells that ran with a fault
+    # plan or a resilience policy (``repro chaos`` / chaos bench cells).
+    "shed": {"type": "integer", "minimum": 0},
+    "availability": {"type": "number", "minimum": 0, "maximum": 1},
+    "faults": {"type": "object"},
+    "resilience": {"type": "boolean"},
 }
+
+# Cluster-cell keys that may be absent (fault-free, policy-free replays
+# keep the historic report shape byte-for-byte).
+_OPTIONAL_CLUSTER_KEYS = frozenset(
+    {"shed", "availability", "faults", "resilience"})
 
 BENCH_SCHEMA: Dict[str, Any] = {
     "$schema": "http://json-schema.org/draft-07/schema#",
@@ -166,6 +177,8 @@ def _check_cell(cell: Any, index: int, errors: List[str]) -> None:
         return
     for key, spec in props.items():
         if key not in cell:
+            if kind == "cluster" and key in _OPTIONAL_CLUSTER_KEYS:
+                continue
             errors.append(f"{prefix}.{key}: missing")
             continue
         value = cell[key]
@@ -179,6 +192,11 @@ def _check_cell(cell: Any, index: int, errors: List[str]) -> None:
             errors.append(f"{prefix}.{key}: {value} above {spec['maximum']}")
         if "enum" in spec and value not in spec["enum"]:
             errors.append(f"{prefix}.{key}: {value!r} not in {spec['enum']}")
+    if kind == "cluster" and isinstance(cell.get("faults"), dict):
+        for name, count in cell["faults"].items():
+            if not _TYPE_CHECKS["integer"](count) or count < 0:
+                errors.append(f"{prefix}.faults.{name}: expected a "
+                              f"non-negative integer, got {count!r}")
 
 
 def validate_report(payload: Any) -> List[str]:

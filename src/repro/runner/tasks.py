@@ -24,6 +24,7 @@ from repro.core.results import ExecutionResult
 from repro.core.schemes import Scheme
 from repro.serving.cluster import ClusterConfig, ClusterSimulator, ClusterStats
 from repro.serving.requests import poisson_trace
+from repro.serving.resilience import ResiliencePolicy
 from repro.serving.server import InferenceServer
 from repro.sim.faults import FaultCounters, FaultPlan
 from repro.sim.trace import (RETENTION_POLICIES, Phase, TraceRecord,
@@ -75,6 +76,9 @@ class ExperimentTask:
     # (``payload["metrics"]``).  Defaults off, which leaves payloads —
     # and therefore cache keys and old cached entries — untouched.
     collect_metrics: bool = False
+    # Cluster resilience policy (checkpoint/restore, breaker, admission
+    # control); None keeps cache keys for policy-free replays stable.
+    resilience: Optional[ResiliencePolicy] = None
 
     def __post_init__(self) -> None:
         if self.kind not in ("cold", "hot", "cluster"):
@@ -106,6 +110,8 @@ class ExperimentTask:
                     f"/s{self.seed}/i{self.instances}/k{self.keep_alive_s:g}")
             if self.trace_retention is not None:
                 cell += f"/t{self.trace_retention}"
+            if self.resilience is not None:
+                cell += "/rz"
             return cell
         return f"{self.kind}/{self.device}/{self.model}/{self.scheme}/b{self.batch}"
 
@@ -114,9 +120,12 @@ class ExperimentTask:
         and report cells are built from this)."""
         out = asdict(self)
         out["faults"] = asdict(self.faults) if self.faults is not None else None
+        out["resilience"] = (asdict(self.resilience)
+                             if self.resilience is not None else None)
         if self.kind != "cluster":
             for knob in ("rate_hz", "duration_s", "seed", "instances",
-                         "keep_alive_s", "trace_retention", "trace_ring"):
+                         "keep_alive_s", "trace_retention", "trace_ring",
+                         "resilience"):
                 del out[knob]
         elif self.trace_retention is None:
             # Keep cache keys for untraced replays stable across the
@@ -125,6 +134,9 @@ class ExperimentTask:
         if not self.collect_metrics:
             # Same stability rule for the metrics knob.
             del out["collect_metrics"]
+        if self.kind == "cluster" and self.resilience is None:
+            # Same stability rule for the resilience knob.
+            del out["resilience"]
         if self.kind == "hot":
             # Hot serves always run the baseline-lowered program.
             del out["scheme"]
@@ -227,6 +239,7 @@ def cluster_stats_to_payload(stats: ClusterStats) -> Dict[str, Any]:
         "warm_hits": stats.warm_hits,
         "queue_waits": list(stats.queue_waits),
         "failed": stats.failed,
+        "shed": stats.shed,
         "faults": stats.faults.as_dict(),
         "fast_forwarded": stats.fast_forwarded,
         "trace": (_trace_to_payload(stats.trace)
@@ -245,6 +258,7 @@ def cluster_stats_from_payload(payload: Dict[str, Any]) -> ClusterStats:
         warm_hits=payload["warm_hits"],
         queue_waits=list(payload["queue_waits"]),
         failed=payload["failed"],
+        shed=payload.get("shed", 0),
         faults=FaultCounters(**payload["faults"]),
         fast_forwarded=payload.get("fast_forwarded", 0),
         trace=(_trace_from_payload(trace_payload)
@@ -307,6 +321,7 @@ def execute_task(task: ExperimentTask) -> Dict[str, Any]:
                            keep_alive_s=task.keep_alive_s,
                            faults=task.faults,
                            trace_retention=task.trace_retention,
-                           trace_ring=task.trace_ring)
+                           trace_ring=task.trace_ring,
+                           resilience=task.resilience)
     stats = ClusterSimulator(server, config, metrics=metrics).run(trace)
     return _with_metrics(cluster_stats_to_payload(stats))

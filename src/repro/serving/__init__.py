@@ -6,6 +6,7 @@ from repro.serving.metrics import FaultCounters, availability, \
 from repro.serving.requests import RequestTrace, burst_trace, \
     periodic_trace, poisson_trace
 from repro.serving.cluster import ClusterConfig, ClusterSimulator, ClusterStats
+from repro.serving.resilience import ResiliencePolicy
 from repro.sim.faults import FaultPlan
 
 __all__ = [
@@ -16,6 +17,7 @@ __all__ = [
     "FaultPlan",
     "InferenceServer",
     "RequestTrace",
+    "ResiliencePolicy",
     "ServeResult",
     "availability",
     "burst_trace",

@@ -23,6 +23,7 @@ from weakref import WeakKeyDictionary
 from repro.core.schemes import Scheme
 from repro.serving.metrics import percentile as nearest_rank_percentile
 from repro.serving.requests import RequestTrace
+from repro.serving.resilience import ResiliencePolicy, ResilienceState
 from repro.serving.server import InferenceServer
 from repro.sim.faults import FaultCounters, FaultInjector, FaultPlan
 from repro.sim.trace import RETENTION_POLICIES, Phase, TraceRecorder
@@ -53,6 +54,11 @@ class ClusterConfig:
     # are byte-identical either way (pinned by tests); the knob exists
     # so benchmarks can measure the win.
     fast_forward: bool = True
+    # Resilience layer (repro.serving.resilience): warm-state
+    # checkpoint/restore, crash-loop supervision, admission control and
+    # graceful drain.  ``None`` (default) -- and any *inert* policy --
+    # leaves the replay byte-identical to the pre-resilience simulator.
+    resilience: Optional[ResiliencePolicy] = None
 
     def __post_init__(self) -> None:
         if self.max_instances <= 0:
@@ -73,6 +79,17 @@ class _Instance:
     busy_until: float = 0.0
     last_used: float = 0.0
     warm: bool = False
+    # --- resilience bookkeeping (inert unless a policy is attached) ---
+    frac_base: float = 0.0        # warm fraction at start of this life
+    life_start: float = 0.0       # checkpoint-timeline origin
+    ramp_start: float = 0.0       # loading ramp of the first cold serve
+    ramp_end: float = 0.0
+    served: int = 0               # requests completed this life
+    consecutive_crashes: int = 0  # crash-loop backoff exponent
+    crash_times: List[float] = field(default_factory=list)
+    breaker_open: bool = False
+    breaker_until: float = 0.0    # cooldown end; half-open afterwards
+    open_streak: int = 0          # consecutive opens (cooldown escalation)
 
 
 @dataclass
@@ -84,6 +101,7 @@ class ClusterStats:
     warm_hits: int = 0
     queue_waits: List[float] = field(default_factory=list)
     failed: int = 0   # requests explicitly failed (reroute budget spent)
+    shed: int = 0     # requests rejected up front by admission control
     faults: FaultCounters = field(default_factory=FaultCounters)
     # Request-level trace (None unless ClusterConfig.trace_retention set).
     trace: Optional[TraceRecorder] = None
@@ -97,15 +115,25 @@ class ClusterStats:
 
     @property
     def requests(self) -> int:
-        """Total requests accounted for (completed + explicitly failed)."""
-        return len(self.latencies) + self.failed
+        """Total requests accounted for: every offered request is
+        exactly one of completed, explicitly failed, or shed."""
+        return len(self.latencies) + self.failed + self.shed
 
     @property
     def availability(self) -> float:
-        """Fraction of requests that completed successfully."""
-        if not self.requests:
+        """Fraction of *served* requests that completed successfully.
+
+        Shed requests are excluded from the denominator: admission
+        control rejects them immediately with a well-defined error
+        (the shed-adjusted availability the SLO is stated against),
+        which is not the same failure as a request that was accepted
+        and then lost.  With nothing shed this is exactly the historic
+        completed/requests ratio.
+        """
+        finished = self.completed + self.failed
+        if not finished:
             return 1.0
-        return self.completed / self.requests
+        return self.completed / finished
 
     @property
     def mean_latency(self) -> float:
@@ -174,10 +202,12 @@ class ClusterSimulator:
         except TypeError:  # non-weakref-able server stand-in (tests)
             self._service_times = {}
 
-    def _cold_time(self, model: str, batch: int) -> float:
-        key = ("cold", self.config.scheme, model, batch)
+    def _cold_time(self, model: str, batch: int,
+                   scheme: Optional[Scheme] = None) -> float:
+        scheme = self.config.scheme if scheme is None else scheme
+        key = ("cold", scheme, model, batch)
         if key not in self._service_times:
-            result = self.server.serve_cold(model, self.config.scheme, batch)
+            result = self.server.serve_cold(model, scheme, batch)
             self._service_times[key] = result.total_time
         return self._service_times[key]
 
@@ -216,14 +246,32 @@ class ClusterSimulator:
             self.spans.bind(recorder)
         injector: Optional[FaultInjector] = (
             config.faults.injector() if config.faults is not None else None)
+        if injector is not None:
+            stats.faults = injector.counters
+        counters = stats.faults
         instances: List[_Instance] = []
         cold = self._cold_time(trace.model, trace.batch)
         warm = self._warm_time(trace.model, trace.batch)
         # Cold starts split into the extra spin-up cost (LOAD) and the
         # steady service tail (EXEC) for trace accounting.
         cold_extra = cold - warm if cold > warm else 0.0
+        # Resilience layer: an inert policy is equivalent to none at
+        # all, so the replay below stays byte-identical (golden tests).
+        policy = config.resilience
+        resilience: Optional[ResilienceState] = None
+        if policy is not None and not policy.is_inert:
+            degraded_cold = (
+                self._cold_time(trace.model, trace.batch, Scheme.BASELINE)
+                if policy.degrade_wait_s is not None else cold)
+            restart_delay = (config.faults.restart_delay_s
+                             if config.faults is not None
+                             else FaultPlan().restart_delay_s)
+            resilience = ResilienceState(policy, counters, recorder,
+                                         warm, cold_extra, degraded_cold,
+                                         restart_delay)
         arrivals = trace.arrivals
-        can_fast_forward = config.fast_forward and injector is None
+        can_fast_forward = (config.fast_forward and injector is None
+                            and resilience is None)
         index, n = 0, len(arrivals)
         while index < n:
             if (can_fast_forward and instances
@@ -238,20 +286,49 @@ class ClusterSimulator:
             attempts = 0
             while True:
                 self._reclaim_idle(instances, now)
-                instance = self._pick_instance(instances, now)
-                if instance is None:
-                    if len(instances) < config.max_instances:
-                        instance = _Instance()
-                        instances.append(instance)
+                if resilience is None:
+                    instance = self._pick_instance(instances, now)
+                    if instance is None:
+                        if len(instances) < config.max_instances:
+                            instance = _Instance()
+                            instances.append(instance)
+                        else:
+                            # All instances busy at capacity: queue on
+                            # the one that frees up first.
+                            instance = min(instances,
+                                           key=lambda i: i.busy_until)
+                    start = max(now, instance.busy_until)
+                else:
+                    instance = self._pick_routable(instances, now)
+                    if instance is None:
+                        if len(instances) < config.max_instances:
+                            instance = _Instance(life_start=now)
+                            instances.append(instance)
+                            start = now
+                        else:
+                            # Queue on the earliest *routable* instant:
+                            # breaker-open instances only become usable
+                            # at their half-open probe time.
+                            instance = min(instances,
+                                           key=ResilienceState.ready_at)
+                            start = max(now,
+                                        ResilienceState.ready_at(instance))
                     else:
-                        # All instances busy at capacity: queue on the
-                        # one that frees up first.
-                        instance = min(instances, key=lambda i: i.busy_until)
-                start = max(now, instance.busy_until)
+                        start = now
+                    if attempts == 0 and not resilience.admit(now, start):
+                        stats.shed += 1
+                        break
                 if attempts == 0:
                     stats.queue_waits.append(start - arrival)
                 warm_attempt = instance.warm
-                service = warm if warm_attempt else cold
+                if resilience is None:
+                    service = warm if warm_attempt else cold
+                else:
+                    service = (warm if warm_attempt
+                               else resilience.cold_service(
+                                   instance.frac_base, cold))
+                    resilience.on_scheduled(instance, start, service,
+                                            warm_attempt)
                 crash_at = (injector.crash_point(service)
                             if injector is not None else None)
                 if crash_at is None:
@@ -269,37 +346,42 @@ class ClusterSimulator:
                             recorder.record(start, finish, "cluster",
                                             Phase.EXEC, "serve")
                         else:
-                            boundary = start + cold_extra
+                            boundary = start + (service - warm
+                                                if service > warm else 0.0)
                             recorder.record(start, boundary, "cluster",
                                             Phase.LOAD, "cold-start")
                             recorder.record(boundary, finish, "cluster",
                                             Phase.EXEC, "serve")
-                    if injector is not None:
-                        injector.counters.completed_requests += 1
+                    if injector is not None or resilience is not None:
+                        counters.completed_requests += 1
+                    if resilience is not None:
+                        resilience.on_complete(instance, finish)
                     break
                 # The instance dies crash_at seconds into the request;
-                # it restarts cold (empty PASK cache) after the restart
-                # delay and re-enters the pool.
-                injector.counters.crashes += 1
+                # the supervisor restarts it (cold by default, from the
+                # freshest clean checkpoint under a resilience policy)
+                # and it re-enters the pool once the restart completes.
+                counters.crashes += 1
                 crash_time = start + crash_at
-                instance.busy_until = crash_time + \
-                    config.faults.restart_delay_s
-                instance.last_used = instance.busy_until
-                instance.warm = False
+                if resilience is None:
+                    instance.busy_until = crash_time + \
+                        config.faults.restart_delay_s
+                    instance.last_used = instance.busy_until
+                    instance.warm = False
+                else:
+                    resilience.on_crash(instance, crash_time, injector)
                 if recorder is not None:
                     recorder.record(start, crash_time, "cluster",
                                     Phase.FAULT, "crash")
                 attempts += 1
                 if attempts > config.faults.max_reroutes:
                     stats.failed += 1
-                    injector.counters.failed_requests += 1
+                    counters.failed_requests += 1
                     break
                 # Reroute: the request re-enters scheduling at the time
                 # the crash was detected.
-                injector.counters.reroutes += 1
+                counters.reroutes += 1
                 now = crash_time
-        if injector is not None:
-            stats.faults = injector.counters
         if self.metrics is not None:
             # Fed once from the collected stats (covers both the
             # stepping and fast-forward paths) so the hot scheduling
@@ -314,6 +396,25 @@ class ClusterSimulator:
             if stats.failed:
                 self._m_requests.inc(stats.failed,
                                      outcome="failed", scheme=label)
+            if stats.shed:
+                self._m_requests.inc(stats.shed,
+                                     outcome="shed", scheme=label)
+            if resilience is not None:
+                actions = self.metrics.counter(
+                    "cluster_resilience_total",
+                    "Resilience-layer actions by kind")
+                for kind, value in (
+                        ("shed", counters.shed_requests),
+                        ("breaker_open", counters.breaker_opens),
+                        ("breaker_probe", counters.breaker_probes),
+                        ("warm_restore", counters.warm_restores),
+                        ("restore_failure", counters.restore_failures),
+                        ("checkpoint_corruption",
+                         counters.checkpoint_corruptions),
+                        ("drain", counters.drains),
+                        ("degraded", counters.degraded_requests)):
+                    if value:
+                        actions.inc(value, kind=kind, scheme=label)
             wait_series = self._m_queue_wait.labels(scheme=label)
             for wait in stats.queue_waits:
                 wait_series.observe(wait)
@@ -400,15 +501,32 @@ class ClusterSimulator:
 
     def _reclaim_idle(self, instances: List[_Instance], now: float) -> None:
         keep_alive = self.config.keep_alive_s
+        # Breaker-open instances are held by the supervisor through
+        # their cooldown (they must face a half-open probe, not be
+        # silently replaced by a fresh cold spawn); without a policy
+        # the flag is never set and the predicate is unchanged.
         instances[:] = [i for i in instances
                         if i.busy_until > now
-                        or now - i.last_used <= keep_alive]
+                        or now - i.last_used <= keep_alive
+                        or (i.breaker_open and i.breaker_until > now)]
 
     @staticmethod
     def _pick_instance(instances: List[_Instance],
                        now: float) -> Optional[_Instance]:
         """The warm instance free at ``now`` that has idled longest."""
         free = [i for i in instances if i.busy_until <= now and i.warm]
+        if not free:
+            return None
+        return min(free, key=lambda i: i.last_used)
+
+    @staticmethod
+    def _pick_routable(instances: List[_Instance],
+                       now: float) -> Optional[_Instance]:
+        """Policy-aware pick: like :meth:`_pick_instance`, but the
+        circuit breaker excludes open instances still in cooldown."""
+        free = [i for i in instances
+                if i.busy_until <= now and i.warm
+                and (not i.breaker_open or i.breaker_until <= now)]
         if not free:
             return None
         return min(free, key=lambda i: i.last_used)

@@ -16,12 +16,13 @@ from repro.core.schemes import Scheme, build_executor, program_code_objects
 from repro.engine.program import Program
 from repro.engine.registry import ModelRegistry
 from repro.gpu.device import DeviceSpec, get_device
-from repro.gpu.runtime import HipRuntime
+from repro.gpu.runtime import HipRuntime, RuntimeSnapshot
 from repro.graph import Graph
 from repro.primitive.blas import BlasLibrary
 from repro.primitive.library import MIOpenLibrary
 from repro.sim.core import Environment
-from repro.sim.faults import FaultError, FaultPlan
+from repro.sim.faults import (CheckpointFault, FaultError, FaultPlan,
+                              RestoreFault)
 
 __all__ = ["InferenceServer", "ServeResult", "serve_cold", "serve_hot"]
 
@@ -244,6 +245,137 @@ class InferenceServer:
     def env_now(env: Environment) -> float:
         """Current simulated time (hook point for tests)."""
         return env.now
+
+    # ------------------------------------------------------------------
+    # Warm-state checkpoint / restore serving
+    # ------------------------------------------------------------------
+    def capture_snapshot(self, model: str, scheme: Scheme = Scheme.PASK,
+                         batch: int = 1,
+                         faults: Optional[FaultPlan] = None,
+                         spans=None, metrics=None):
+        """Serve one cold request, then checkpoint the warm runtime.
+
+        Returns ``(result, snapshot)``.  ``result.metadata`` carries the
+        checkpoint write time under ``checkpoint_s``.  When the cold
+        serve itself fails on injected faults, the result is explicitly
+        failed and the snapshot is ``None``.
+        """
+        program = self._lowered(model, scheme, batch)
+        env = Environment()
+        injector = faults.injector() if faults is not None else None
+        if injector is not None and metrics is not None:
+            injector.bind_metrics(metrics)
+        runtime = HipRuntime(env, self.device, faults=injector,
+                             spans=spans, metrics=metrics)
+        executor = build_executor(scheme)
+
+        outcome: Dict[str, object] = {}
+        metadata = {"device": self.device.name, "instructions": len(program)}
+        failed = False
+
+        def driver():
+            with runtime.spans.request(f"capture:{model}", model=model,
+                                       scheme=scheme.label, batch=batch):
+                stats = yield from executor(env, runtime, self.library,
+                                            self.blas, program)
+            outcome.update(stats or {})
+            served_at = env.now
+            snapshot = yield from runtime.snapshot()
+            outcome["snapshot"] = snapshot
+            outcome["checkpoint_s"] = env.now - served_at
+
+        process = env.process(driver(), name=f"capture-{model}")
+        try:
+            env.run(until=process)
+        except FaultError as error:
+            failed = True
+            metadata["error"] = str(error)
+        if injector is not None:
+            if failed:
+                injector.counters.failed_requests += 1
+            else:
+                injector.counters.completed_requests += 1
+        if "checkpoint_s" in outcome:
+            metadata["checkpoint_s"] = outcome["checkpoint_s"]
+        result = ExecutionResult(
+            scheme=scheme.label, model=model, batch=batch,
+            total_time=env.now, trace=runtime.trace,
+            loads=runtime.load_count, loaded_bytes=runtime.loaded_bytes,
+            milestone=outcome.get("milestone"),
+            cache_stats=outcome.get("cache_stats"),
+            reused_layers=outcome.get("reused_layers", 0),
+            skipped_loads=outcome.get("skipped_loads", 0),
+            faults=injector.counters if injector is not None else None,
+            failed=failed,
+            metadata=metadata,
+        )
+        return result, outcome.get("snapshot")
+
+    def serve_restored(self, model: str, snapshot: RuntimeSnapshot,
+                       scheme: Scheme = Scheme.PASK, batch: int = 1,
+                       faults: Optional[FaultPlan] = None,
+                       spans=None, metrics=None) -> ExecutionResult:
+        """Serve one request on a fresh instance primed from a checkpoint.
+
+        The restart path of the resilience layer: instead of paying the
+        full cold start, the instance restores ``snapshot`` (billing only
+        the missing-module delta) and serves with those modules already
+        resident.  A failed restore (corrupted checkpoint, injected
+        ``restore.load`` fault) falls back to the plain cold path;
+        ``result.metadata["restore_failed"]`` records why.
+        """
+        program = self._lowered(model, scheme, batch)
+        env = Environment()
+        injector = faults.injector() if faults is not None else None
+        if injector is not None and metrics is not None:
+            injector.bind_metrics(metrics)
+        runtime = HipRuntime(env, self.device, faults=injector,
+                             spans=spans, metrics=metrics)
+        executor = build_executor(scheme)
+
+        outcome: Dict[str, object] = {}
+        metadata = {"device": self.device.name, "instructions": len(program)}
+        failed = False
+
+        def driver():
+            with runtime.spans.request(f"restore:{model}", model=model,
+                                       scheme=scheme.label, batch=batch):
+                try:
+                    restored = yield from runtime.restore(snapshot)
+                    metadata["restored_modules"] = restored
+                    metadata["restored_bytes"] = runtime.restored_bytes
+                except (CheckpointFault, RestoreFault) as error:
+                    # Fall back to a full cold start: the restore time
+                    # already spent is sunk cost, nothing is resident.
+                    metadata["restore_failed"] = str(error)
+                stats = yield from executor(env, runtime, self.library,
+                                            self.blas, program)
+            outcome.update(stats or {})
+
+        process = env.process(driver(), name=f"restore-{model}")
+        try:
+            env.run(until=process)
+        except FaultError as error:
+            failed = True
+            metadata["error"] = str(error)
+        if injector is not None:
+            if failed:
+                injector.counters.failed_requests += 1
+            else:
+                injector.counters.completed_requests += 1
+        metadata["restored_hits"] = outcome.get("restored_hits", 0)
+        return ExecutionResult(
+            scheme=scheme.label, model=model, batch=batch,
+            total_time=env.now, trace=runtime.trace,
+            loads=runtime.load_count, loaded_bytes=runtime.loaded_bytes,
+            milestone=outcome.get("milestone"),
+            cache_stats=outcome.get("cache_stats"),
+            reused_layers=outcome.get("reused_layers", 0),
+            skipped_loads=outcome.get("skipped_loads", 0),
+            faults=injector.counters if injector is not None else None,
+            failed=failed,
+            metadata=metadata,
+        )
 
     def serve_hot(self, model: str, batch: int = 1,
                   faults: Optional[FaultPlan] = None,

@@ -35,6 +35,8 @@ __all__ = [
     "LoadFault",
     "LaunchFault",
     "InstanceCrash",
+    "CheckpointFault",
+    "RestoreFault",
     "FaultPlan",
     "FaultInjector",
     "FaultCounters",
@@ -55,6 +57,16 @@ class LaunchFault(FaultError):
 
 class InstanceCrash(FaultError):
     """A serving instance died while processing a request."""
+
+
+class CheckpointFault(FaultError):
+    """A warm-state checkpoint was corrupted on write (detected at
+    restore time, when the checksum of the read-back image fails)."""
+
+
+class RestoreFault(FaultError):
+    """Restoring a warm-state checkpoint failed; the instance must fall
+    back to a full cold start."""
 
 
 @dataclass(frozen=True)
@@ -92,11 +104,19 @@ class FaultPlan:
     crash_rate: float = 0.0
     restart_delay_s: float = 0.05
     max_reroutes: int = 3
+    # --- checkpoint.write: warm-state checkpoint corruption -----------
+    # A corrupted checkpoint is written silently; the damage surfaces
+    # only at restore time, when the instance falls back to an older
+    # checkpoint (or a full cold start).
+    checkpoint_corruption_rate: float = 0.0
+    # --- restore.load: warm-state restore failures --------------------
+    restore_failure_rate: float = 0.0
 
     def __post_init__(self) -> None:
         for name in ("load_failure_rate", "launch_failure_rate",
                      "exec_stall_rate", "loader_stall_rate", "crash_rate",
-                     "load_failure_progress"):
+                     "load_failure_progress", "checkpoint_corruption_rate",
+                     "restore_failure_rate"):
             value = getattr(self, name)
             if not 0.0 <= value <= 1.0:
                 raise ValueError(f"{name} must be in [0, 1], got {value!r}")
@@ -119,7 +139,9 @@ class FaultPlan:
                 and self.launch_failure_rate == 0.0
                 and self.exec_stall_rate == 0.0
                 and self.loader_stall_rate == 0.0
-                and self.crash_rate == 0.0)
+                and self.crash_rate == 0.0
+                and self.checkpoint_corruption_rate == 0.0
+                and self.restore_failure_rate == 0.0)
 
     def injector(self) -> "FaultInjector":
         """A fresh per-run cursor over this plan."""
@@ -141,6 +163,15 @@ class FaultCounters:
     reroutes: int = 0           # requests rerouted after a crash
     completed_requests: int = 0
     failed_requests: int = 0    # requests explicitly failed (reroute budget)
+    # Resilience layer (repro.serving.resilience): what the policy did.
+    shed_requests: int = 0      # requests rejected by admission control
+    breaker_opens: int = 0      # circuit-breaker CLOSED/HALF_OPEN -> OPEN
+    breaker_probes: int = 0     # half-open probe requests routed
+    warm_restores: int = 0      # post-crash restarts restored from checkpoint
+    restore_failures: int = 0   # restores that failed (fell back to cold)
+    checkpoint_corruptions: int = 0  # corrupted checkpoints skipped/detected
+    drains: int = 0             # graceful supervised drain/restart cycles
+    degraded_requests: int = 0  # cold serves taken in reactive degraded mode
 
     @property
     def retries(self) -> int:
@@ -232,10 +263,35 @@ class FaultInjector:
 
     def crash_point(self, service_time: float) -> Optional[float]:
         """``cluster.request``: seconds into the request the instance
-        crashes, or ``None`` when it survives."""
+        crashes, or ``None`` when it survives.
+
+        Crash-boundary semantics (pinned by tests): a crash happens
+        *strictly before* the request completes, so the returned point
+        is always in ``[0, service_time)`` -- ``0`` kills the request
+        the instant it starts, while a request whose service already
+        elapsed (``crash_at == service_time``) has completed and cannot
+        be crashed retroactively.  A zero-length request therefore never
+        crashes; the ``cluster.request`` draw is still consumed so the
+        fault sequence seen by later requests does not depend on
+        service times.
+        """
         if not self.should_fail("cluster.request", self.plan.crash_rate):
             return None
+        if service_time <= 0.0:
+            return None
+        # roll() is uniform on [0, 1), so the point lands in
+        # [0, service_time) -- never exactly at the completion boundary.
         return self.roll("cluster.request.point") * service_time
+
+    def checkpoint_corrupts(self) -> bool:
+        """``checkpoint.write``: is this checkpoint silently corrupted?"""
+        return self.should_fail("checkpoint.write",
+                                self.plan.checkpoint_corruption_rate)
+
+    def restore_fails(self) -> bool:
+        """``restore.load``: does this warm-state restore fail?"""
+        return self.should_fail("restore.load",
+                                self.plan.restore_failure_rate)
 
     def load_backoff(self, attempt: int) -> float:
         """Exponential backoff before load retry ``attempt`` (1-based)."""

@@ -60,6 +60,9 @@ class Phase(enum.Enum):
     OTHER = "other"          # host-device sync, allocation, misc
     FAULT = "fault"          # injected failure / stall (repro.sim.faults)
     RETRY = "retry"          # backoff and re-attempt after a fault
+    CHECKPOINT = "checkpoint"  # warm-state snapshot write (resilience)
+    RESTORE = "restore"      # warm-state restore after crash/drain
+    DRAIN = "drain"          # graceful supervised drain/restart
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value

@@ -331,3 +331,59 @@ def test_cli_chaos_reports_mitigation_counters(capsys):
     assert retries > 0
     assert fallbacks > 0
     assert reroutes > 0
+
+
+# ----------------------------------------------------------------------
+# Crash-boundary semantics (pinned): crash_at in [0, service), zero-
+# length requests never crash, draws are consumed regardless
+# ----------------------------------------------------------------------
+
+def test_crash_point_strictly_before_completion():
+    injector = FaultPlan(seed=7, crash_rate=1.0).injector()
+    service = 0.125
+    points = [injector.crash_point(service) for _ in range(200)]
+    assert all(p is not None for p in points)
+    assert all(0.0 <= p < service for p in points)
+    # The boundary itself is unreachable: a request whose service time
+    # already elapsed has completed and cannot be crashed retroactively.
+    assert max(points) < service
+
+
+def test_crash_point_zero_length_request_never_crashes():
+    injector = FaultPlan(seed=7, crash_rate=1.0).injector()
+    assert injector.crash_point(0.0) is None
+    assert injector.crash_point(-1.0) is None
+    # The cluster.request draw is still consumed for each call, so the
+    # fault sequence seen by later requests does not depend on service
+    # times; the position draw is not (no crash happened).
+    assert injector._draws.get("cluster.request") == 2
+    assert "cluster.request.point" not in injector._draws
+
+
+def test_crash_point_survival_consumes_one_draw_only():
+    injector = FaultPlan(seed=7, crash_rate=0.0).injector()
+    assert injector.crash_point(1.0) is None
+    # Zero rate short-circuits without touching randomness at all.
+    assert injector._draws == {}
+
+    low = FaultPlan(seed=7, crash_rate=1e-9).injector()
+    assert low.crash_point(1.0) is None
+    assert low._draws.get("cluster.request") == 1
+    assert "cluster.request.point" not in low._draws
+
+
+def test_crash_point_sequence_independent_of_service_times():
+    # Two replays drawing through the same plan see the same crash
+    # decisions even when their service times differ (zero-length
+    # requests included).
+    a = FaultPlan(seed=11, crash_rate=0.5).injector()
+    b = FaultPlan(seed=11, crash_rate=0.5).injector()
+    decisions_a = [a.crash_point(s) is not None
+                   for s in (1.0, 0.0, 2.0, 0.0, 3.0)]
+    decisions_b = [b.crash_point(s) is not None
+                   for s in (4.0, 5.0, 6.0, 7.0, 8.0)]
+    # Zero-length requests can never crash, so mask them out of the
+    # comparison; the underlying decision sequence still advances.
+    expected = [d if s > 0 else False
+                for d, s in zip(decisions_b, (1.0, 0.0, 2.0, 0.0, 3.0))]
+    assert decisions_a == expected

@@ -14,6 +14,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.core.schemes import Scheme
 from repro.serving.cluster import ClusterConfig, ClusterSimulator
+from repro.serving.resilience import ResiliencePolicy
 from repro.serving.requests import poisson_trace
 from repro.serving.server import InferenceServer
 from repro.sim.faults import FaultPlan
@@ -37,6 +38,29 @@ fault_plans = st.builds(
     crash_rate=st.floats(0.0, 0.6),
     restart_delay_s=st.floats(0.0, 0.1),
     max_reroutes=st.integers(0, 3),
+    checkpoint_corruption_rate=st.floats(0.0, 0.5),
+    restore_failure_rate=st.floats(0.0, 0.5),
+)
+
+resilience_policies = st.builds(
+    ResiliencePolicy,
+    checkpoint_interval_s=st.one_of(st.none(), st.floats(0.05, 1.0)),
+    checkpoint_write_s=st.floats(0.0, 5e-3),
+    checkpoint_retention=st.integers(1, 4),
+    restore_overhead_s=st.floats(0.0, 5e-3),
+    restore_speedup=st.floats(1.0, 16.0),
+    restart_backoff=st.floats(1.0, 3.0),
+    max_restart_delay_s=st.floats(0.0, 0.5),
+    breaker_threshold=st.one_of(st.none(), st.integers(1, 5)),
+    breaker_window_s=st.floats(0.1, 5.0),
+    breaker_cooldown_s=st.floats(0.0, 1.0),
+    breaker_backoff=st.floats(1.0, 3.0),
+    breaker_max_cooldown_s=st.floats(0.0, 2.0),
+    max_queue_depth=st.one_of(st.none(), st.integers(0, 8)),
+    shed_wait_s=st.one_of(st.none(), st.floats(0.0, 0.05)),
+    degrade_wait_s=st.one_of(st.none(), st.floats(0.0, 0.05)),
+    recycle_after_requests=st.one_of(st.none(), st.integers(1, 50)),
+    drain_restart_s=st.floats(0.0, 0.05),
 )
 
 
@@ -99,6 +123,40 @@ def test_serve_cold_same_seed_identical_trace(plan):
     assert first.failed == second.failed
     assert first.total_time == second.total_time
     assert first.trace.records == second.trace.records
+    assert _counter_dict(first.faults) == _counter_dict(second.faults)
+
+
+@settings(max_examples=15, deadline=None)
+@given(fault_plans, resilience_policies)
+def test_resilient_cluster_accounts_for_every_request(plan, policy):
+    # Resilience extends the outcome set with "shed", and the invariant
+    # extends with it: completed + failed + shed == offered, under ANY
+    # plan/policy combination hypothesis can construct.
+    config = ClusterConfig(scheme=Scheme.PASK, max_instances=3,
+                           keep_alive_s=0.5, faults=plan, resilience=policy)
+    stats = ClusterSimulator(_SERVER, config).run(_TRACE)
+    assert stats.completed + stats.failed + stats.shed == len(_TRACE)
+    assert stats.shed == stats.faults.shed_requests
+    assert 0.0 <= stats.availability <= 1.0
+    assert all(v >= 0 for v in _counter_dict(stats.faults).values())
+    assert all(latency >= 0 for latency in stats.latencies)
+    # Restores only happen in response to crashes or drains.
+    counters = stats.faults
+    assert counters.warm_restores <= counters.crashes + counters.drains
+
+
+@settings(max_examples=10, deadline=None)
+@given(fault_plans, resilience_policies)
+def test_resilient_cluster_same_seed_identical_replay(plan, policy):
+    config = ClusterConfig(scheme=Scheme.PASK, max_instances=3,
+                           keep_alive_s=0.5, faults=plan, resilience=policy)
+    first = ClusterSimulator(_SERVER, config).run(_TRACE)
+    second = ClusterSimulator(_SERVER, config).run(_TRACE)
+    assert first.latencies == second.latencies
+    assert first.queue_waits == second.queue_waits
+    assert first.failed == second.failed
+    assert first.shed == second.shed
+    assert first.cold_starts == second.cold_starts
     assert _counter_dict(first.faults) == _counter_dict(second.faults)
 
 

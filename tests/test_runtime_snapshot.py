@@ -1,0 +1,201 @@
+"""Tests for warm-state checkpoint/restore (RuntimeSnapshot).
+
+The runtime-level contract: ``snapshot()`` bills a sequential streaming
+write of the loaded images and returns an immutable record; ``restore``
+bills only the *missing-module delta*, marks modules resident without
+touching ``load_count``, and raises typed faults (corruption, injected
+restore failure) the server falls back from.  The server-level contract:
+``serve_restored`` beats a full cold start and accounts for restored
+modules in the result metadata.
+"""
+
+import pytest
+
+from repro.core.schemes import Scheme
+from repro.gpu import (CodeObjectFile, HipRuntime, MI100, RuntimeSnapshot,
+                       checkpoint_time, restore_time)
+from repro.gpu.device import get_device
+from repro.serving.server import InferenceServer
+from repro.sim import Environment, Phase
+from repro.sim.faults import CheckpointFault, FaultPlan, RestoreFault
+
+CO_A = CodeObjectFile.single_kernel("conv_kernel", 1_000_000)
+CO_B = CodeObjectFile.single_kernel("gemm_kernel", 2_000_000)
+
+SERVER = InferenceServer("MI100")
+
+
+def make_runtime(faults=None):
+    env = Environment()
+    return env, HipRuntime(env, MI100, faults=faults)
+
+
+def drive(env, gen):
+    """Run one runtime generator to completion, returning its value."""
+    box = {}
+
+    def proc():
+        box["value"] = yield from gen
+
+    env.process(proc())
+    env.run()
+    return box.get("value")
+
+
+def loaded_snapshot(faults=None):
+    env, runtime = make_runtime(faults)
+
+    def proc():
+        yield from runtime.module_load(CO_A)
+        yield from runtime.module_load(CO_B)
+
+    env.process(proc())
+    env.run()
+    return env, runtime
+
+
+# ----------------------------------------------------------------------
+# Snapshot capture
+# ----------------------------------------------------------------------
+
+def test_snapshot_captures_loaded_modules_and_bills_write():
+    env, runtime = loaded_snapshot()
+    before = env.now
+    snapshot = drive(env, runtime.snapshot())
+    assert isinstance(snapshot, RuntimeSnapshot)
+    assert snapshot.names == {"conv_kernel", "gemm_kernel"}
+    assert snapshot.size_bytes == 3_000_000
+    assert len(snapshot) == 2
+    assert not snapshot.corrupt
+    assert env.now - before == pytest.approx(
+        checkpoint_time(3_000_000, MI100))
+    checkpoints = runtime.trace.filtered(phase=Phase.CHECKPOINT)
+    assert len(checkpoints) == 1
+
+
+def test_snapshot_refuses_inflight_loads():
+    env, runtime = make_runtime()
+    load = runtime.module_load(CO_A)
+    next(load)  # load now in flight
+    with pytest.raises(RuntimeError):
+        next(runtime.snapshot())
+
+
+def test_snapshot_write_can_be_silently_corrupted():
+    env, runtime = loaded_snapshot(
+        faults=FaultPlan(seed=0, checkpoint_corruption_rate=1.0))
+    snapshot = drive(env, runtime.snapshot())
+    assert snapshot.corrupt  # returned anyway: damage surfaces on restore
+    assert runtime.faults.counters.checkpoint_corruptions == 1
+
+
+# ----------------------------------------------------------------------
+# Restore
+# ----------------------------------------------------------------------
+
+def test_restore_marks_resident_without_load_counts():
+    env, runtime = loaded_snapshot()
+    snapshot = drive(env, runtime.snapshot())
+
+    env2, fresh = make_runtime()
+    restored = drive(env2, fresh.restore(snapshot))
+    assert restored == 2
+    assert fresh.is_loaded("conv_kernel") and fresh.is_loaded("gemm_kernel")
+    assert fresh.load_count == 0          # restores are not loads
+    assert fresh.restored_names == {"conv_kernel", "gemm_kernel"}
+    assert fresh.restored_bytes == 3_000_000
+    assert env2.now == pytest.approx(restore_time(3_000_000, MI100))
+    assert len(fresh.trace.filtered(phase=Phase.RESTORE)) == 1
+
+
+def test_restore_bills_only_the_missing_delta():
+    env, runtime = loaded_snapshot()
+    snapshot = drive(env, runtime.snapshot())
+
+    env2, partial = make_runtime()
+    drive(env2, partial.module_load(CO_A))  # one module already resident
+    before = env2.now
+    restored = drive(env2, partial.restore(snapshot))
+    assert restored == 1
+    assert partial.restored_bytes == CO_B.size_bytes
+    assert env2.now - before == pytest.approx(
+        restore_time(CO_B.size_bytes, MI100))
+    # Restoring a fully-resident runtime is (almost) free.
+    again = drive(env2, partial.restore(snapshot))
+    assert again == 0
+
+
+def test_corrupt_snapshot_raises_checkpoint_fault_on_restore():
+    env, runtime = loaded_snapshot()
+    snapshot = drive(env, runtime.snapshot())
+    corrupt = RuntimeSnapshot(device_name=snapshot.device_name,
+                              taken_at=snapshot.taken_at,
+                              entries=snapshot.entries, corrupt=True)
+    env2, fresh = make_runtime(faults=FaultPlan(seed=0))
+
+    def proc():
+        with pytest.raises(CheckpointFault):
+            yield from fresh.restore(corrupt)
+
+    env2.process(proc())
+    env2.run()
+    assert not fresh.is_loaded("conv_kernel")
+    assert fresh.faults.counters.restore_failures == 1
+
+
+def test_injected_restore_failure_raises_restore_fault():
+    env, runtime = loaded_snapshot()
+    snapshot = drive(env, runtime.snapshot())
+    env2, fresh = make_runtime(
+        faults=FaultPlan(seed=0, restore_failure_rate=1.0))
+
+    def proc():
+        with pytest.raises(RestoreFault):
+            yield from fresh.restore(snapshot)
+
+    env2.process(proc())
+    env2.run()
+    assert not fresh.is_loaded("conv_kernel")
+    assert fresh.faults.counters.restore_failures == 1
+
+
+def test_restore_rejects_cross_device_snapshots():
+    env, runtime = loaded_snapshot()
+    snapshot = drive(env, runtime.snapshot())
+    env2 = Environment()
+    other = HipRuntime(env2, get_device("A100"))
+    with pytest.raises(ValueError):
+        next(other.restore(snapshot))
+
+
+# ----------------------------------------------------------------------
+# Server-level: capture + restored serve
+# ----------------------------------------------------------------------
+
+def test_serve_restored_beats_cold_start():
+    result, snapshot = SERVER.capture_snapshot("res")
+    assert snapshot is not None and len(snapshot) > 0
+    assert result.metadata["checkpoint_s"] > 0
+    assert not result.failed
+
+    cold = SERVER.serve_cold("res", Scheme.PASK)
+    restored = SERVER.serve_restored("res", snapshot)
+    assert not restored.failed
+    assert restored.total_time < cold.total_time
+    assert restored.loads < cold.loads
+    assert restored.metadata["restored_modules"] == len(snapshot)
+    assert restored.metadata["restored_bytes"] == snapshot.size_bytes
+    assert restored.metadata["restored_hits"] > 0
+
+
+def test_serve_restored_falls_back_cold_on_restore_failure():
+    _, snapshot = SERVER.capture_snapshot("res")
+    cold = SERVER.serve_cold("res", Scheme.PASK)
+    fallback = SERVER.serve_restored(
+        "res", snapshot, faults=FaultPlan(seed=0, restore_failure_rate=1.0))
+    assert not fallback.failed  # the request still completes
+    assert "restore_failed" in fallback.metadata
+    assert "restored_modules" not in fallback.metadata
+    # Restore time already spent is sunk cost on top of the cold path.
+    assert fallback.total_time >= cold.total_time
+    assert fallback.faults.restore_failures == 1
