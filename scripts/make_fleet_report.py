@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""Regenerate the checked-in fleet scale-to-zero frontier report.
+
+Usage::
+
+    python scripts/make_fleet_report.py [OUTPUT]
+
+Writes ``benchmarks/fleet_frontier_report.json`` (or OUTPUT) — the
+``repro fleet --frontier`` sweep with the volatile ``run`` section
+pinned (``created_unix=0``), so the payload is byte-stable and the
+regression tests can assert the checked-in copy matches a fresh
+regeneration exactly.  Rerun this script whenever a deliberate change
+to the simulator, the fleet layer or the autoscaling billing shifts the
+sweep numbers, and commit the diff alongside the change.
+"""
+
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.runner import fleet_frontier_report  # noqa: E402
+
+DEFAULT_OUTPUT = os.path.join(os.path.dirname(__file__), "..",
+                              "benchmarks", "fleet_frontier_report.json")
+
+
+def main(argv):
+    output = argv[0] if argv else DEFAULT_OUTPUT
+    report = fleet_frontier_report(created_unix=0.0)
+    with open(output, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    frontier = report["fleet_frontier"]
+    legs = ", ".join(f"{leg}={value if value is not None else 'none'}"
+                     for leg, value in frontier["frontiers"].items())
+    print(f"wrote {os.path.relpath(output)}: frontiers [{legs}] "
+          f"pass={frontier['pass']}")
+    return 0 if frontier["pass"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -45,17 +45,37 @@ def main(argv):
             metrics = payload.get("metrics")
             extra = (f", {len(metrics)} metric families"
                      if isinstance(metrics, dict) else "")
-            chaos_cells = [cell for cell in payload.get("cells", [])
-                           if "availability" in cell]
+            cells = payload.get("cells", [])
+            chaos_cells = [cell for cell in cells
+                           if cell.get("kind") == "cluster"
+                           and "availability" in cell]
             if chaos_cells:
                 shed = sum(cell.get("shed", 0) for cell in chaos_cells)
                 avail = min(cell["availability"] for cell in chaos_cells)
                 extra += (f", {len(chaos_cells)} chaos cells "
                           f"(min availability {avail:.4f}, {shed} shed)")
+            fleet_cells = [cell for cell in cells
+                           if cell.get("kind") == "fleet"]
+            if fleet_cells:
+                avail = min(cell["availability"] for cell in fleet_cells)
+                shed = sum(cell.get("shed", 0) for cell in fleet_cells)
+                cold = sum(cell.get("cold_starts", 0)
+                           for cell in fleet_cells)
+                extra += (f", {len(fleet_cells)} fleet cells "
+                          f"(min availability {avail:.4f}, {shed} shed, "
+                          f"{cold} cold starts)")
             scenarios = payload.get("chaos", {}).get("scenarios", [])
             if scenarios:
                 passed = sum(1 for s in scenarios if s.get("pass"))
                 extra += f", {passed}/{len(scenarios)} scenarios passed"
+            frontier = payload.get("fleet_frontier")
+            if frontier:
+                legs = ", ".join(
+                    f"{leg}={value if value is not None else 'none'}"
+                    for leg, value in frontier.get("frontiers",
+                                                   {}).items())
+                verdict = "pass" if frontier.get("pass") else "FAIL"
+                extra += f", frontier [{legs}] {verdict}"
             print(f"{path}: ok "
                   f"({payload['totals']['cells']} cells, "
                   f"schema v{payload['schema_version']}{extra})")

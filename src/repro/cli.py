@@ -8,6 +8,10 @@ Commands
 - ``session MODEL`` — consecutive requests on one instance, with or
   without Sec. VI interval preloading.
 - ``cluster MODEL`` — replay a Poisson trace against an autoscaled pool.
+- ``fleet MODEL`` — replay arrivals across a multi-region fleet with
+  warm-pool routing, per-tenant traffic classes and autoscaling;
+  ``--frontier`` runs the scale-to-zero frontier sweep instead
+  (Baseline vs PaSK vs PaSK+restore, gated on the p99 SLO).
 - ``chaos MODEL`` — the same stack under seeded fault injection:
   load/launch faults with retry, loader stalls with reactive fallback,
   and instance crash/restart churn during a trace replay.
@@ -119,6 +123,68 @@ def build_parser() -> argparse.ArgumentParser:
                               "(results are identical; this is a perf "
                               "comparison knob)")
 
+    fleet = sub.add_parser(
+        "fleet", help="replay a trace across a multi-region fleet with "
+                      "routing and autoscaling (--frontier runs the "
+                      "scale-to-zero frontier sweep instead)")
+    fleet.add_argument("model", nargs="?", default="res")
+    fleet.add_argument("--scheme", default="pask", choices=sorted(_SCHEMES))
+    fleet.add_argument("--devices", default="MI100,A100",
+                       help="comma-separated region devices, one region "
+                            "per entry (default: MI100,A100)")
+    fleet.add_argument("--routing", default="warm-first",
+                       choices=["single", "round-robin", "least-queue",
+                                "warm-first"])
+    fleet.add_argument("--autoscale", default="none",
+                       choices=["none", "fixed", "scale-to-zero",
+                                "reactive", "predictive"],
+                       help="autoscaling policy kind (default: none)")
+    fleet.add_argument("--idle-timeout", type=float, default=None,
+                       help="idle reclaim timeout override in seconds "
+                            "(required for scale-to-zero)")
+    fleet.add_argument("--min-instances", type=int, default=0,
+                       help="warm floor pinned during reclaim")
+    fleet.add_argument("--checkpoint-restore", action="store_true",
+                       help="scale-up spawns restore a warm-state "
+                            "checkpoint instead of cold-starting")
+    fleet.add_argument("--arrival", default="poisson",
+                       choices=["poisson", "diurnal", "bursty"])
+    fleet.add_argument("--rate", type=float, default=4.0,
+                       help="base arrival rate in requests per second")
+    fleet.add_argument("--peak-rate", type=float, default=None,
+                       help="diurnal peak / bursty burst rate "
+                            "(default: derived from --rate)")
+    fleet.add_argument("--period", type=float, default=None,
+                       help="diurnal period / burst spacing in seconds")
+    fleet.add_argument("--burst", type=float, default=None,
+                       help="burst duration in seconds (bursty arrival)")
+    fleet.add_argument("--duration", type=float, default=30.0)
+    fleet.add_argument("--seed", type=int, default=0)
+    fleet.add_argument("--tenants", type=int, default=1,
+                       help="split traffic into N tenant classes "
+                            "(independent seeded substreams at rate/N)")
+    fleet.add_argument("--instances", type=int, default=2,
+                       help="max instances per region")
+    fleet.add_argument("--keep-alive", type=float, default=0.5)
+    fleet.add_argument("--shed-wait", type=float, default=None,
+                       help="shed arrivals whose predicted queueing "
+                            "delay exceeds this bound")
+    fleet.add_argument("--crash-rate", type=float, default=0.0,
+                       help="per-second instance crash rate in every "
+                            "region (seeded)")
+    fleet.add_argument("--frontier", action="store_true",
+                       help="run the scale-to-zero frontier sweep "
+                            "(Baseline vs PaSK vs PaSK+restore) instead "
+                            "of a single scenario")
+    fleet.add_argument("--jobs", type=int, default=1,
+                       help="worker processes for --frontier")
+    fleet.add_argument("--device", default="MI100",
+                       choices=["MI100", "A100", "6900XT"],
+                       help="device for the --frontier sweep")
+    fleet.add_argument("--output", default=None, metavar="FILE",
+                       help="write the --frontier report (BENCH-shaped "
+                            "JSON with a 'fleet_frontier' section) here")
+
     validate = sub.add_parser(
         "validate", help="check the reproduction's acceptance criteria")
     validate.add_argument("--device", default="MI100",
@@ -206,6 +272,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="add the resilience dimension: every cluster "
                             "cell also runs with the default "
                             "ResiliencePolicy attached ('/rz' cells)")
+    bench.add_argument("--fleet", action="store_true",
+                       help="add the fleet dimension: multi-region "
+                            "scale-to-zero cells over a bursty arrival "
+                            "process ('fleet/' cells)")
 
     profile = sub.add_parser(
         "profile", help="measure simulator throughput: wall-clock per "
@@ -384,6 +454,7 @@ def _cmd_bench(args, out) -> int:
         cluster_scale=args.cluster_scale,
         collect_metrics=args.metrics,
         resilience=resilience,
+        fleet=args.fleet,
         echo=out,
     )
     return 0 if report.ok else 1
@@ -544,6 +615,141 @@ def _cmd_cluster(args, out) -> int:
     return 0
 
 
+def _cmd_fleet_frontier(args, out) -> int:
+    import json
+
+    from repro.runner import fleet_frontier_report
+
+    report = fleet_frontier_report(device=args.device, model=args.model,
+                                   jobs=args.jobs)
+    frontier = report["fleet_frontier"]
+    out(f"scale-to-zero frontier on {frontier['device']}/"
+        f"{frontier['model']}: p99 SLO {frontier['slo_p99_s'] * 1e3:.2f} ms "
+        f"({frontier['slo_multiplier']:g}x warm), availability >= "
+        f"{frontier['min_availability']:.4%}")
+    for row in frontier["sweep"]:
+        mark = "ok " if row["meets_slo"] else "MISS"
+        out(f"  [{mark}] {row['leg']:<12s} T={row['idle_timeout_s']:<4g} "
+            f"p99 {row['p99_s'] * 1e3:7.2f} ms  "
+            f"cold {row['cold_starts']:3d}  "
+            f"restores {row['restores']:3d}  "
+            f"avail {row['availability']:.4f}")
+    for leg, value in frontier["frontiers"].items():
+        shown = "none (never meets SLO)" if value is None else f"{value:g}s"
+        out(f"frontier[{leg}] = {shown}")
+    if args.output is not None:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        out(f"wrote {args.output}")
+    verdict = frontier["pass"]
+    out(f"verdict: {'PASS' if verdict else 'FAIL'} — PaSK "
+        f"{'shifts' if verdict else 'does not shift'} the scale-to-zero "
+        f"frontier below Baseline at equal availability")
+    return 0 if verdict else 1
+
+
+def _cmd_fleet(args, out) -> int:
+    from repro.fleet import (AutoscalePolicy, FleetConfig, FleetSimulator,
+                             RegionConfig, RoutingPolicy, merge_traces)
+    from repro.serving import bursty_trace, diurnal_trace
+    from repro.sim.faults import FaultPlan
+
+    if args.frontier:
+        return _cmd_fleet_frontier(args, out)
+
+    scheme = _SCHEMES[args.scheme]
+    devices = tuple(d.strip() for d in args.devices.split(",") if d.strip())
+    if not devices:
+        out("error: --devices needs at least one device")
+        return 2
+    if args.tenants < 1:
+        out("error: --tenants must be >= 1")
+        return 2
+
+    rate = args.rate / args.tenants
+    peak_default = {"diurnal": 4.0, "bursty": 8.0}.get(args.arrival, 1.0)
+    peak = ((args.peak_rate if args.peak_rate is not None
+             else peak_default * args.rate) / args.tenants)
+    period = (args.period if args.period is not None
+              else args.duration / (2.0 if args.arrival == "diurnal"
+                                    else 4.0))
+
+    def tenant_trace(seed: int):
+        if args.arrival == "poisson":
+            return poisson_trace(args.model, rate, args.duration, seed=seed)
+        if args.arrival == "diurnal":
+            return diurnal_trace(args.model, rate, peak, period,
+                                 args.duration, seed=seed)
+        burst_len = args.burst if args.burst is not None else period / 5.0
+        return bursty_trace(args.model, rate, peak, period, burst_len,
+                            args.duration, seed=seed)
+
+    names = (["default"] if args.tenants == 1
+             else [f"t{i}" for i in range(args.tenants)])
+    trace = merge_traces([(name, tenant_trace(args.seed + i))
+                          for i, name in enumerate(names)])
+
+    try:
+        autoscale = (None if args.autoscale == "none" else AutoscalePolicy(
+            kind=args.autoscale, min_instances=args.min_instances,
+            idle_timeout_s=args.idle_timeout,
+            checkpoint_restore=args.checkpoint_restore))
+    except ValueError as exc:
+        out(f"error: {exc}")
+        return 2
+    regions = tuple(
+        RegionConfig(name=f"r{i}", device=device, scheme=scheme,
+                     max_instances=args.instances,
+                     keep_alive_s=args.keep_alive,
+                     faults=(FaultPlan(seed=args.seed + 1000 + i,
+                                       crash_rate=args.crash_rate)
+                             if args.crash_rate > 0 else None))
+        for i, device in enumerate(devices))
+    config = FleetConfig(regions=regions,
+                         routing=RoutingPolicy(kind=args.routing),
+                         autoscale=autoscale, shed_wait_s=args.shed_wait)
+    stats = FleetSimulator(config).run(trace)
+
+    out(f"{stats.offered} requests of {args.model!r} under {scheme.label} "
+        f"across {len(regions)} region(s) "
+        f"({args.routing} routing, autoscale {args.autoscale}, "
+        f"{args.arrival} arrivals):")
+    for region in stats.regions.values():
+        line = (f"  {region.name} [{region.device}]: "
+                f"{region.requests} served, "
+                f"{region.cold_starts} cold, {region.warm_hits} warm, "
+                f"{region.restores} restores")
+        if region.failed or region.shed:
+            line += f", {region.failed} failed, {region.shed} shed"
+        if region.prewarm_spawns:
+            line += f", {region.prewarm_spawns} prewarmed"
+        if region.scale_ups or region.scale_downs:
+            line += (f", scale {region.scale_ups} up / "
+                     f"{region.scale_downs} down")
+        out(line)
+    if len(stats.tenants) > 1:
+        for tenant in stats.tenants.values():
+            out(f"  tenant {tenant.name}: {tenant.offered} offered, "
+                f"{tenant.failed} failed, {tenant.shed} shed, "
+                f"p99 {tenant.percentile(0.99) * 1e3:.2f} ms")
+    if stats.shed_unroutable:
+        out(f"  unroutable (all regions drained): "
+            f"{stats.shed_unroutable} shed")
+    out(f"  latency mean {stats.mean_latency * 1e3:.2f} ms, "
+        f"p50 {stats.percentile(0.5) * 1e3:.2f} ms, "
+        f"p99 {stats.percentile(0.99) * 1e3:.2f} ms")
+    out(f"  availability {stats.availability:.4%}"
+        + (" (delegated to the single-cluster fast path)"
+           if stats.delegated else ""))
+    if not stats.conserved:
+        out(f"error: conservation violated — offered {stats.offered} != "
+            f"completed {stats.completed} + failed {stats.failed} + "
+            f"shed {stats.shed}")
+        return 1
+    return 0
+
+
 def _cmd_chaos_resilience(args, out) -> int:
     import json
 
@@ -676,6 +882,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_session(args, out)
     if args.command == "cluster":
         return _cmd_cluster(args, out)
+    if args.command == "fleet":
+        return _cmd_fleet(args, out)
     if args.command == "validate":
         return _cmd_validate(args, out)
     if args.command == "chaos":

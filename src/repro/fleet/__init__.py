@@ -1,0 +1,26 @@
+"""Fleet layer: multi-region serving with routing and autoscaling.
+
+Composes :class:`~repro.serving.cluster.ClusterSimulator`-equivalent
+regions into one deterministic fleet replay.  See docs/FLEET.md.
+"""
+
+from repro.fleet.autoscale import AUTOSCALE_KINDS, AutoscalePolicy
+from repro.fleet.fleet import FleetConfig, FleetSimulator, FleetStats, \
+    FleetTrace, RegionConfig, RegionStats, TenantStats, merge_traces
+from repro.fleet.routing import ROUTING_POLICIES, RouterState, RoutingPolicy
+
+__all__ = [
+    "AUTOSCALE_KINDS",
+    "AutoscalePolicy",
+    "FleetConfig",
+    "FleetSimulator",
+    "FleetStats",
+    "FleetTrace",
+    "ROUTING_POLICIES",
+    "RegionConfig",
+    "RegionStats",
+    "RouterState",
+    "RoutingPolicy",
+    "TenantStats",
+    "merge_traces",
+]

@@ -1,0 +1,780 @@
+"""Multi-region fleet simulator: routing + autoscaling above clusters.
+
+The paper's economic claim — PASK-style proactive kernel loading makes
+cold starts cheap enough to change how aggressively capacity can be
+scaled down — is only measurable *above* the single-cluster level.
+:class:`FleetSimulator` composes several regions (each the moral
+equivalent of one :class:`~repro.serving.cluster.ClusterSimulator`
+pool, possibly on a different device), routes a merged multi-tenant
+arrival stream across them (:mod:`repro.fleet.routing`), and lets an
+autoscaling policy (:mod:`repro.fleet.autoscale`) manage per-region
+capacity — with every scale-up billed through the existing cold-start /
+checkpoint-restore accounting.
+
+Two execution paths, one contract
+---------------------------------
+- **Delegation**: a single-region fleet under inert routing/autoscaling
+  (:attr:`FleetConfig.is_single_cluster`) with a single tenant is run by
+  handing the trace straight to ``ClusterSimulator`` — byte-identical to
+  the bare cluster by construction, fast-forward and resilience
+  included (golden-pinned).
+- **General**: anything else replays arrival-by-arrival.  The
+  per-region scheduling arithmetic mirrors the cluster stepping loop
+  operation-for-operation, so a single-region fleet on the general path
+  produces the same latencies/counters as
+  ``ClusterSimulator(fast_forward=False)`` (equivalence-pinned).
+
+Accounting invariant (property-pinned): every offered request is
+exactly one of completed, failed, or shed —
+``stats.offered == stats.completed + stats.failed + stats.shed``.
+
+Scope notes: non-inert :class:`ResiliencePolicy` is a cluster-level
+feature and is honoured on the delegation path only (the general path
+rejects it rather than silently dropping guarantees); crashed instances
+always restart *cold* — checkpoint restore applies to autoscaler
+spawns, restore-on-crash belongs to the resilience layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.schemes import Scheme
+from repro.fleet.autoscale import AutoscalePolicy, AutoscalerState
+from repro.fleet.routing import RouterState, RoutingPolicy
+from repro.serving.cluster import ClusterConfig, ClusterSimulator, \
+    ClusterStats, _Instance
+from repro.serving.metrics import percentile as nearest_rank_percentile
+from repro.serving.requests import RequestTrace
+from repro.serving.resilience import ResiliencePolicy
+from repro.serving.server import InferenceServer
+from repro.sim.faults import FaultCounters, FaultInjector, FaultPlan
+from repro.sim.trace import RETENTION_POLICIES, Phase, TraceRecorder
+
+__all__ = ["RegionConfig", "FleetConfig", "FleetTrace", "merge_traces",
+           "RegionStats", "TenantStats", "FleetStats", "FleetSimulator"]
+
+
+# ----------------------------------------------------------------------
+# Configuration
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class RegionConfig:
+    """One region: an autoscaled instance pool on one device."""
+
+    name: str
+    device: str = "MI100"
+    scheme: Scheme = Scheme.BASELINE
+    max_instances: int = 8
+    keep_alive_s: float = 10.0
+    faults: Optional[FaultPlan] = None
+    # Maintenance drains: half-open [start, end) windows during which
+    # the region accepts no new requests (the router must send traffic
+    # elsewhere — the no-starvation property).
+    drain_windows: Tuple[Tuple[float, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("region needs a name")
+        if self.max_instances <= 0:
+            raise ValueError("need at least one instance")
+        if self.keep_alive_s < 0:
+            raise ValueError("keep-alive must be non-negative")
+        for window in self.drain_windows:
+            if len(window) != 2 or window[0] < 0 or window[1] <= window[0]:
+                raise ValueError(f"bad drain window {window!r}; "
+                                 "need 0 <= start < end")
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Fleet policy knobs."""
+
+    regions: Tuple[RegionConfig, ...]
+    routing: RoutingPolicy = RoutingPolicy()
+    autoscale: Optional[AutoscalePolicy] = None
+    # Load shedding: reject an arrival whose routed region predicts a
+    # queueing delay above this bound (well-defined error, counted as
+    # shed — same contract as admission control in the resilience
+    # layer).  ``None`` disables shedding.
+    shed_wait_s: Optional[float] = None
+    trace_retention: Optional[str] = None
+    trace_ring: int = 1024
+    fast_forward: bool = True
+    # Honoured on the delegation path only (see module docstring).
+    resilience: Optional[ResiliencePolicy] = None
+
+    def __post_init__(self) -> None:
+        if not self.regions:
+            raise ValueError("fleet needs at least one region")
+        names = [r.name for r in self.regions]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate region names: {names}")
+        if self.shed_wait_s is not None and self.shed_wait_s < 0:
+            raise ValueError("shed_wait_s must be non-negative")
+        if (self.trace_retention is not None
+                and self.trace_retention not in RETENTION_POLICIES):
+            raise ValueError(
+                f"unknown trace retention {self.trace_retention!r}; "
+                f"expected None or one of {RETENTION_POLICIES}")
+        if self.trace_ring <= 0:
+            raise ValueError("trace_ring must be positive")
+
+    @property
+    def is_single_cluster(self) -> bool:
+        """Whether this fleet is observationally a bare cluster: one
+        region, no drains, inert routing and autoscaling, no shedding —
+        the delegation-path precondition."""
+        return (len(self.regions) == 1
+                and not self.regions[0].drain_windows
+                and self.routing.is_inert
+                and (self.autoscale is None or self.autoscale.is_inert)
+                and self.shed_wait_s is None)
+
+
+# ----------------------------------------------------------------------
+# Multi-tenant traces
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class FleetTrace:
+    """A merged arrival stream tagged with per-request tenant indices."""
+
+    model: str
+    arrivals: Tuple[float, ...]
+    tenants: Tuple[int, ...]
+    tenant_names: Tuple[str, ...] = ("default",)
+    batch: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.arrivals:
+            raise ValueError("a trace needs at least one request")
+        if len(self.tenants) != len(self.arrivals):
+            raise ValueError("tenants must tag every arrival")
+        if any(t < 0 for t in self.arrivals):
+            raise ValueError("negative arrival time")
+        if list(self.arrivals) != sorted(self.arrivals):
+            raise ValueError("arrivals must be sorted")
+        if not self.tenant_names:
+            raise ValueError("need at least one tenant name")
+        if len(set(self.tenant_names)) != len(self.tenant_names):
+            raise ValueError(f"duplicate tenant names: {self.tenant_names}")
+        n = len(self.tenant_names)
+        if any(not 0 <= t < n for t in self.tenants):
+            raise ValueError("tenant index out of range")
+        if self.batch <= 0:
+            raise ValueError("batch must be positive")
+
+    def __len__(self) -> int:
+        return len(self.arrivals)
+
+    @classmethod
+    def from_request_trace(cls, trace: RequestTrace,
+                           tenant: str = "default") -> "FleetTrace":
+        return cls(trace.model, trace.arrivals,
+                   (0,) * len(trace.arrivals), (tenant,), trace.batch)
+
+    def to_request_trace(self) -> RequestTrace:
+        return RequestTrace(self.model, self.arrivals, self.batch)
+
+
+def merge_traces(named: Sequence[Tuple[str, RequestTrace]]) -> FleetTrace:
+    """Merge per-tenant traces into one :class:`FleetTrace`.
+
+    Ordering is total and deterministic: by arrival time, then by the
+    tenant's position in ``named``, then by sequence within the tenant's
+    own trace — so replays are stable even when tenants collide on the
+    same timestamp (every seeded trace starts at t=0).
+    """
+    if not named:
+        raise ValueError("need at least one (tenant, trace) pair")
+    model = named[0][1].model
+    batch = named[0][1].batch
+    for name, trace in named:
+        if trace.model != model or trace.batch != batch:
+            raise ValueError("all tenant traces must share model and batch")
+    merged = sorted(
+        ((t, tenant_index, seq)
+         for tenant_index, (_, trace) in enumerate(named)
+         for seq, t in enumerate(trace.arrivals)),
+        key=lambda item: item)
+    return FleetTrace(model,
+                      tuple(item[0] for item in merged),
+                      tuple(item[1] for item in merged),
+                      tuple(name for name, _ in named),
+                      batch)
+
+
+# ----------------------------------------------------------------------
+# Statistics
+# ----------------------------------------------------------------------
+
+@dataclass
+class RegionStats:
+    """Outcome of one replay as seen by a single region."""
+
+    name: str
+    device: str
+    latencies: List[float] = field(default_factory=list)
+    cold_starts: int = 0
+    warm_hits: int = 0
+    restores: int = 0          # scale-up spawns served from a checkpoint
+    restore_s: float = 0.0     # total restore spin-up paid on-path
+    queue_waits: List[float] = field(default_factory=list)
+    failed: int = 0
+    shed: int = 0              # load-shed at this region (fleet policy)
+    prewarm_spawns: int = 0    # predictive spawns off the request path
+    prewarm_restores: int = 0  # ... of which came from a checkpoint
+    prewarm_s: float = 0.0     # off-path spin-up time the fleet paid
+    scale_ups: int = 0
+    scale_downs: int = 0
+    faults: FaultCounters = field(default_factory=FaultCounters)
+    trace: Optional[TraceRecorder] = None
+    fast_forwarded: int = 0
+
+    @classmethod
+    def from_cluster(cls, name: str, device: str,
+                     stats: ClusterStats) -> "RegionStats":
+        return cls(name=name, device=device, latencies=stats.latencies,
+                   cold_starts=stats.cold_starts,
+                   warm_hits=stats.warm_hits,
+                   queue_waits=stats.queue_waits, failed=stats.failed,
+                   shed=stats.shed, faults=stats.faults,
+                   trace=stats.trace,
+                   fast_forwarded=stats.fast_forwarded)
+
+    @property
+    def completed(self) -> int:
+        return len(self.latencies)
+
+    @property
+    def requests(self) -> int:
+        return len(self.latencies) + self.failed + self.shed
+
+    @property
+    def availability(self) -> float:
+        finished = self.completed + self.failed
+        if not finished:
+            return 1.0
+        return self.completed / finished
+
+    @property
+    def mean_latency(self) -> float:
+        if not self.latencies:
+            return 0.0
+        return sum(self.latencies) / len(self.latencies)
+
+    def percentile(self, q: float) -> float:
+        if not 0 <= q <= 1:
+            raise ValueError(f"quantile out of range: {q}")
+        if not self.latencies:
+            return 0.0
+        return nearest_rank_percentile(self.latencies, q)
+
+
+@dataclass
+class TenantStats:
+    """Per-traffic-class outcome accounting."""
+
+    name: str
+    offered: int = 0
+    failed: int = 0
+    shed: int = 0
+    latencies: List[float] = field(default_factory=list)
+
+    @property
+    def completed(self) -> int:
+        return len(self.latencies)
+
+    @property
+    def availability(self) -> float:
+        finished = self.completed + self.failed
+        if not finished:
+            return 1.0
+        return self.completed / finished
+
+    @property
+    def mean_latency(self) -> float:
+        if not self.latencies:
+            return 0.0
+        return sum(self.latencies) / len(self.latencies)
+
+    def percentile(self, q: float) -> float:
+        if not 0 <= q <= 1:
+            raise ValueError(f"quantile out of range: {q}")
+        if not self.latencies:
+            return 0.0
+        return nearest_rank_percentile(self.latencies, q)
+
+
+@dataclass
+class FleetStats:
+    """Outcome of one fleet replay: per-region, per-tenant, aggregate."""
+
+    offered: int = 0
+    regions: Dict[str, RegionStats] = field(default_factory=dict)
+    tenants: Dict[str, TenantStats] = field(default_factory=dict)
+    # Arrivals dropped because *no* region was routable (all drained);
+    # distinct from per-region load shedding.
+    shed_unroutable: int = 0
+    # Whether the replay took the single-cluster delegation path.
+    delegated: bool = False
+
+    @property
+    def completed(self) -> int:
+        return sum(r.completed for r in self.regions.values())
+
+    @property
+    def failed(self) -> int:
+        return sum(r.failed for r in self.regions.values())
+
+    @property
+    def shed(self) -> int:
+        return (sum(r.shed for r in self.regions.values())
+                + self.shed_unroutable)
+
+    @property
+    def cold_starts(self) -> int:
+        return sum(r.cold_starts for r in self.regions.values())
+
+    @property
+    def warm_hits(self) -> int:
+        return sum(r.warm_hits for r in self.regions.values())
+
+    @property
+    def restores(self) -> int:
+        return sum(r.restores for r in self.regions.values())
+
+    @property
+    def prewarm_spawns(self) -> int:
+        return sum(r.prewarm_spawns for r in self.regions.values())
+
+    @property
+    def prewarm_s(self) -> float:
+        return sum(r.prewarm_s for r in self.regions.values())
+
+    @property
+    def fast_forwarded(self) -> int:
+        return sum(r.fast_forwarded for r in self.regions.values())
+
+    @property
+    def latencies(self) -> List[float]:
+        out: List[float] = []
+        for region in self.regions.values():
+            out.extend(region.latencies)
+        return out
+
+    @property
+    def conserved(self) -> bool:
+        """The fleet accounting invariant: every offered request is
+        exactly one of completed, failed, or shed."""
+        return self.offered == self.completed + self.failed + self.shed
+
+    @property
+    def availability(self) -> float:
+        """Shed-adjusted availability (same contract as
+        :attr:`~repro.serving.cluster.ClusterStats.availability`)."""
+        finished = self.completed + self.failed
+        if not finished:
+            return 1.0
+        return self.completed / finished
+
+    @property
+    def mean_latency(self) -> float:
+        total = n = 0
+        acc = 0.0
+        for region in self.regions.values():
+            acc += sum(region.latencies)
+            n += len(region.latencies)
+        return acc / n if n else 0.0
+
+    def percentile(self, q: float) -> float:
+        if not 0 <= q <= 1:
+            raise ValueError(f"quantile out of range: {q}")
+        merged = self.latencies
+        if not merged:
+            return 0.0
+        return nearest_rank_percentile(merged, q)
+
+
+# ----------------------------------------------------------------------
+# Region runtime state
+# ----------------------------------------------------------------------
+
+class _RegionState:
+    """Mutable per-replay state of one region.
+
+    The scheduling arithmetic in :meth:`serve` mirrors the cluster
+    stepping loop (`ClusterSimulator.run`) operation-for-operation —
+    same reclaim predicate, same instance pick, same ``max(now,
+    busy_until)`` start, same crash/reroute bookkeeping — so that a
+    single-region fleet on the general path reproduces the bare
+    cluster's numbers exactly.  On top it adds what the fleet layer
+    owns: an autoscaled instance cap, a keep-alive override, a warm
+    floor (``min_instances``), checkpoint-restore billing for scale-up
+    spawns, and off-path pre-warming.
+    """
+
+    def __init__(self, config: RegionConfig, sim: ClusterSimulator,
+                 policy: AutoscalePolicy, model: str, batch: int,
+                 retention: Optional[str], ring: int) -> None:
+        self.config = config
+        self.actor = f"region:{config.name}"
+        self.cold = sim._cold_time(model, batch)
+        self.warm = sim._warm_time(model, batch)
+        self.cold_extra = (self.cold - self.warm
+                           if self.cold > self.warm else 0.0)
+        self.restore_cost = (policy.restore_overhead_s
+                             + self.cold_extra / policy.restore_speedup)
+        self.policy = policy
+        self.scaler = AutoscalerState(policy, config.max_instances)
+        self.keep_alive = self.scaler.keep_alive(config.keep_alive_s)
+        self.injector: Optional[FaultInjector] = (
+            config.faults.injector() if config.faults is not None else None)
+        self.instances: List[_Instance] = []
+        self.ever_warm = False   # a checkpoint exists once anything ran
+        self.stats = RegionStats(name=config.name, device=config.device)
+        if self.injector is not None:
+            self.stats.faults = self.injector.counters
+        self.recorder: Optional[TraceRecorder] = None
+        if retention is not None:
+            self.recorder = TraceRecorder(retention=retention,
+                                          ring_size=ring)
+            self.stats.trace = self.recorder
+
+    # -- deterministic query surface (used by routing + autoscaling) ---
+
+    def drained(self, now: float) -> bool:
+        return any(start <= now < end
+                   for start, end in self.config.drain_windows)
+
+    def routable(self, now: float) -> bool:
+        """A region is routable unless drained: capacity can always be
+        spawned (the arrival pays the cold start), so only an explicit
+        drain takes a region out of rotation."""
+        return not self.drained(now)
+
+    def _live(self, now: float) -> List[_Instance]:
+        """The instances that survive a reclaim at ``now`` (non-mutating
+        twin of :meth:`_reclaim`, including the warm floor)."""
+        keep = [i for i in self.instances
+                if i.busy_until > now
+                or now - i.last_used <= self.keep_alive]
+        floor = min(self.policy.min_instances, self.scaler.cap)
+        if len(keep) < floor and len(self.instances) > len(keep):
+            kept = set(map(id, keep))
+            expired = [i for i in self.instances if id(i) not in kept]
+            expired.sort(key=lambda i: i.last_used, reverse=True)
+            kept.update(map(id, expired[:floor - len(keep)]))
+            keep = [i for i in self.instances if id(i) in kept]
+        return keep
+
+    def live_count(self, now: float) -> int:
+        return len(self._live(now))
+
+    def has_warm_idle(self, now: float) -> bool:
+        return any(i.busy_until <= now and i.warm for i in self._live(now))
+
+    def predicted_wait(self, now: float) -> float:
+        """Queueing delay the next arrival would see: zero when an idle
+        warm instance or a spawn slot exists, else the wait for the
+        earliest instance to free up."""
+        live = self._live(now)
+        if any(i.busy_until <= now and i.warm for i in live):
+            return 0.0
+        if len(live) < self.scaler.cap:
+            return 0.0
+        earliest = min(i.busy_until for i in live)
+        return earliest - now if earliest > now else 0.0
+
+    # -- mutation ------------------------------------------------------
+
+    def _reclaim(self, now: float) -> None:
+        self.instances[:] = self._live(now)
+
+    def prewarm(self, count: int, now: float) -> None:
+        """Spawn ``count`` instances off the request path.  The fleet
+        (not any request) pays the spin-up — the full cold-start extra,
+        or the checkpoint restore cost when one exists — and the
+        instance joins the pool warm, busy until the spin-up ends."""
+        for _ in range(count):
+            if len(self.instances) >= self.scaler.cap:
+                break
+            from_checkpoint = (self.policy.checkpoint_restore
+                               and self.ever_warm)
+            cost = self.restore_cost if from_checkpoint else self.cold_extra
+            instance = _Instance(busy_until=now + cost,
+                                 last_used=now + cost, warm=True)
+            self.instances.append(instance)
+            self.ever_warm = True
+            self.stats.prewarm_spawns += 1
+            self.stats.prewarm_s += cost
+            if from_checkpoint:
+                self.stats.prewarm_restores += 1
+            if self.recorder is not None:
+                self.recorder.record(now, now + cost, self.actor,
+                                     Phase.LOAD, "prewarm")
+
+    def serve(self, arrival: float) -> bool:
+        """Schedule one request; returns True iff it completed.
+
+        Mirrors the cluster stepping loop, with two fleet extensions:
+        the spawn cap is the autoscaler's breathing cap (not the static
+        ``max_instances``), and a spawn backed by a warm-state
+        checkpoint serves at restore cost instead of the full cold
+        start (billed as a *restore*, never as a cold start).
+        """
+        stats = self.stats
+        recorder = self.recorder
+        injector = self.injector
+        plan = self.config.faults
+        now = arrival
+        attempts = 0
+        while True:
+            self._reclaim(now)
+            instance = self._pick(now)
+            restored = False
+            if instance is None:
+                if len(self.instances) < self.scaler.cap:
+                    instance = _Instance()
+                    self.instances.append(instance)
+                    restored = (self.policy.checkpoint_restore
+                                and self.ever_warm)
+                else:
+                    instance = min(self.instances,
+                                   key=lambda i: i.busy_until)
+            start = max(now, instance.busy_until)
+            if attempts == 0:
+                stats.queue_waits.append(start - arrival)
+            warm_attempt = instance.warm
+            if warm_attempt:
+                service = self.warm
+            elif restored:
+                service = self.restore_cost + self.warm
+            else:
+                service = self.cold
+            crash_at = (injector.crash_point(service)
+                        if injector is not None else None)
+            if crash_at is None:
+                if warm_attempt:
+                    stats.warm_hits += 1
+                elif restored:
+                    stats.restores += 1
+                    stats.restore_s += self.restore_cost
+                else:
+                    stats.cold_starts += 1
+                finish = start + service
+                instance.busy_until = finish
+                instance.last_used = finish
+                instance.warm = True
+                self.ever_warm = True
+                stats.latencies.append(finish - arrival)
+                if recorder is not None:
+                    if warm_attempt:
+                        recorder.record(start, finish, self.actor,
+                                        Phase.EXEC, "serve")
+                    else:
+                        boundary = start + (service - self.warm
+                                            if service > self.warm else 0.0)
+                        recorder.record(start, boundary, self.actor,
+                                        Phase.LOAD,
+                                        "restore" if restored
+                                        else "cold-start")
+                        recorder.record(boundary, finish, self.actor,
+                                        Phase.EXEC, "serve")
+                if injector is not None:
+                    stats.faults.completed_requests += 1
+                return True
+            stats.faults.crashes += 1
+            crash_time = start + crash_at
+            instance.busy_until = crash_time + plan.restart_delay_s
+            instance.last_used = instance.busy_until
+            instance.warm = False
+            if recorder is not None:
+                recorder.record(start, crash_time, self.actor,
+                                Phase.FAULT, "crash")
+            attempts += 1
+            if attempts > plan.max_reroutes:
+                stats.failed += 1
+                stats.faults.failed_requests += 1
+                return False
+            stats.faults.reroutes += 1
+            now = crash_time
+
+    def _pick(self, now: float) -> Optional[_Instance]:
+        """The warm instance free at ``now`` that has idled longest
+        (identical to ``ClusterSimulator._pick_instance``)."""
+        free = [i for i in self.instances
+                if i.busy_until <= now and i.warm]
+        if not free:
+            return None
+        return min(free, key=lambda i: i.last_used)
+
+
+# ----------------------------------------------------------------------
+# The simulator
+# ----------------------------------------------------------------------
+
+# Per-device server cache: fleets instantiate regions by device name;
+# building one InferenceServer per device per process keeps replays fast
+# and lets the cluster-level service-time memo (_SERVICE_TIMES) be
+# shared across every fleet and cluster in the process.
+_FLEET_SERVERS: Dict[str, InferenceServer] = {}
+
+
+def _server_for(device: str,
+                override: Optional[Dict[str, InferenceServer]]) -> \
+        InferenceServer:
+    if override is not None and device in override:
+        return override[device]
+    if device not in _FLEET_SERVERS:
+        _FLEET_SERVERS[device] = InferenceServer(device)
+    return _FLEET_SERVERS[device]
+
+
+class FleetSimulator:
+    """Replays a (multi-tenant) trace against a multi-region fleet."""
+
+    def __init__(self, config: FleetConfig, metrics=None, spans=None,
+                 servers: Optional[Dict[str, InferenceServer]] = None
+                 ) -> None:
+        self.config = config
+        self.metrics = metrics
+        self.spans = spans
+        self._servers = servers
+        if (config.resilience is not None
+                and not config.resilience.is_inert
+                and not config.is_single_cluster):
+            raise ValueError(
+                "a non-inert resilience policy is honoured on the "
+                "single-cluster delegation path only; attach it to the "
+                "regions' ClusterSimulator runs or use one region with "
+                "inert routing/autoscaling")
+
+    def run(self, trace) -> FleetStats:
+        """Replay ``trace`` (a :class:`RequestTrace` or
+        :class:`FleetTrace`) and collect fleet statistics."""
+        if isinstance(trace, RequestTrace):
+            trace = FleetTrace.from_request_trace(trace)
+        config = self.config
+        if config.is_single_cluster and len(trace.tenant_names) == 1:
+            return self._run_delegated(trace)
+        return self._run_general(trace)
+
+    # -- delegation path ----------------------------------------------
+
+    def _run_delegated(self, trace: FleetTrace) -> FleetStats:
+        region = self.config.regions[0]
+        cluster_config = ClusterConfig(
+            scheme=region.scheme,
+            max_instances=region.max_instances,
+            keep_alive_s=region.keep_alive_s,
+            faults=region.faults,
+            trace_retention=self.config.trace_retention,
+            trace_ring=self.config.trace_ring,
+            fast_forward=self.config.fast_forward,
+            resilience=self.config.resilience)
+        sim = ClusterSimulator(_server_for(region.device, self._servers),
+                               cluster_config, metrics=None,
+                               spans=self.spans)
+        cluster_stats = sim.run(trace.to_request_trace())
+        stats = FleetStats(offered=len(trace), delegated=True)
+        stats.regions[region.name] = RegionStats.from_cluster(
+            region.name, region.device, cluster_stats)
+        tenant = TenantStats(name=trace.tenant_names[0],
+                             offered=len(trace),
+                             failed=cluster_stats.failed,
+                             shed=cluster_stats.shed,
+                             latencies=cluster_stats.latencies)
+        stats.tenants[tenant.name] = tenant
+        self._feed_metrics(stats)
+        return stats
+
+    # -- general path --------------------------------------------------
+
+    def _run_general(self, trace: FleetTrace) -> FleetStats:
+        config = self.config
+        policy = config.autoscale if config.autoscale is not None \
+            else AutoscalePolicy()
+        regions: List[_RegionState] = []
+        for region_config in config.regions:
+            sim = ClusterSimulator(
+                _server_for(region_config.device, self._servers),
+                ClusterConfig(scheme=region_config.scheme,
+                              max_instances=region_config.max_instances,
+                              keep_alive_s=region_config.keep_alive_s))
+            state = _RegionState(region_config, sim, policy,
+                                 trace.model, trace.batch,
+                                 config.trace_retention, config.trace_ring)
+            if self.spans is not None and state.recorder is not None:
+                self.spans.bind(state.recorder)
+            regions.append(state)
+        stats = FleetStats(offered=len(trace))
+        tenants = [TenantStats(name=name) for name in trace.tenant_names]
+        router = RouterState(config.routing)
+        for arrival, tenant_index in zip(trace.arrivals, trace.tenants):
+            tenant = tenants[tenant_index]
+            tenant.offered += 1
+            for region in regions:
+                region.scaler.idle_tick(region, arrival)
+            choice = router.choose(regions, arrival)
+            if choice is None:
+                stats.shed_unroutable += 1
+                tenant.shed += 1
+                continue
+            region = regions[choice]
+            if (config.shed_wait_s is not None
+                    and region.predicted_wait(arrival) > config.shed_wait_s):
+                region.stats.shed += 1
+                tenant.shed += 1
+                continue
+            extra = region.scaler.observe_arrival(region, arrival)
+            if extra:
+                region.prewarm(extra, arrival)
+            if region.serve(arrival):
+                tenant.latencies.append(region.stats.latencies[-1])
+            else:
+                tenant.failed += 1
+        for region in regions:
+            stats.regions[region.config.name] = region.stats
+        for tenant in tenants:
+            stats.tenants[tenant.name] = tenant
+        self._feed_metrics(stats)
+        return stats
+
+    # -- telemetry -----------------------------------------------------
+
+    def _feed_metrics(self, stats: FleetStats) -> None:
+        """Feed the metrics registry once from the collected stats (the
+        same fed-at-the-end pattern the cluster uses, so the scheduling
+        loops stay untouched)."""
+        if self.metrics is None:
+            return
+        requests = self.metrics.counter(
+            "fleet_requests_total", "Fleet requests by outcome and region")
+        scale = self.metrics.counter(
+            "fleet_scale_events_total",
+            "Autoscaler actions by kind and region")
+        latency = self.metrics.histogram(
+            "fleet_latency_seconds", "Fleet end-to-end request latency")
+        for name, region in stats.regions.items():
+            for outcome, value in (("warm", region.warm_hits),
+                                   ("cold", region.cold_starts),
+                                   ("restore", region.restores),
+                                   ("failed", region.failed),
+                                   ("shed", region.shed)):
+                if value:
+                    requests.inc(value, outcome=outcome, region=name)
+            for kind, value in (("up", region.scale_ups),
+                                ("down", region.scale_downs),
+                                ("prewarm", region.prewarm_spawns)):
+                if value:
+                    scale.inc(value, kind=kind, region=name)
+            series = latency.labels(region=name)
+            for value in region.latencies:
+                series.observe(value)
+        if stats.shed_unroutable:
+            requests.inc(stats.shed_unroutable,
+                         outcome="unroutable", region="-")

@@ -28,6 +28,7 @@ from repro.runner.cache import CacheCounters, ResultCache, task_key
 from repro.runner.chaos import ChaosScenario, chaos_report, chaos_scenarios
 from repro.runner.engine import (RunStats, TaskOutcome, prewarm_suite,
                                  run_tasks)
+from repro.runner.fleetbench import fleet_frontier_report, frontier_tasks
 from repro.runner.grid import bench_grid, experiment_grid
 from repro.runner.profile import (ClusterProfile, EventKernelProfile,
                                   TelemetryProfile, profile_cluster,
@@ -35,6 +36,8 @@ from repro.runner.profile import (ClusterProfile, EventKernelProfile,
 from repro.runner.schema import BENCH_SCHEMA, validate_report
 from repro.runner.tasks import (ExperimentTask, cluster_stats_from_payload,
                                 cluster_stats_to_payload, execute_task,
+                                fleet_stats_from_payload,
+                                fleet_stats_to_payload,
                                 result_from_payload, result_to_payload)
 
 __all__ = [
@@ -44,6 +47,10 @@ __all__ = [
     "result_from_payload",
     "cluster_stats_to_payload",
     "cluster_stats_from_payload",
+    "fleet_stats_to_payload",
+    "fleet_stats_from_payload",
+    "fleet_frontier_report",
+    "frontier_tasks",
     "ResultCache",
     "CacheCounters",
     "task_key",

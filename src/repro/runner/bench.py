@@ -30,6 +30,7 @@ from repro.runner.engine import RunStats, TaskOutcome, run_tasks
 from repro.runner.grid import bench_grid
 from repro.runner.schema import SCHEMA_VERSION, validate_report
 from repro.runner.tasks import (ExperimentTask, cluster_stats_from_payload,
+                                fleet_stats_from_payload,
                                 result_from_payload)
 
 __all__ = ["BenchReport", "build_report", "write_report", "compare_reports",
@@ -90,6 +91,36 @@ def _cluster_cell(task: ExperimentTask, outcome: TaskOutcome
     return cell
 
 
+def _fleet_cell(task: ExperimentTask, outcome: TaskOutcome
+                ) -> Dict[str, Any]:
+    stats = fleet_stats_from_payload(outcome.payload)
+    return {
+        "id": task.cell_id, "kind": "fleet",
+        "device": ",".join(task.region_devices),
+        "model": task.model, "scheme": task.scheme, "batch": task.batch,
+        "cache_hit": outcome.cached,
+        "regions": len(stats.regions),
+        "routing": task.routing,
+        "autoscale": (task.autoscale.kind if task.autoscale is not None
+                      else "fixed"),
+        "arrival": task.arrival,
+        "offered": stats.offered, "completed": stats.completed,
+        "failed": stats.failed, "shed": stats.shed,
+        "cold_starts": stats.cold_starts, "warm_hits": stats.warm_hits,
+        "restores": stats.restores,
+        "prewarm_spawns": stats.prewarm_spawns,
+        "availability": stats.availability,
+        "mean_latency_s": stats.mean_latency,
+        "p50_s": stats.percentile(0.50), "p99_s": stats.percentile(0.99),
+        "fast_forwarded": stats.fast_forwarded,
+        "delegated": stats.delegated,
+    }
+
+
+_CELL_BUILDERS = {"cold": _serve_cell, "hot": _serve_cell,
+                  "cluster": _cluster_cell, "fleet": _fleet_cell}
+
+
 def _summary_speedups(cells: List[Dict[str, Any]]) -> Dict[str, float]:
     """Average cold-start speedup over Baseline per scheme, across every
     (device, model, batch) group that has a Baseline cell."""
@@ -121,8 +152,7 @@ def build_report(grid: str, outcomes: Dict[ExperimentTask, TaskOutcome],
     cells: List[Dict[str, Any]] = []
     metric_dumps: List[Dict[str, Any]] = []
     for task, outcome in outcomes.items():
-        builder = _cluster_cell if task.kind == "cluster" else _serve_cell
-        cells.append(builder(task, outcome))
+        cells.append(_CELL_BUILDERS[task.kind](task, outcome))
         dump = outcome.payload.get("metrics")
         if dump:
             metric_dumps.append(dump)
@@ -183,7 +213,8 @@ def compare_reports(current: Dict[str, Any], baseline: Dict[str, Any],
     regressions: List[str] = []
     base_cells = {cell["id"]: cell for cell in baseline.get("cells", [])}
     metrics_by_kind = {"cold": ("total_time_s",), "hot": ("total_time_s",),
-                       "cluster": ("mean_latency_s", "p99_s")}
+                       "cluster": ("mean_latency_s", "p99_s"),
+                       "fleet": ("mean_latency_s", "p99_s")}
     for cell in current.get("cells", []):
         base = base_cells.get(cell["id"])
         if base is None or base.get("kind") != cell["kind"]:
@@ -198,7 +229,7 @@ def compare_reports(current: Dict[str, Any], baseline: Dict[str, Any],
                     f"{cell['id']}: {metric} {old:.6g} -> {new:.6g} "
                     f"(+{(new / old - 1.0):.1%}, tolerance "
                     f"{tolerance:.1%})")
-        if cell["kind"] == "cluster":
+        if cell["kind"] in ("cluster", "fleet"):
             old = base.get("availability")
             new = cell.get("availability")
             if (old is not None and new is not None and old > 0
@@ -228,6 +259,7 @@ def run_bench(grid: str = "quick", jobs: int = 1,
               cluster_scale: float = 1.0,
               collect_metrics: bool = False,
               resilience=None,
+              fleet: bool = False,
               echo: Optional[Callable[[str], None]] = None) -> BenchReport:
     """Run one full bench cycle: grid → engine → report (→ gate).
 
@@ -239,7 +271,10 @@ def run_bench(grid: str = "quick", jobs: int = 1,
     telemetry registries and adds a merged ``metrics`` section to the
     report.  ``resilience`` (a
     :class:`~repro.serving.resilience.ResiliencePolicy`) adds the
-    resilience dimension to the cluster cells.
+    resilience dimension to the cluster cells.  ``fleet`` adds the
+    fleet dimension (``fleet/...`` cells): multi-region replays with
+    warm-first routing and scale-to-zero autoscaling per headline
+    scheme.
     """
     def say(text: str = "") -> None:
         if echo is not None:
@@ -248,7 +283,7 @@ def run_bench(grid: str = "quick", jobs: int = 1,
     tasks = bench_grid(grid, trace_retention=trace_retention,
                        cluster_scale=cluster_scale,
                        collect_metrics=collect_metrics,
-                       resilience=resilience)
+                       resilience=resilience, fleet=fleet)
     cache = ResultCache(cache_dir, read=use_cache, write=True)
     say(f"repro bench: grid {grid!r}, {len(tasks)} cells, jobs={jobs}, "
         f"cache {'on' if use_cache else 'bypassed (writes only)'} "

@@ -1,0 +1,159 @@
+"""The ``repro fleet --frontier`` comparison harness.
+
+The paper's economic claim, measured: how aggressively can a region
+scale to zero before the cold-start exposure breaks the latency SLO?
+A scale-to-zero autoscaler with idle timeout ``T`` reclaims every
+instance that sits idle for ``T`` seconds, so sparse traffic keeps
+re-paying the spin-up cost of the configured loading scheme.  The
+**frontier** of a scheme is the smallest swept ``T`` whose replay still
+meets the p99 SLO at the availability gate — smaller is better (less
+idle capacity held warm).
+
+:func:`fleet_frontier_report` sweeps ``T`` for three legs over the same
+sparse Poisson workload on a single scale-to-zero region:
+
+- **Baseline** — reactive kernel loading: a scale-up pays the full
+  cold start (~40x the warm time on MI100/res), so the SLO forces a
+  long idle timeout and the pool effectively never scales down.
+- **PaSK** — proactive & selective loading: the cold start shrinks
+  under the SLO, so *every* swept timeout passes and the frontier
+  drops to the most aggressive setting.
+- **PaSK+restore** — PaSK with warm-state checkpoints: scale-up spawns
+  restore instead of cold-starting (PR 5's billing), compounding the
+  shift.
+
+The SLO is stated relative to the (device-specific, deterministic)
+warm service time — default 12x, which sits between the PaSK and the
+Baseline cold start on every modeled device — so the experiment is a
+pure simulation output with no tuned absolute constants.
+
+The result is a ``BENCH_*.json``-shaped payload (schema-valid) plus a
+``fleet_frontier`` section with the sweep, the per-leg frontiers and a
+``pass`` verdict (PaSK frontier strictly more aggressive than Baseline
+at equal availability).  With ``created_unix`` pinned the payload is
+byte-stable — the form of the checked-in
+``benchmarks/fleet_frontier_report.json``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.schemes import Scheme
+from repro.fleet.autoscale import AutoscalePolicy
+from repro.runner.bench import build_report
+from repro.runner.engine import run_tasks
+from repro.runner.schema import validate_report
+from repro.runner.tasks import ExperimentTask
+from repro.serving.server import InferenceServer
+
+__all__ = ["fleet_frontier_report", "frontier_tasks", "IDLE_TIMEOUT_SWEEP"]
+
+# Idle timeouts swept, most aggressive first.  At the 2 Hz workload the
+# cold-start exposure e^(-2T) spans ~90% down to ~0.005% across the
+# sweep, so every scheme's frontier lands strictly inside it.
+IDLE_TIMEOUT_SWEEP: Tuple[float, ...] = (0.05, 0.1, 0.25, 0.5, 1.0,
+                                         2.0, 5.0)
+
+_LEGS: Tuple[Tuple[str, Scheme, bool], ...] = (
+    ("baseline", Scheme.BASELINE, False),
+    ("pask", Scheme.PASK, False),
+    ("pask+restore", Scheme.PASK, True),
+)
+
+
+def frontier_tasks(device: str = "MI100", model: str = "res",
+                   rate_hz: float = 2.0, duration_s: float = 240.0,
+                   sweep: Tuple[float, ...] = IDLE_TIMEOUT_SWEEP
+                   ) -> Dict[Tuple[str, float], ExperimentTask]:
+    """One fleet task per (leg, idle timeout) sweep point."""
+    tasks: Dict[Tuple[str, float], ExperimentTask] = {}
+    for leg, scheme, restore in _LEGS:
+        for idle in sweep:
+            autoscale = AutoscalePolicy(kind="scale-to-zero",
+                                        idle_timeout_s=idle,
+                                        checkpoint_restore=restore)
+            tasks[(leg, idle)] = ExperimentTask(
+                kind="fleet", device=device, model=model,
+                scheme=scheme.value, arrival="poisson", rate_hz=rate_hz,
+                duration_s=duration_s, seed=0, instances=2,
+                keep_alive_s=duration_s, autoscale=autoscale)
+    return tasks
+
+
+def _cell_by_id(cells: List[Dict[str, Any]], cell_id: str) -> Dict[str, Any]:
+    for cell in cells:
+        if cell["id"] == cell_id:
+            return cell
+    raise KeyError(f"cell {cell_id!r} missing from frontier report")
+
+
+def fleet_frontier_report(device: str = "MI100", model: str = "res",
+                          jobs: int = 1,
+                          slo_multiplier: float = 12.0,
+                          min_availability: float = 0.999,
+                          rate_hz: float = 2.0, duration_s: float = 240.0,
+                          sweep: Tuple[float, ...] = IDLE_TIMEOUT_SWEEP,
+                          created_unix: Optional[float] = None
+                          ) -> Dict[str, Any]:
+    """Run the scale-to-zero frontier sweep and build the report.
+
+    A sweep point *meets the SLO* when its p99 latency is at most
+    ``slo_multiplier`` x the model's warm service time and its
+    availability is at least ``min_availability``; a leg's frontier is
+    the smallest such idle timeout.  The verdict passes when the PaSK
+    frontier is strictly below the Baseline frontier (or Baseline has
+    none) — proactive loading provably shifts how hard you can scale
+    down.
+    """
+    if slo_multiplier <= 1.0:
+        raise ValueError("slo_multiplier must exceed 1 (p99 can never "
+                         "beat the warm service time)")
+    warm_s = InferenceServer(device).serve_hot(model).total_time
+    slo_p99_s = slo_multiplier * warm_s
+    tasks = frontier_tasks(device, model, rate_hz, duration_s, sweep)
+    outcomes, stats = run_tasks(list(tasks.values()), jobs=jobs, cache=None)
+    report = build_report("fleet-frontier", outcomes, stats, cache=None,
+                          created_unix=created_unix)
+    if created_unix is not None:
+        report["run"]["wall_clock_s"] = 0.0
+    sweep_rows: List[Dict[str, Any]] = []
+    frontiers: Dict[str, Optional[float]] = {}
+    for leg, _, _ in _LEGS:
+        frontier: Optional[float] = None
+        for idle in sweep:
+            cell = _cell_by_id(report["cells"],
+                               tasks[(leg, idle)].cell_id)
+            meets = (cell["p99_s"] <= slo_p99_s
+                     and cell["availability"] >= min_availability)
+            sweep_rows.append({
+                "leg": leg, "idle_timeout_s": idle, "cell": cell["id"],
+                "p99_s": cell["p99_s"],
+                "mean_latency_s": cell["mean_latency_s"],
+                "cold_starts": cell["cold_starts"],
+                "restores": cell["restores"],
+                "availability": cell["availability"],
+                "meets_slo": meets,
+            })
+            if meets and frontier is None:
+                frontier = idle
+        frontiers[leg] = frontier
+    baseline_frontier = frontiers["baseline"]
+    pask_frontier = frontiers["pask"]
+    verdict = (pask_frontier is not None
+               and (baseline_frontier is None
+                    or pask_frontier < baseline_frontier))
+    report["fleet_frontier"] = {
+        "device": device, "model": model,
+        "rate_hz": rate_hz, "duration_s": duration_s,
+        "warm_s": warm_s, "slo_multiplier": slo_multiplier,
+        "slo_p99_s": slo_p99_s, "min_availability": min_availability,
+        "sweep": sweep_rows,
+        "frontiers": frontiers,
+        "pass": verdict,
+    }
+    problems = validate_report(report)
+    if problems:  # defensive: the builder always emits schema-valid JSON
+        raise RuntimeError(f"fleet frontier emitted schema-invalid "
+                           f"report: {problems}")
+    return report

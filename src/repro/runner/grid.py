@@ -16,6 +16,7 @@ from __future__ import annotations
 from typing import List, Optional, Sequence
 
 from repro.core.schemes import Scheme
+from repro.fleet.autoscale import AutoscalePolicy
 from repro.models import list_models
 from repro.runner.tasks import ExperimentTask
 from repro.serving.resilience import ResiliencePolicy
@@ -91,11 +92,29 @@ def _cluster_cells(models: Sequence[str], schemes: Sequence[Scheme],
     return tasks
 
 
+def _fleet_cells(schemes: Sequence[Scheme], duration_s: float,
+                 collect_metrics: bool = False) -> List[ExperimentTask]:
+    """The fleet bench dimension: one heterogeneous two-region replay
+    per scheme, under bursty traffic with warm-first routing and
+    scale-to-zero autoscaling — the configuration where a cheap cold
+    start (PASK) shows up directly in the latency columns."""
+    autoscale = AutoscalePolicy(kind="scale-to-zero", idle_timeout_s=0.25)
+    return [ExperimentTask(kind="fleet", model="res", scheme=scheme.value,
+                           arrival="bursty", rate_hz=4.0,
+                           duration_s=duration_s, seed=0, instances=2,
+                           keep_alive_s=0.5,
+                           fleet_devices=("MI100", "A100"),
+                           routing="warm-first", autoscale=autoscale,
+                           collect_metrics=collect_metrics)
+            for scheme in schemes]
+
+
 def bench_grid(name: str = "quick",
                trace_retention: Optional[str] = None,
                cluster_scale: float = 1.0,
                collect_metrics: bool = False,
-               resilience: Optional[ResiliencePolicy] = None
+               resilience: Optional[ResiliencePolicy] = None,
+               fleet: bool = False
                ) -> List[ExperimentTask]:
     """The curated ``repro bench`` grid called ``name``.
 
@@ -107,6 +126,8 @@ def bench_grid(name: str = "quick",
     registry to every cell; the per-cell dumps merge into the report's
     ``metrics`` section.  ``resilience`` adds the resilience dimension:
     every cluster cell is duplicated with the policy attached.
+    ``fleet`` adds the fleet dimension: a multi-region fleet replay per
+    headline scheme (see :func:`_fleet_cells`).
     """
     if name not in BENCH_GRIDS:
         raise ValueError(f"unknown bench grid {name!r}; "
@@ -128,6 +149,9 @@ def bench_grid(name: str = "quick",
                                 duration_s=2.0 * cluster_scale,
                                 trace_retention=trace_retention,
                                 collect_metrics=cm, resilience=resilience)
+        if fleet:
+            tasks += _fleet_cells((Scheme.BASELINE, Scheme.PASK),
+                                  duration_s=8.0, collect_metrics=cm)
         return tasks
     models = list_models()
     for model in models:
@@ -154,4 +178,7 @@ def bench_grid(name: str = "quick",
                             duration_s=4.0 * cluster_scale,
                             trace_retention=trace_retention,
                             collect_metrics=cm, resilience=resilience)
+    if fleet:
+        tasks += _fleet_cells(_HEADLINE_SCHEMES, duration_s=16.0,
+                              collect_metrics=cm)
     return tasks

@@ -60,6 +60,35 @@ _CLUSTER_CELL_PROPS = {
 _OPTIONAL_CLUSTER_KEYS = frozenset(
     {"shed", "availability", "faults", "resilience"})
 
+_FLEET_CELL_PROPS = {
+    "id": {"type": "string"},
+    "kind": {"type": "string", "enum": ["fleet"]},
+    # Comma-joined device list, one region per device.
+    "device": {"type": "string"},
+    "model": {"type": "string"},
+    "scheme": {"type": "string"},
+    "batch": {"type": "integer", "minimum": 1},
+    "cache_hit": {"type": "boolean"},
+    "regions": {"type": "integer", "minimum": 1},
+    "routing": {"type": "string"},
+    "autoscale": {"type": "string"},
+    "arrival": {"type": "string"},
+    "offered": {"type": "integer", "minimum": 0},
+    "completed": {"type": "integer", "minimum": 0},
+    "failed": {"type": "integer", "minimum": 0},
+    "shed": {"type": "integer", "minimum": 0},
+    "cold_starts": {"type": "integer", "minimum": 0},
+    "warm_hits": {"type": "integer", "minimum": 0},
+    "restores": {"type": "integer", "minimum": 0},
+    "prewarm_spawns": {"type": "integer", "minimum": 0},
+    "availability": {"type": "number", "minimum": 0, "maximum": 1},
+    "mean_latency_s": {"type": "number", "minimum": 0},
+    "p50_s": {"type": "number", "minimum": 0},
+    "p99_s": {"type": "number", "minimum": 0},
+    "fast_forwarded": {"type": "integer", "minimum": 0},
+    "delegated": {"type": "boolean"},
+}
+
 BENCH_SCHEMA: Dict[str, Any] = {
     "$schema": "http://json-schema.org/draft-07/schema#",
     "title": "repro bench report",
@@ -172,6 +201,8 @@ def _check_cell(cell: Any, index: int, errors: List[str]) -> None:
         props = _SERVE_CELL_PROPS
     elif kind == "cluster":
         props = _CLUSTER_CELL_PROPS
+    elif kind == "fleet":
+        props = _FLEET_CELL_PROPS
     else:
         errors.append(f"{prefix}.kind: unknown kind {kind!r}")
         return
@@ -197,6 +228,18 @@ def _check_cell(cell: Any, index: int, errors: List[str]) -> None:
             if not _TYPE_CHECKS["integer"](count) or count < 0:
                 errors.append(f"{prefix}.faults.{name}: expected a "
                               f"non-negative integer, got {count!r}")
+    if kind == "fleet":
+        # Fleet conservation is part of the report contract: every
+        # offered request is exactly one of completed, failed, or shed.
+        outcomes = [cell.get(k) for k in ("offered", "completed",
+                                          "failed", "shed")]
+        if all(_TYPE_CHECKS["integer"](v) for v in outcomes):
+            offered, completed, failed, shed = outcomes
+            if offered != completed + failed + shed:
+                errors.append(
+                    f"{prefix}: conservation violated — offered "
+                    f"{offered} != completed {completed} + failed "
+                    f"{failed} + shed {shed}")
 
 
 def validate_report(payload: Any) -> List[str]:

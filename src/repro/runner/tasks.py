@@ -22,8 +22,13 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.core.cache import CacheStats
 from repro.core.results import ExecutionResult
 from repro.core.schemes import Scheme
+from repro.fleet.autoscale import AutoscalePolicy
+from repro.fleet.fleet import (FleetConfig, FleetSimulator, FleetStats,
+                               RegionConfig, RegionStats, TenantStats)
+from repro.fleet.routing import ROUTING_POLICIES, RoutingPolicy
 from repro.serving.cluster import ClusterConfig, ClusterSimulator, ClusterStats
-from repro.serving.requests import poisson_trace
+from repro.serving.requests import (RequestTrace, bursty_trace, diurnal_trace,
+                                    poisson_trace)
 from repro.serving.resilience import ResiliencePolicy
 from repro.serving.server import InferenceServer
 from repro.sim.faults import FaultCounters, FaultPlan
@@ -37,7 +42,11 @@ __all__ = [
     "result_from_payload",
     "cluster_stats_to_payload",
     "cluster_stats_from_payload",
+    "fleet_stats_to_payload",
+    "fleet_stats_from_payload",
 ]
+
+ARRIVAL_KINDS = ("poisson", "diurnal", "bursty")
 
 _SCHEMES_BY_VALUE = {s.value: s for s in Scheme}
 
@@ -53,6 +62,10 @@ class ExperimentTask:
     - ``"cluster"`` — a Poisson trace replay (``rate_hz``/``duration_s``/
       ``seed`` generate the trace; ``instances``/``keep_alive_s`` shape
       the pool).
+    - ``"fleet"`` — a multi-region fleet replay (repro.fleet): the
+      cluster knobs shape each region, ``fleet_devices`` places one
+      region per device, ``arrival`` selects the workload shape, and
+      ``routing``/``autoscale``/``shed_wait_s`` are the fleet policies.
     """
 
     kind: str = "cold"
@@ -79,9 +92,24 @@ class ExperimentTask:
     # Cluster resilience policy (checkpoint/restore, breaker, admission
     # control); None keeps cache keys for policy-free replays stable.
     resilience: Optional[ResiliencePolicy] = None
+    # Fleet-replay knobs (kind == "fleet" only; all of them are deleted
+    # from describe() for every other kind so existing cache keys stay
+    # stable).  ``arrival`` selects the workload generator — "poisson"
+    # reuses rate_hz/duration_s/seed directly; "diurnal"/"bursty" read
+    # ``peak_rate_hz``/``period_s``/``burst_s`` (each with a derived
+    # default) on top.  ``fleet_devices`` places one region per listed
+    # device (default: one region on ``device``).
+    arrival: str = "poisson"
+    peak_rate_hz: Optional[float] = None
+    period_s: Optional[float] = None
+    burst_s: Optional[float] = None
+    fleet_devices: Optional[Tuple[str, ...]] = None
+    routing: str = "single"
+    autoscale: Optional[AutoscalePolicy] = None
+    shed_wait_s: Optional[float] = None
 
     def __post_init__(self) -> None:
-        if self.kind not in ("cold", "hot", "cluster"):
+        if self.kind not in ("cold", "hot", "cluster", "fleet"):
             raise ValueError(f"unknown task kind {self.kind!r}")
         if self.scheme not in _SCHEMES_BY_VALUE:
             raise ValueError(f"unknown scheme {self.scheme!r}")
@@ -94,6 +122,27 @@ class ExperimentTask:
                 f"expected None or one of {RETENTION_POLICIES}")
         if self.trace_ring <= 0:
             raise ValueError("trace_ring must be positive")
+        if self.arrival not in ARRIVAL_KINDS:
+            raise ValueError(f"unknown arrival kind {self.arrival!r}; "
+                             f"expected one of {ARRIVAL_KINDS}")
+        if self.routing not in ROUTING_POLICIES:
+            raise ValueError(f"unknown routing policy {self.routing!r}; "
+                             f"expected one of {ROUTING_POLICIES}")
+        if self.fleet_devices is not None:
+            object.__setattr__(self, "fleet_devices",
+                               tuple(self.fleet_devices))
+            if not self.fleet_devices:
+                raise ValueError("fleet_devices must name at least one "
+                                 "device when given")
+        if self.kind == "fleet" and self.resilience is not None:
+            raise ValueError("fleet tasks do not take a resilience policy "
+                             "(it is a cluster-level knob)")
+
+    @property
+    def region_devices(self) -> Tuple[str, ...]:
+        """One region per device for fleet tasks."""
+        return (self.fleet_devices if self.fleet_devices is not None
+                else (self.device,))
 
     @property
     def scheme_enum(self) -> Scheme:
@@ -113,6 +162,22 @@ class ExperimentTask:
             if self.resilience is not None:
                 cell += "/rz"
             return cell
+        if self.kind == "fleet":
+            devices = ",".join(self.region_devices)
+            cell = (f"fleet/{devices}/{self.model}/{self.scheme}"
+                    f"/b{self.batch}/{self.arrival}/r{self.rate_hz:g}"
+                    f"/d{self.duration_s:g}/s{self.seed}"
+                    f"/i{self.instances}/k{self.keep_alive_s:g}"
+                    f"/{self.routing}")
+            if self.autoscale is not None:
+                cell += f"/a{self.autoscale.kind}"
+                if self.autoscale.idle_timeout_s is not None:
+                    cell += f"-t{self.autoscale.idle_timeout_s:g}"
+                if self.autoscale.checkpoint_restore:
+                    cell += "-cr"
+            if self.shed_wait_s is not None:
+                cell += f"/w{self.shed_wait_s:g}"
+            return cell
         return f"{self.kind}/{self.device}/{self.model}/{self.scheme}/b{self.batch}"
 
     def describe(self) -> Dict[str, Any]:
@@ -122,7 +187,9 @@ class ExperimentTask:
         out["faults"] = asdict(self.faults) if self.faults is not None else None
         out["resilience"] = (asdict(self.resilience)
                              if self.resilience is not None else None)
-        if self.kind != "cluster":
+        out["autoscale"] = (asdict(self.autoscale)
+                            if self.autoscale is not None else None)
+        if self.kind not in ("cluster", "fleet"):
             for knob in ("rate_hz", "duration_s", "seed", "instances",
                          "keep_alive_s", "trace_retention", "trace_ring",
                          "resilience"):
@@ -137,6 +204,16 @@ class ExperimentTask:
         if self.kind == "cluster" and self.resilience is None:
             # Same stability rule for the resilience knob.
             del out["resilience"]
+        if self.kind == "fleet":
+            # Fleet tasks never carry one (enforced in __post_init__).
+            del out["resilience"]
+        else:
+            # The fleet knobs vanish from every non-fleet description so
+            # pre-fleet cache keys stay valid verbatim.
+            for knob in ("arrival", "peak_rate_hz", "period_s", "burst_s",
+                         "fleet_devices", "routing", "autoscale",
+                         "shed_wait_s"):
+                del out[knob]
         if self.kind == "hot":
             # Hot serves always run the baseline-lowered program.
             del out["scheme"]
@@ -266,10 +343,76 @@ def cluster_stats_from_payload(payload: Dict[str, Any]) -> ClusterStats:
     )
 
 
+def fleet_stats_to_payload(stats: FleetStats) -> Dict[str, Any]:
+    """A JSON-safe payload that reconstructs ``stats`` exactly."""
+    return {
+        "type": "fleet",
+        "offered": stats.offered,
+        "shed_unroutable": stats.shed_unroutable,
+        "delegated": stats.delegated,
+        "regions": [
+            {"name": r.name, "device": r.device,
+             "latencies": list(r.latencies),
+             "cold_starts": r.cold_starts, "warm_hits": r.warm_hits,
+             "restores": r.restores, "restore_s": r.restore_s,
+             "queue_waits": list(r.queue_waits),
+             "failed": r.failed, "shed": r.shed,
+             "prewarm_spawns": r.prewarm_spawns,
+             "prewarm_restores": r.prewarm_restores,
+             "prewarm_s": r.prewarm_s,
+             "scale_ups": r.scale_ups, "scale_downs": r.scale_downs,
+             "faults": r.faults.as_dict(),
+             "fast_forwarded": r.fast_forwarded,
+             "trace": (_trace_to_payload(r.trace)
+                       if r.trace is not None else None)}
+            for r in stats.regions.values()],
+        "tenants": [
+            {"name": t.name, "offered": t.offered, "failed": t.failed,
+             "shed": t.shed, "latencies": list(t.latencies)}
+            for t in stats.tenants.values()],
+    }
+
+
+def fleet_stats_from_payload(payload: Dict[str, Any]) -> FleetStats:
+    """Inverse of :func:`fleet_stats_to_payload`."""
+    if payload.get("type") != "fleet":
+        raise ValueError(f"not a fleet payload: {payload.get('type')!r}")
+    stats = FleetStats(offered=payload["offered"],
+                       shed_unroutable=payload["shed_unroutable"],
+                       delegated=payload["delegated"])
+    for entry in payload["regions"]:
+        trace_payload = entry.get("trace")
+        stats.regions[entry["name"]] = RegionStats(
+            name=entry["name"], device=entry["device"],
+            latencies=list(entry["latencies"]),
+            cold_starts=entry["cold_starts"],
+            warm_hits=entry["warm_hits"],
+            restores=entry["restores"], restore_s=entry["restore_s"],
+            queue_waits=list(entry["queue_waits"]),
+            failed=entry["failed"], shed=entry["shed"],
+            prewarm_spawns=entry["prewarm_spawns"],
+            prewarm_restores=entry["prewarm_restores"],
+            prewarm_s=entry["prewarm_s"],
+            scale_ups=entry["scale_ups"],
+            scale_downs=entry["scale_downs"],
+            faults=FaultCounters(**entry["faults"]),
+            fast_forwarded=entry["fast_forwarded"],
+            trace=(_trace_from_payload(trace_payload)
+                   if trace_payload is not None else None))
+    for entry in payload["tenants"]:
+        stats.tenants[entry["name"]] = TenantStats(
+            name=entry["name"], offered=entry["offered"],
+            failed=entry["failed"], shed=entry["shed"],
+            latencies=list(entry["latencies"]))
+    return stats
+
+
 def payload_to_object(payload: Dict[str, Any]) -> Any:
     """Reconstruct whichever result object ``payload`` encodes."""
     if payload.get("type") == "cluster":
         return cluster_stats_from_payload(payload)
+    if payload.get("type") == "fleet":
+        return fleet_stats_from_payload(payload)
     return result_from_payload(payload)
 
 
@@ -287,6 +430,33 @@ def _server(device: str) -> InferenceServer:
     if device not in _SERVERS:
         _SERVERS[device] = InferenceServer(device)
     return _SERVERS[device]
+
+
+def arrival_trace(task: ExperimentTask) -> RequestTrace:
+    """The workload a fleet task replays, from its arrival knobs.
+
+    Unset shape knobs get derived defaults (peak = 4x/8x the base rate,
+    period = a fraction of the duration) so the common case needs only
+    ``arrival=...`` on top of the cluster knobs.
+    """
+    if task.arrival == "poisson":
+        return poisson_trace(task.model, task.rate_hz, task.duration_s,
+                             seed=task.seed, batch=task.batch)
+    if task.arrival == "diurnal":
+        peak = (task.peak_rate_hz if task.peak_rate_hz is not None
+                else 4.0 * task.rate_hz)
+        period = (task.period_s if task.period_s is not None
+                  else task.duration_s / 2.0)
+        return diurnal_trace(task.model, task.rate_hz, peak, period,
+                             task.duration_s, seed=task.seed,
+                             batch=task.batch)
+    burst = (task.peak_rate_hz if task.peak_rate_hz is not None
+             else 8.0 * task.rate_hz)
+    every = (task.period_s if task.period_s is not None
+             else task.duration_s / 4.0)
+    burst_len = task.burst_s if task.burst_s is not None else every / 5.0
+    return bursty_trace(task.model, task.rate_hz, burst, every, burst_len,
+                        task.duration_s, seed=task.seed, batch=task.batch)
 
 
 def execute_task(task: ExperimentTask) -> Dict[str, Any]:
@@ -314,6 +484,25 @@ def execute_task(task: ExperimentTask) -> Dict[str, Any]:
         result = server.serve_hot(task.model, task.batch, faults=task.faults,
                                   metrics=metrics)
         return _with_metrics(result_to_payload(result))
+    if task.kind == "fleet":
+        regions = tuple(
+            RegionConfig(name=f"r{index}", device=device,
+                         scheme=task.scheme_enum,
+                         max_instances=task.instances,
+                         keep_alive_s=task.keep_alive_s,
+                         faults=task.faults)
+            for index, device in enumerate(task.region_devices))
+        config = FleetConfig(regions=regions,
+                             routing=RoutingPolicy(task.routing),
+                             autoscale=task.autoscale,
+                             shed_wait_s=task.shed_wait_s,
+                             trace_retention=task.trace_retention,
+                             trace_ring=task.trace_ring)
+        servers = {device: _server(device)
+                   for device in task.region_devices}
+        stats = FleetSimulator(config, metrics=metrics,
+                               servers=servers).run(arrival_trace(task))
+        return _with_metrics(fleet_stats_to_payload(stats))
     trace = poisson_trace(task.model, task.rate_hz, task.duration_s,
                           seed=task.seed, batch=task.batch)
     config = ClusterConfig(scheme=task.scheme_enum,

@@ -4,7 +4,7 @@ from repro.serving.server import InferenceServer, ServeResult, serve_cold, serve
 from repro.serving.metrics import FaultCounters, availability, \
     geometric_mean, mean
 from repro.serving.requests import RequestTrace, burst_trace, \
-    periodic_trace, poisson_trace
+    bursty_trace, diurnal_trace, periodic_trace, poisson_trace
 from repro.serving.cluster import ClusterConfig, ClusterSimulator, ClusterStats
 from repro.serving.resilience import ResiliencePolicy
 from repro.sim.faults import FaultPlan
@@ -21,6 +21,8 @@ __all__ = [
     "ServeResult",
     "availability",
     "burst_trace",
+    "bursty_trace",
+    "diurnal_trace",
     "geometric_mean",
     "mean",
     "periodic_trace",

@@ -13,7 +13,8 @@ import random
 from dataclasses import dataclass
 from typing import List, Tuple
 
-__all__ = ["RequestTrace", "poisson_trace", "burst_trace", "periodic_trace"]
+__all__ = ["RequestTrace", "poisson_trace", "burst_trace", "periodic_trace",
+           "diurnal_trace", "bursty_trace"]
 
 
 @dataclass(frozen=True)
@@ -86,3 +87,72 @@ def periodic_trace(model: str, period_s: float, count: int,
         raise ValueError("period and count must be positive")
     arrivals = tuple(i * period_s for i in range(count))
     return RequestTrace(model, arrivals, batch)
+
+
+def _thinned_trace(model: str, rate_at, peak_hz: float, duration_s: float,
+                   seed: int, batch: int) -> RequestTrace:
+    """Nonhomogeneous Poisson arrivals by thinning: candidates at the
+    peak rate, accepted with probability ``rate_at(t) / peak_hz``.
+
+    Deterministic per seed; always contains at least the t=0 request,
+    matching :func:`poisson_trace`."""
+    rng = random.Random(seed)
+    arrivals: List[float] = [0.0]
+    t = 0.0
+    while True:
+        t += -math.log(1.0 - rng.random()) / peak_hz
+        if t > duration_s:
+            break
+        if rng.random() < rate_at(t) / peak_hz:
+            arrivals.append(t)
+    return RequestTrace(model, tuple(arrivals), batch)
+
+
+def diurnal_trace(model: str, base_rate_hz: float, peak_rate_hz: float,
+                  period_s: float, duration_s: float,
+                  seed: int = 0, batch: int = 1) -> RequestTrace:
+    """Diurnal arrivals: a sinusoidal rate cycling between ``base`` (the
+    trough, at t=0) and ``peak`` once per ``period_s``.
+
+    The fleet layer's canonical day/night workload: autoscalers that
+    scale to zero in the trough and must re-warm for the peak see
+    exactly the cold-start exposure the paper's serverless scenario
+    describes.  Deterministic per seed.
+    """
+    if base_rate_hz <= 0 or peak_rate_hz < base_rate_hz:
+        raise ValueError("need 0 < base_rate_hz <= peak_rate_hz")
+    if period_s <= 0 or duration_s <= 0:
+        raise ValueError("period and duration must be positive")
+
+    def rate_at(t: float) -> float:
+        phase = 0.5 * (1.0 - math.cos(2.0 * math.pi * t / period_s))
+        return base_rate_hz + (peak_rate_hz - base_rate_hz) * phase
+
+    return _thinned_trace(model, rate_at, peak_rate_hz, duration_s,
+                          seed, batch)
+
+
+def bursty_trace(model: str, base_rate_hz: float, burst_rate_hz: float,
+                 burst_every_s: float, burst_duration_s: float,
+                 duration_s: float, seed: int = 0,
+                 batch: int = 1) -> RequestTrace:
+    """On/off modulated Poisson arrivals (a two-state MMPP with a
+    deterministic phase schedule): every ``burst_every_s`` the rate
+    jumps from ``base`` to ``burst`` for ``burst_duration_s``.
+
+    Bursts starting from an idle (scaled-down) pool are the adversarial
+    input for autoscaling hysteresis.  Deterministic per seed.
+    """
+    if base_rate_hz <= 0 or burst_rate_hz < base_rate_hz:
+        raise ValueError("need 0 < base_rate_hz <= burst_rate_hz")
+    if burst_every_s <= 0 or duration_s <= 0:
+        raise ValueError("burst period and duration must be positive")
+    if not 0 <= burst_duration_s <= burst_every_s:
+        raise ValueError("burst_duration_s must fit inside burst_every_s")
+
+    def rate_at(t: float) -> float:
+        in_burst = (t % burst_every_s) < burst_duration_s
+        return burst_rate_hz if in_burst else base_rate_hz
+
+    return _thinned_trace(model, rate_at, burst_rate_hz, duration_s,
+                          seed, batch)

@@ -136,3 +136,58 @@ class TestBenchCommand:
         args = build_parser().parse_args(
             ["experiment", "fig6a", "--jobs", "4"])
         assert args.jobs == 4
+
+
+class TestFleetCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["fleet"])
+        assert args.model == "res"
+        assert args.devices == "MI100,A100"
+        assert args.routing == "warm-first"
+        assert args.autoscale == "none"
+        assert not args.frontier
+
+    def test_bad_routing_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fleet", "--routing", "random"])
+
+    def test_scenario_reports_regions_and_conservation(self, capsys):
+        assert main(["fleet", "res", "--devices", "MI100,A100",
+                     "--routing", "least-queue", "--arrival", "bursty",
+                     "--rate", "4", "--duration", "8",
+                     "--tenants", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "r0 [MI100]" in out
+        assert "r1 [A100]" in out
+        assert "tenant t0" in out
+        assert "availability" in out
+
+    def test_scale_to_zero_without_timeout_errors(self, capsys):
+        assert main(["fleet", "res", "--autoscale",
+                     "scale-to-zero"]) == 2
+        assert "idle_timeout_s" in capsys.readouterr().out
+
+    def test_single_region_delegates(self, capsys):
+        assert main(["fleet", "res", "--devices", "MI100",
+                     "--routing", "single", "--duration", "6"]) == 0
+        assert "single-cluster fast path" in capsys.readouterr().out
+
+    def test_frontier_writes_report(self, tmp_path, capsys):
+        import json
+
+        from repro.runner import validate_report
+
+        report_path = tmp_path / "frontier.json"
+        code = main(["fleet", "--frontier", "--output",
+                     str(report_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "frontier[pask]" in out
+        assert "PASS" in out
+        payload = json.loads(report_path.read_text())
+        assert validate_report(payload) == []
+        assert payload["fleet_frontier"]["pass"] is True
+
+    def test_bench_fleet_flag_parses(self):
+        args = build_parser().parse_args(["bench", "--quick", "--fleet"])
+        assert args.fleet

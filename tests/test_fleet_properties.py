@@ -1,0 +1,203 @@
+"""Property tests for the fleet layer.
+
+Three invariants, each pinned under hypothesis-generated configs:
+
+- **Conservation** — every offered request is exactly one of completed,
+  failed, or shed, for arbitrary region counts, policies, fault plans
+  and shed bounds.
+- **Determinism** — a fleet replay is a pure function of (config,
+  trace): rerunning it reproduces every latency and counter.
+- **No starvation** — the router never dispatches to an unroutable
+  (drained) region while a routable one exists, and full drains shed
+  with a well-defined error rather than hanging or crashing.
+"""
+
+from types import SimpleNamespace
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.schemes import Scheme
+from repro.fleet import (AutoscalePolicy, FleetConfig, FleetSimulator,
+                         RegionConfig, RouterState, RoutingPolicy,
+                         merge_traces)
+from repro.runner import fleet_stats_from_payload, fleet_stats_to_payload
+from repro.serving.requests import poisson_trace
+from repro.sim.faults import FaultPlan
+
+_DEVICES = ("MI100", "A100", "6900XT")
+_SCHEMES = (Scheme.BASELINE, Scheme.PASK, Scheme.NNV12)
+
+
+def _autoscale_strategy():
+    return st.one_of(
+        st.none(),
+        st.just(AutoscalePolicy()),
+        st.floats(0.05, 2.0).map(
+            lambda t: AutoscalePolicy(kind="scale-to-zero",
+                                      idle_timeout_s=t)),
+        st.booleans().map(
+            lambda r: AutoscalePolicy(kind="scale-to-zero",
+                                      idle_timeout_s=0.25,
+                                      checkpoint_restore=r)),
+        st.just(AutoscalePolicy(kind="reactive", min_instances=1,
+                                scale_up_wait_s=0.01)),
+        st.just(AutoscalePolicy(kind="predictive", prewarm_headroom=1.5)),
+    )
+
+
+@st.composite
+def _fleet_configs(draw):
+    n_regions = draw(st.integers(1, 3))
+    regions = []
+    for index in range(n_regions):
+        faults = None
+        if draw(st.booleans()):
+            faults = FaultPlan(seed=draw(st.integers(0, 99)),
+                               crash_rate=draw(st.floats(0.0, 0.1)))
+        drains = ()
+        if draw(st.booleans()):
+            start = draw(st.floats(0.0, 4.0))
+            length = draw(st.floats(0.1, 3.0))
+            drains = ((start, start + length),)
+        regions.append(RegionConfig(
+            name=f"r{index}",
+            device=draw(st.sampled_from(_DEVICES)),
+            scheme=draw(st.sampled_from(_SCHEMES)),
+            max_instances=draw(st.integers(1, 3)),
+            keep_alive_s=draw(st.floats(0.0, 2.0)),
+            faults=faults, drain_windows=drains))
+    return FleetConfig(
+        regions=tuple(regions),
+        routing=RoutingPolicy(draw(st.sampled_from(
+            ("single", "round-robin", "least-queue", "warm-first")))),
+        autoscale=draw(_autoscale_strategy()),
+        shed_wait_s=draw(st.one_of(st.none(), st.floats(0.0, 0.5))))
+
+
+@st.composite
+def _fleet_traces(draw):
+    tenants = draw(st.integers(1, 3))
+    named = [(f"t{i}",
+              poisson_trace("res", draw(st.floats(0.5, 6.0)),
+                            draw(st.floats(1.0, 6.0)),
+                            seed=draw(st.integers(0, 999))))
+             for i in range(tenants)]
+    return merge_traces(named)
+
+
+class TestConservation:
+    @given(config=_fleet_configs(), trace=_fleet_traces())
+    @settings(max_examples=40, deadline=None)
+    def test_offered_equals_completed_failed_shed(self, config, trace):
+        stats = FleetSimulator(config).run(trace)
+        assert stats.offered == len(trace)
+        assert stats.conserved
+        # Tenant accounting conserves independently of region accounting.
+        assert stats.offered == sum(t.offered
+                                    for t in stats.tenants.values())
+        for tenant in stats.tenants.values():
+            assert tenant.offered == (tenant.completed + tenant.failed
+                                      + tenant.shed)
+
+    @given(config=_fleet_configs(), trace=_fleet_traces())
+    @settings(max_examples=20, deadline=None)
+    def test_latency_accounting_is_positive(self, config, trace):
+        stats = FleetSimulator(config).run(trace)
+        assert all(lat > 0 for lat in stats.latencies)
+        assert 0.0 <= stats.availability <= 1.0
+
+
+class TestDeterminism:
+    @given(config=_fleet_configs(), trace=_fleet_traces())
+    @settings(max_examples=25, deadline=None)
+    def test_rerun_is_identical(self, config, trace):
+        first = FleetSimulator(config).run(trace)
+        second = FleetSimulator(config).run(trace)
+        assert first.offered == second.offered
+        assert first.shed_unroutable == second.shed_unroutable
+        for name, region in first.regions.items():
+            other = second.regions[name]
+            assert other.latencies == region.latencies
+            assert other.queue_waits == region.queue_waits
+            assert other.cold_starts == region.cold_starts
+            assert other.warm_hits == region.warm_hits
+            assert other.restores == region.restores
+            assert other.prewarm_spawns == region.prewarm_spawns
+            assert other.scale_ups == region.scale_ups
+            assert other.scale_downs == region.scale_downs
+            assert other.faults.as_dict() == region.faults.as_dict()
+        for name, tenant in first.tenants.items():
+            assert second.tenants[name].latencies == tenant.latencies
+
+    @given(config=_fleet_configs(), trace=_fleet_traces())
+    @settings(max_examples=15, deadline=None)
+    def test_payload_round_trip_preserves_everything(self, config, trace):
+        stats = FleetSimulator(config).run(trace)
+        restored = fleet_stats_from_payload(fleet_stats_to_payload(stats))
+        assert restored.offered == stats.offered
+        assert restored.conserved == stats.conserved
+        assert restored.latencies == stats.latencies
+        assert restored.cold_starts == stats.cold_starts
+        assert restored.restores == stats.restores
+
+
+def _fake_region(drained, warm, wait):
+    return SimpleNamespace(
+        routable=lambda now, _d=drained: not _d,
+        has_warm_idle=lambda now, _w=warm: _w,
+        predicted_wait=lambda now, _p=wait: _p)
+
+
+class TestNoStarvation:
+    @given(kind=st.sampled_from(("single", "round-robin", "least-queue",
+                                 "warm-first")),
+           states=st.lists(st.tuples(st.booleans(), st.booleans(),
+                                     st.floats(0.0, 5.0)),
+                           min_size=1, max_size=6),
+           steps=st.integers(1, 8))
+    @settings(max_examples=100, deadline=None)
+    def test_router_never_picks_unroutable_region(self, kind, states,
+                                                  steps):
+        regions = [_fake_region(*state) for state in states]
+        router = RouterState(RoutingPolicy(kind))
+        any_routable = any(not drained for drained, _, _ in states)
+        for _ in range(steps):
+            choice = router.choose(regions, now=0.0)
+            if not any_routable:
+                assert choice is None
+            else:
+                assert choice is not None
+                assert regions[choice].routable(0.0)
+
+    @given(seed=st.integers(0, 200),
+           kind=st.sampled_from(("round-robin", "least-queue",
+                                 "warm-first")))
+    @settings(max_examples=20, deadline=None)
+    def test_drained_region_serves_nothing(self, seed, kind):
+        horizon = 1e9
+        config = FleetConfig(
+            regions=(RegionConfig("drained", scheme=Scheme.PASK,
+                                  drain_windows=((0.0, horizon),)),
+                     RegionConfig("open", scheme=Scheme.PASK,
+                                  faults=FaultPlan(seed=seed,
+                                                   crash_rate=0.05))),
+            routing=RoutingPolicy(kind))
+        trace = poisson_trace("res", 4.0, 5.0, seed=seed)
+        stats = FleetSimulator(config).run(trace)
+        assert stats.regions["drained"].requests == 0
+        assert stats.regions["open"].requests == len(trace)
+        assert stats.shed_unroutable == 0
+        assert stats.conserved
+
+    @given(seed=st.integers(0, 200))
+    @settings(max_examples=20, deadline=None)
+    def test_full_drain_sheds_with_defined_error(self, seed):
+        config = FleetConfig(
+            regions=(RegionConfig("a", drain_windows=((1.0, 2.0),)),
+                     RegionConfig("b", drain_windows=((1.0, 2.0),))),
+            routing=RoutingPolicy("round-robin"))
+        trace = poisson_trace("res", 6.0, 3.0, seed=seed)
+        stats = FleetSimulator(config).run(trace)
+        inside = sum(1 for t in trace.arrivals if 1.0 <= t < 2.0)
+        assert stats.shed_unroutable == inside
+        assert stats.conserved

@@ -63,3 +63,51 @@ class TestSchemaDocument:
         assert {"schema_version", "meta", "run", "cache", "totals",
                 "cells", "summary"} <= required
         assert set(BENCH_SCHEMA["properties"]) >= required
+
+
+def _mixed_payload(tmp_path):
+    """A report holding serve, cluster AND fleet cells at once."""
+    return run_bench(grid="quick", jobs=1, fleet=True,
+                     cache_dir=str(tmp_path / "cache"), write=False).payload
+
+
+class TestFleetCells:
+    def test_mixed_report_is_valid(self, tmp_path):
+        payload = _mixed_payload(tmp_path)
+        kinds = {cell["kind"] for cell in payload["cells"]}
+        assert "fleet" in kinds and "cluster" in kinds and "cold" in kinds
+        assert validate_report(payload) == []
+
+    def test_fleet_cell_carries_fleet_fields(self, tmp_path):
+        payload = _mixed_payload(tmp_path)
+        cell = next(c for c in payload["cells"] if c["kind"] == "fleet")
+        for field in ("regions", "routing", "autoscale", "arrival",
+                      "offered", "completed", "failed", "shed",
+                      "restores", "prewarm_spawns", "availability",
+                      "delegated"):
+            assert field in cell, field
+
+    def test_fleet_conservation_violation_reported(self, tmp_path):
+        payload = _mixed_payload(tmp_path)
+        cell = next(c for c in payload["cells"] if c["kind"] == "fleet")
+        cell["offered"] += 1
+        errors = validate_report(payload)
+        assert any("conserv" in error for error in errors)
+
+    def test_missing_fleet_field_reported(self, tmp_path):
+        payload = _mixed_payload(tmp_path)
+        cell = next(c for c in payload["cells"] if c["kind"] == "fleet")
+        del cell["prewarm_spawns"]
+        assert validate_report(payload) != []
+
+    def test_fleet_availability_out_of_range_reported(self, tmp_path):
+        payload = _mixed_payload(tmp_path)
+        cell = next(c for c in payload["cells"] if c["kind"] == "fleet")
+        cell["availability"] = 1.5
+        assert validate_report(payload) != []
+
+    def test_round_trips_through_json(self, tmp_path):
+        import json
+
+        payload = _mixed_payload(tmp_path)
+        assert json.loads(json.dumps(payload)) == payload
