@@ -4,14 +4,18 @@
 Usage::
 
     python scripts/check_perf_budget.py benchmarks/trace_scaling_budget.json
+    python scripts/check_perf_budget.py benchmarks/replay_scaling_budget.json
 
-Runs the cluster replay profile (``repro.runner.profile_cluster``) for
-every entry in the budget file, taking the best of ``repeats`` runs, and
-fails if any measurement exceeds ``regression_factor`` times its
-``budget_s``.  Budgets are deliberately loose (~4x a warm local run), so
-the gate only trips on a genuine hot-path regression — not on a noisy
-shared runner.  Used by the CI perf-smoke job; run it locally after
-touching ``repro/sim/trace.py`` or ``repro/serving/cluster.py``.
+Runs the replay profile for every entry in the budget file — a cluster
+replay (``repro.runner.profile_cluster``) by default, or a sharded fleet
+replay (``repro.runner.profile_fleet``) when the entry says ``"kind":
+"fleet"`` — taking the best of ``repeats`` runs, and fails if any
+measurement exceeds ``regression_factor`` times its ``budget_s``.
+Budgets are deliberately loose (~4x a warm local run), so the gate only
+trips on a genuine hot-path regression — not on a noisy shared runner.
+Used by the CI perf-smoke job; run it locally after touching
+``repro/sim/trace.py``, ``repro/serving/cluster.py`` or
+``repro/fleet/parallel.py``.
 """
 
 import json
@@ -20,7 +24,28 @@ import sys
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
-from repro.runner import profile_cluster  # noqa: E402
+from repro.runner import profile_cluster, profile_fleet  # noqa: E402
+
+
+def _measure(entry, rate_hz):
+    if entry.get("kind", "cluster") == "fleet":
+        return profile_fleet(
+            requests=entry["requests"],
+            rate_hz=entry.get("rate_hz", rate_hz),
+            regions=entry.get("regions", 4),
+            jobs=entry.get("jobs", 1),
+            routing=entry.get("routing", "round-robin"))
+    return profile_cluster(
+        requests=entry["requests"], rate_hz=rate_hz,
+        trace_retention=entry["trace_retention"],
+        fast_forward=entry["fast_forward"])
+
+
+def _detail(entry, profile):
+    if entry.get("kind", "cluster") == "fleet":
+        return (f"mode={profile.mode}  jobs={profile.jobs}  "
+                f"rollbacks={profile.rollbacks}")
+    return f"retained={profile.peak_retained_records}"
 
 
 def main(argv):
@@ -37,10 +62,7 @@ def main(argv):
     for entry in budget["entries"]:
         best = None
         for _ in range(repeats):
-            profile = profile_cluster(
-                requests=entry["requests"], rate_hz=rate_hz,
-                trace_retention=entry["trace_retention"],
-                fast_forward=entry["fast_forward"])
+            profile = _measure(entry, rate_hz)
             if best is None or profile.wall_s < best.wall_s:
                 best = profile
         ceiling = factor * entry["budget_s"]
@@ -50,7 +72,7 @@ def main(argv):
         print(f"{entry['name']:<{width}}  wall={best.wall_s:7.3f}s  "
               f"budget={entry['budget_s']:.3f}s  ceiling={ceiling:.3f}s  "
               f"requests={best.requests}  "
-              f"retained={best.peak_retained_records}  {verdict}")
+              f"{_detail(entry, best)}  {verdict}")
     if failures:
         print(f"{failures} measurement(s) over {factor}x budget",
               file=sys.stderr)

@@ -177,7 +177,12 @@ def build_parser() -> argparse.ArgumentParser:
                             "(Baseline vs PaSK vs PaSK+restore) instead "
                             "of a single scenario")
     fleet.add_argument("--jobs", type=int, default=1,
-                       help="worker processes for --frontier")
+                       help="worker processes: shards the replay by "
+                            "region (results byte-identical to serial) "
+                            "and parallelizes the --frontier sweep")
+    fleet.add_argument("--verify-serial", action="store_true",
+                       help="also run the serial simulator and check the "
+                            "sharded replay is byte-identical (CI gate)")
     fleet.add_argument("--device", default="MI100",
                        choices=["MI100", "A100", "6900XT"],
                        help="device for the --frontier sweep")
@@ -308,6 +313,23 @@ def build_parser() -> argparse.ArgumentParser:
                          help="cold serves per leg of the telemetry "
                               "off-vs-on overhead comparison "
                               "(default: 3; 0 skips it)")
+    profile.add_argument("--fleet", action="store_true",
+                         help="profile the sharded fleet replay instead "
+                              "of the single-cluster path")
+    profile.add_argument("--scale", type=int, default=1_000_000,
+                         help="target request count for --fleet "
+                              "(default: 1000000)")
+    profile.add_argument("--regions", type=int, default=4,
+                         help="fleet regions for --fleet (default: 4)")
+    profile.add_argument("--jobs", type=int, default=1,
+                         help="shard worker processes for --fleet")
+    profile.add_argument("--routing", default="round-robin",
+                         choices=["single", "round-robin", "least-queue",
+                                  "warm-first"],
+                         help="fleet routing policy for --fleet")
+    profile.add_argument("--compare-serial", action="store_true",
+                         help="also time the serial fleet replay and "
+                              "report the sharded speedup (--fleet)")
 
     trace = sub.add_parser(
         "trace", help="causal-span telemetry: export Perfetto traces")
@@ -462,6 +484,8 @@ def _cmd_bench(args, out) -> int:
 
 def _cmd_profile(args, out) -> int:
     from repro.runner import profile_cluster, profile_event_kernel
+    if args.fleet:
+        return _cmd_profile_fleet(args, out)
     retention = (None if args.trace_retention == "none"
                  else args.trace_retention)
     cluster = profile_cluster(
@@ -498,6 +522,36 @@ def _cmd_profile(args, out) -> int:
             f"on: {telemetry.per_request_on_s * 1e3:.2f} ms/request "
             f"({telemetry.overhead_fraction:+.1%}, "
             f"{telemetry.spans_per_request} spans/request)")
+    return 0
+
+
+def _cmd_profile_fleet(args, out) -> int:
+    from repro.runner import profile_fleet
+    fleet = profile_fleet(
+        device=args.device, model=args.model,
+        scheme=_SCHEMES[args.scheme], requests=args.scale,
+        rate_hz=args.rate, regions=args.regions,
+        instances=args.instances, keep_alive_s=args.keep_alive,
+        routing=args.routing, seed=args.seed, jobs=args.jobs,
+        compare_serial=args.compare_serial)
+    out(f"fleet replay: {fleet.requests} requests of {args.model!r} "
+        f"under {_SCHEMES[args.scheme].label} across {fleet.regions} "
+        f"region(s), {args.routing} routing, {fleet.jobs} job(s) "
+        f"({fleet.mode} mode)")
+    out(f"  wall-clock: {fleet.wall_s:.3f}s total, "
+        f"{fleet.wall_per_request_s * 1e6:.2f} us/request "
+        f"({fleet.requests_per_s:,.0f} requests/s)")
+    out(f"  fast-forwarded: {fleet.fast_forwarded} requests "
+        f"({fleet.fast_forward_fraction:.1%}); "
+        f"rounds {fleet.rounds}, rollbacks {fleet.rollbacks}")
+    if fleet.region_wall_s:
+        shards = ", ".join(f"{name} {wall:.3f}s"
+                           for name, wall in fleet.region_wall_s.items())
+        out(f"  shard wall-clock: {shards}")
+    out(f"  mean latency: {fleet.mean_latency_s * 1e3:.3f} ms")
+    if args.compare_serial:
+        out(f"  serial replay: {fleet.serial_wall_s:.3f}s "
+            f"({fleet.speedup:.1f}x speedup sharded)")
     return 0
 
 
@@ -709,7 +763,12 @@ def _cmd_fleet(args, out) -> int:
     config = FleetConfig(regions=regions,
                          routing=RoutingPolicy(kind=args.routing),
                          autoscale=autoscale, shed_wait_s=args.shed_wait)
-    stats = FleetSimulator(config).run(trace)
+    report = None
+    if args.jobs > 1 or args.verify_serial:
+        from repro.fleet import equivalence_problems, run_fleet_sharded
+        stats, report = run_fleet_sharded(config, trace, jobs=args.jobs)
+    else:
+        stats = FleetSimulator(config).run(trace)
 
     out(f"{stats.offered} requests of {args.model!r} under {scheme.label} "
         f"across {len(regions)} region(s) "
@@ -742,11 +801,25 @@ def _cmd_fleet(args, out) -> int:
     out(f"  availability {stats.availability:.4%}"
         + (" (delegated to the single-cluster fast path)"
            if stats.delegated else ""))
+    if report is not None and report.mode != "delegated":
+        out(f"  sharded replay: {report.mode} mode, {report.shards} "
+            f"shard(s) x {report.jobs} job(s), {report.rounds} round(s), "
+            f"{report.rollbacks} rollback(s)")
     if not stats.conserved:
         out(f"error: conservation violated — offered {stats.offered} != "
             f"completed {stats.completed} + failed {stats.failed} + "
             f"shed {stats.shed}")
         return 1
+    if args.verify_serial:
+        problems = equivalence_problems(FleetSimulator(config).run(trace),
+                                        stats)
+        if problems:
+            out(f"  serial equivalence: FAIL ({len(problems)} mismatched "
+                f"field(s))")
+            for problem in problems[:10]:
+                out(f"    {problem}")
+            return 1
+        out("  serial equivalence: PASS (sharded replay byte-identical)")
     return 0
 
 

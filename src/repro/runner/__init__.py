@@ -27,12 +27,13 @@ from repro.runner.bench import (BenchReport, compare_reports, run_bench,
 from repro.runner.cache import CacheCounters, ResultCache, task_key
 from repro.runner.chaos import ChaosScenario, chaos_report, chaos_scenarios
 from repro.runner.engine import (RunStats, TaskOutcome, prewarm_suite,
-                                 run_tasks)
+                                 run_shards, run_tasks)
 from repro.runner.fleetbench import fleet_frontier_report, frontier_tasks
 from repro.runner.grid import bench_grid, experiment_grid
 from repro.runner.profile import (ClusterProfile, EventKernelProfile,
-                                  TelemetryProfile, profile_cluster,
-                                  profile_event_kernel, profile_telemetry)
+                                  FleetProfile, TelemetryProfile,
+                                  profile_cluster, profile_event_kernel,
+                                  profile_fleet, profile_telemetry)
 from repro.runner.schema import BENCH_SCHEMA, validate_report
 from repro.runner.tasks import (ExperimentTask, cluster_stats_from_payload,
                                 cluster_stats_to_payload, execute_task,
@@ -54,6 +55,7 @@ __all__ = [
     "ResultCache",
     "CacheCounters",
     "task_key",
+    "run_shards",
     "run_tasks",
     "RunStats",
     "TaskOutcome",
@@ -71,8 +73,10 @@ __all__ = [
     "chaos_scenarios",
     "ClusterProfile",
     "EventKernelProfile",
+    "FleetProfile",
     "TelemetryProfile",
     "profile_cluster",
     "profile_event_kernel",
+    "profile_fleet",
     "profile_telemetry",
 ]

@@ -26,8 +26,9 @@ from repro.serving.requests import poisson_trace
 from repro.serving.server import InferenceServer
 from repro.sim.core import Environment
 
-__all__ = ["ClusterProfile", "EventKernelProfile", "TelemetryProfile",
-           "profile_cluster", "profile_event_kernel", "profile_telemetry"]
+__all__ = ["ClusterProfile", "EventKernelProfile", "FleetProfile",
+           "TelemetryProfile", "profile_cluster", "profile_event_kernel",
+           "profile_fleet", "profile_telemetry"]
 
 
 @dataclass(frozen=True)
@@ -113,6 +114,113 @@ def profile_cluster(device: str = "MI100", model: str = "res",
                                if recorder is not None else 0),
         cold_starts=stats.cold_starts,
         mean_latency_s=stats.mean_latency,
+    )
+
+
+@dataclass(frozen=True)
+class FleetProfile:
+    """Wall-clock profile of one sharded fleet trace replay."""
+
+    requests: int
+    regions: int
+    jobs: int
+    mode: str                      # "delegated" | "static" | "time-warp"
+    wall_s: float
+    serial_wall_s: float           # 0.0 unless compare_serial was set
+    rounds: int
+    rollbacks: int
+    fast_forwarded: int            # requests served by the analytic path
+    region_wall_s: dict
+    mean_latency_s: float
+
+    @property
+    def wall_per_request_s(self) -> float:
+        """Wall-clock seconds spent per simulated request."""
+        return self.wall_s / self.requests if self.requests else 0.0
+
+    @property
+    def requests_per_s(self) -> float:
+        """Simulated requests replayed per wall-clock second."""
+        return self.requests / self.wall_s if self.wall_s > 0 else 0.0
+
+    @property
+    def fast_forward_fraction(self) -> float:
+        """Share of requests served by the analytic shard fast path."""
+        return (self.fast_forwarded / self.requests
+                if self.requests else 0.0)
+
+    @property
+    def speedup(self) -> float:
+        """Serial wall over sharded wall (0.0 without a serial run)."""
+        if self.serial_wall_s <= 0 or self.wall_s <= 0:
+            return 0.0
+        return self.serial_wall_s / self.wall_s
+
+
+def profile_fleet(device: str = "MI100", model: str = "res",
+                  scheme: Scheme = Scheme.PASK,
+                  requests: int = 1_000_000, rate_hz: float = 200.0,
+                  regions: int = 4, instances: int = 4,
+                  keep_alive_s: float = 0.5,
+                  routing: str = "round-robin", seed: int = 0,
+                  jobs: int = 1,
+                  compare_serial: bool = False) -> FleetProfile:
+    """Replay a ~``requests``-arrival fleet trace, sharded, and time it.
+
+    The fleet is ``regions`` identical clusters of ``instances``
+    instances on ``device``.  The trace ships to workers as a seeded
+    :class:`~repro.fleet.parallel.TraceSpec` — workers regenerate the
+    arrivals locally, which is what keeps 1e7–1e8-request profiles from
+    pickling the stream.  With ``compare_serial`` the identical trace is
+    also replayed through the serial ``FleetSimulator`` (timed first, so
+    service-time memos are equally warm for both) and the profile's
+    ``speedup`` reports serial/sharded wall.
+    """
+    if requests <= 0:
+        raise ValueError("requests must be positive")
+    if rate_hz <= 0:
+        raise ValueError("rate_hz must be positive")
+    if regions <= 0:
+        raise ValueError("regions must be positive")
+    # Local imports: repro.fleet pulls in this module's package sibling
+    # fleetbench via repro.runner, so a top-level import would cycle.
+    from repro.fleet.fleet import FleetConfig, FleetSimulator, RegionConfig
+    from repro.fleet.parallel import TraceSpec, run_fleet_sharded
+    from repro.fleet.routing import RoutingPolicy
+    config = FleetConfig(
+        regions=tuple(
+            RegionConfig(name=f"r{i}", device=device, scheme=scheme,
+                         max_instances=instances,
+                         keep_alive_s=keep_alive_s)
+            for i in range(regions)),
+        routing=RoutingPolicy(routing))
+    spec = TraceSpec(model=model, rate_hz=rate_hz,
+                     duration_s=requests / rate_hz, seed=seed)
+    trace = spec.materialize()
+    serial_wall = 0.0
+    if compare_serial:
+        began = perf_counter()
+        FleetSimulator(config).run(trace)
+        serial_wall = perf_counter() - began
+    began = perf_counter()
+    stats, report = run_fleet_sharded(config, trace, jobs=jobs,
+                                      trace_spec=spec)
+    wall = perf_counter() - began
+    latencies = [lat for region in stats.regions.values()
+                 for lat in region.latencies]
+    mean_latency = sum(latencies) / len(latencies) if latencies else 0.0
+    return FleetProfile(
+        requests=stats.offered,
+        regions=regions,
+        jobs=max(1, jobs),
+        mode=report.mode,
+        wall_s=wall,
+        serial_wall_s=serial_wall,
+        rounds=report.rounds,
+        rollbacks=report.rollbacks,
+        fast_forwarded=report.analytic_total,
+        region_wall_s=dict(report.region_wall_s),
+        mean_latency_s=mean_latency,
     )
 
 

@@ -48,11 +48,14 @@ class ClusterConfig:
     # records (see repro.sim.trace).
     trace_retention: Optional[str] = None
     trace_ring: int = 1024
-    # Steady-state fast-forward: when every instance is warm and no
-    # fault plan is active, requests are replayed through an O(1)
-    # analytic recurrence instead of the full scheduling scan.  Results
-    # are byte-identical either way (pinned by tests); the knob exists
-    # so benchmarks can measure the win.
+    # Analytic fast-forward: requests are replayed through an O(log n)
+    # heap recurrence instead of the full scheduling scan — including
+    # partial-warm pools (cold spawns become a warm-up frontier in the
+    # heap), keep-alive reclaims, and fault plans (the replay
+    # fast-forwards *between* pre-sampled fault sites).  Results are
+    # byte-identical either way (pinned by tests); the knob exists so
+    # benchmarks can measure the win.  A non-inert resilience policy
+    # still forces event stepping.
     fast_forward: bool = True
     # Resilience layer (repro.serving.resilience): warm-state
     # checkpoint/restore, crash-loop supervision, admission control and
@@ -229,12 +232,14 @@ class ClusterSimulator:
         full cold start again.  Every request is therefore accounted
         for: ``stats.completed + stats.failed == len(trace)``.
 
-        Once the pool reaches steady state (every instance warm, no
-        fault plan pending), homogeneous arrivals are fast-forwarded
-        through :meth:`_fast_forward`; any arrival that would reclaim an
-        idle instance or spawn a cold one falls back to the full
-        event-by-event scheduling below, so fault-injection runs and
-        cold-start accounting are unaffected.
+        Whenever every pooled instance is warm (vacuously from the very
+        first arrival), requests are fast-forwarded through
+        :meth:`_fast_forward` — cold spawns, reclaims and queueing
+        included.  With a fault plan, the injector pre-samples the next
+        ``cluster.request`` failure and the window up to it replays
+        analytically; the crash itself (and the pool until it is
+        all-warm again) goes through the event stepping below, so
+        crash/reroute accounting is identical draw-for-draw.
         """
         config = self.config
         stats = ClusterStats()
@@ -270,14 +275,36 @@ class ClusterSimulator:
                                          warm, cold_extra, degraded_cold,
                                          restart_delay)
         arrivals = trace.arrivals
-        can_fast_forward = (config.fast_forward and injector is None
-                            and resilience is None)
+        # Fast-forward covers the fault-free dynamics in full — warm
+        # steady state, partial-warm pools (cold spawns fold into the
+        # heap as a warm-up frontier) and keep-alive reclaims.  With a
+        # fault plan attached it runs *between* pre-sampled fault
+        # sites: the injector previews how many ``cluster.request``
+        # draws survive, that window replays analytically, and the
+        # surviving draws are consumed in bulk so the downstream fault
+        # sequence is byte-identical to stepping.  Only a non-inert
+        # resilience policy (stateful per-instance machinery) forces
+        # full event stepping.
+        can_fast_forward = config.fast_forward and resilience is None
+        crash_rate = (config.faults.crash_rate
+                      if config.faults is not None else 0.0)
         index, n = 0, len(arrivals)
         while index < n:
-            if (can_fast_forward and instances
-                    and all(inst.warm for inst in instances)):
-                index = self._fast_forward(arrivals, index, instances, warm,
-                                           stats, recorder)
+            if can_fast_forward and all(inst.warm for inst in instances):
+                if injector is None:
+                    limit = n
+                else:
+                    limit = index + injector.preview_failures(
+                        "cluster.request", crash_rate, n - index)
+                if limit > index:
+                    processed = self._fast_forward(
+                        arrivals, index, limit, instances, warm, cold,
+                        cold_extra, stats, recorder) - index
+                    if injector is not None:
+                        if crash_rate > 0.0:
+                            injector.advance("cluster.request", processed)
+                        counters.completed_requests += processed
+                    index += processed
                 if index >= n:
                     break
             arrival = arrivals[index]
@@ -424,25 +451,39 @@ class ClusterSimulator:
         return stats
 
     def _fast_forward(self, arrivals: Tuple[float, ...], index: int,
-                      instances: List[_Instance], warm: float,
-                      stats: ClusterStats,
+                      limit: int, instances: List[_Instance], warm: float,
+                      cold: float, cold_extra: float, stats: ClusterStats,
                       recorder: Optional[TraceRecorder]) -> int:
-        """Replay warm steady-state arrivals analytically.
+        """Replay arrivals ``[index, limit)`` analytically.
 
-        Preconditions (checked by the caller): no fault plan, every
-        instance warm.  A warm instance's ``busy_until`` always equals
-        its ``last_used`` (both are its last finish time), and instances
-        are exchangeable, so scheduling reduces to the classic
-        multi-server recurrence ``finish_k = max(a_k, oldest) + warm``
-        over a min-heap of the pool's finish times — O(log n) per
-        request, no pool scans, no reclaim list rebuilds.  The float arithmetic per
-        request matches the scheduling loop operation-for-operation, so
+        Preconditions (checked by the caller): no resilience state,
+        every instance warm, and no ``cluster.request`` draw inside the
+        window fails (the caller previews the injector).  A warm
+        instance's ``busy_until`` always equals its ``last_used`` (both
+        are its last finish time), and instances are exchangeable, so
+        scheduling reduces to the classic multi-server recurrence
+        ``finish_k = max(a_k, oldest) + warm`` over a min-heap of the
+        pool's finish times — O(log n) per request, no pool scans, no
+        reclaim list rebuilds.  The float arithmetic per request
+        matches the scheduling loop operation-for-operation, so
         latencies, queue waits and trace records are byte-identical.
 
-        Stops (returning the index of the first unprocessed arrival) as
-        soon as an arrival would observe a reclaimable idle instance or
-        would spawn a new cold instance — those transitions must go
-        through the full scheduling path.
+        Pool transitions that used to force a fall-back to event
+        stepping are themselves analytic now:
+
+        - **reclaim** — for an all-warm pool, expiry order is finish
+          order, so reclaimed instances are exactly the heap-front
+          entries with ``arrival - finish > keep_alive``;
+        - **cold spawn** — the new instance is a deterministic warm-up
+          frontier: it enters the heap at its cold finish time and is
+          an ordinary warm instance from then on;
+        - **queueing at capacity** — the earliest finish *is* the heap
+          root.
+
+        The steady-state inner loop below is untouched from the
+        original warm-only fast path; transitions are handled one
+        arrival at a time between runs of it, then the tight loop
+        resumes on the same iterator.
         """
         config = self.config
         keep_alive = config.keep_alive_s
@@ -455,49 +496,116 @@ class ClusterSimulator:
         heapq.heapify(pool)
         size = len(pool)
         # Locals bound out of the loop: at a million iterations every
-        # attribute lookup is measurable.  The pool size never changes
-        # inside the loop, so the cold-spawn guard is loop-invariant
-        # whenever the pool is already at max_instances.
+        # attribute lookup is measurable.  The pool size only changes
+        # between runs of the tight loop, so the cold-spawn guard is
+        # loop-invariant inside it.
         heapreplace = heapq.heapreplace
-        can_spawn = size < max_instances
-        remaining = arrivals[index:]
-        span_starts: List[float] = []
-        span_ends: List[float] = []
-        start_append = span_starts.append
-        end_append = span_ends.append
-        for arrival in remaining:
-            oldest = pool[0]
-            if arrival - oldest > keep_alive:
-                break  # an idle instance would be reclaimed: fall back
-            if can_spawn and oldest > arrival:
-                break  # the request would spawn a cold instance
-            start = oldest if oldest > arrival else arrival
-            finish = start + warm
-            heapreplace(pool, finish)
-            start_append(start)
-            end_append(finish)
-        served = len(span_starts)
-        # Queue waits and latencies derive from the spans; map(sub, ...)
-        # performs the identical subtractions the stepping path does,
-        # entirely inside the interpreter's C loop.
-        stats.queue_waits.extend(map(operator.sub, span_starts, remaining))
-        stats.latencies.extend(map(operator.sub, span_ends, remaining))
-        index += served
-        if recorder is not None and span_starts:
-            spans = zip(span_starts, span_ends)
-            # One homogeneous batch: the recorder resolves its accumulator
-            # buckets once and, under aggregate retention, only builds the
-            # records that survive the ring.
-            recorder.ingest_stream(spans, "cluster", Phase.EXEC, "serve")
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        queue_waits = stats.queue_waits
+        latencies = stats.latencies
+        remaining = arrivals[index:limit]
+        arrival_iter = iter(remaining)
+        pos = 0
+        while True:
+            span_starts: List[float] = []
+            span_ends: List[float] = []
+            event = None
+            if size:
+                start_append = span_starts.append
+                end_append = span_ends.append
+                can_spawn = size < max_instances
+                for arrival in arrival_iter:
+                    oldest = pool[0]
+                    if arrival - oldest > keep_alive:
+                        event = arrival
+                        break  # an idle instance is reclaimed here
+                    if can_spawn and oldest > arrival:
+                        event = arrival
+                        break  # the request spawns a cold instance
+                    start = oldest if oldest > arrival else arrival
+                    finish = start + warm
+                    heapreplace(pool, finish)
+                    start_append(start)
+                    end_append(finish)
+            served = len(span_starts)
+            if served:
+                window = remaining[pos:pos + served]
+                # Queue waits and latencies derive from the spans;
+                # map(sub, ...) performs the identical subtractions the
+                # stepping path does, inside the interpreter's C loop.
+                queue_waits.extend(map(operator.sub, span_starts, window))
+                latencies.extend(map(operator.sub, span_ends, window))
+                if recorder is not None:
+                    # One homogeneous batch: the recorder resolves its
+                    # accumulator buckets once and, under aggregate
+                    # retention, only builds the records that survive
+                    # the ring.  Flushing before each transition record
+                    # keeps the global record order identical.
+                    recorder.ingest_stream(zip(span_starts, span_ends),
+                                           "cluster", Phase.EXEC, "serve")
+                stats.warm_hits += served
+                pos += served
+            if event is None:
+                if size:
+                    break  # window exhausted
+                event = next(arrival_iter, None)
+                if event is None:
+                    break
+            # One pool transition: reclaim whatever expired, then serve
+            # this arrival exactly the way the stepping loop would.
+            arrival = event
+            while size and arrival - pool[0] > keep_alive:
+                heappop(pool)
+                size -= 1
+            if size and pool[0] <= arrival:
+                # A warm instance is free after all (the break was a
+                # reclaim of an even older one).
+                start = arrival
+                finish = start + warm
+                heapreplace(pool, finish)
+                stats.warm_hits += 1
+                if recorder is not None:
+                    recorder.record(start, finish, "cluster",
+                                    Phase.EXEC, "serve")
+            elif size < max_instances:
+                # Cold spawn: the warm-up frontier joins the heap at
+                # the cold finish time.
+                start = max(arrival, 0.0)
+                finish = start + cold
+                heappush(pool, finish)
+                size += 1
+                stats.cold_starts += 1
+                if recorder is not None:
+                    boundary = start + cold_extra
+                    recorder.record(start, boundary, "cluster",
+                                    Phase.LOAD, "cold-start")
+                    recorder.record(boundary, finish, "cluster",
+                                    Phase.EXEC, "serve")
+            else:
+                # At capacity with nothing free: queue on the earliest.
+                start = pool[0]
+                finish = start + warm
+                heapreplace(pool, finish)
+                stats.warm_hits += 1
+                if recorder is not None:
+                    recorder.record(start, finish, "cluster",
+                                    Phase.EXEC, "serve")
+            queue_waits.append(start - arrival)
+            latencies.append(finish - arrival)
+            pos += 1
         # Materialize the pool back onto the instances.  Warm instances
         # are exchangeable (scheduling and reclaim depend only on their
-        # time values), so the assignment order is irrelevant.
+        # time values), so the assignment order is irrelevant; spawns
+        # and reclaims may have changed the pool size.
+        if size != len(instances):
+            instances[:] = [_Instance() for _ in range(size)]
         for inst, finish in zip(instances, pool):
             inst.busy_until = finish
             inst.last_used = finish
-        stats.warm_hits += served
-        stats.fast_forwarded += served
-        return index
+            inst.warm = True
+        stats.fast_forwarded += pos
+        return index + pos
 
     def _reclaim_idle(self, instances: List[_Instance], now: float) -> None:
         keep_alive = self.config.keep_alive_s

@@ -236,6 +236,44 @@ class FaultInjector:
             self._m_faults.inc(site=site)
         return failed
 
+    def preview_failures(self, site: str, rate: float, limit: int) -> int:
+        """Length of the surviving-draw run ahead of the cursor.
+
+        Counts how many consecutive :meth:`should_fail` visits at
+        ``site`` would return ``False`` starting from the current draw
+        index, capped at ``limit`` — without consuming anything.  A
+        zero rate never draws, so the whole window survives.  This is
+        what lets a replay fast-forward *between* pre-sampled fault
+        sites: the caller processes that many visits analytically, then
+        :meth:`advance` the cursor past their (surviving) draws.
+        """
+        if limit <= 0:
+            return 0
+        if rate <= 0.0:
+            return limit
+        index = self._draws.get(site, 0)
+        seed = self.plan.seed
+        blake2b = hashlib.blake2b
+        count = 0
+        while count < limit:
+            payload = f"{seed}:{site}:{index + count}".encode()
+            digest = blake2b(payload, digest_size=8).digest()
+            if int.from_bytes(digest, "big") / 2**64 < rate:
+                break
+            count += 1
+        return count
+
+    def advance(self, site: str, count: int) -> None:
+        """Consume ``count`` draws at ``site`` in bulk.
+
+        Only sound for draws :meth:`preview_failures` proved surviving:
+        a surviving draw has no side effect beyond moving the cursor
+        (fault metrics count failures only), so skipping the hashes
+        leaves the downstream fault sequence byte-identical.
+        """
+        if count > 0:
+            self._draws[site] = self._draws.get(site, 0) + count
+
     # ------------------------------------------------------------------
     # Site-specific helpers (the named injection points)
     # ------------------------------------------------------------------
