@@ -10,7 +10,9 @@ Used by the CI bench-smoke job; handy locally after editing the report
 writer.  Uses the repo's own hand-rolled validator so it runs without
 any third-party schema library.  Reports produced with ``repro bench
 --metrics`` carry an optional ``metrics`` section (a telemetry-registry
-dump) that is validated too, and summarized in the ok line.
+dump) that is validated too, and summarized in the ok line; ``repro
+bench --fleet --slo`` adds a ``monitors`` section (per-fleet-cell SLO
+monitor summaries) that gets the same treatment.
 """
 
 import json
@@ -64,6 +66,15 @@ def main(argv):
                 extra += (f", {len(fleet_cells)} fleet cells "
                           f"(min availability {avail:.4f}, {shed} shed, "
                           f"{cold} cold starts)")
+            monitors = payload.get("monitors")
+            if isinstance(monitors, dict) and monitors:
+                fired = sum(1 for summary in monitors.values()
+                            for state in summary["monitors"].values()
+                            if state["fired"])
+                alerts = sum(len(summary.get("alerts", []))
+                             for summary in monitors.values())
+                extra += (f", {len(monitors)} SLO-watched cells "
+                          f"({fired} fired, {alerts} alerts)")
             scenarios = payload.get("chaos", {}).get("scenarios", [])
             if scenarios:
                 passed = sum(1 for s in scenarios if s.get("pass"))

@@ -183,6 +183,34 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--verify-serial", action="store_true",
                        help="also run the serial simulator and check the "
                             "sharded replay is byte-identical (CI gate)")
+    fleet.add_argument("--telemetry", action="store_true",
+                       help="record control-plane decision spans and "
+                            "evaluate SLO burn-rate monitors during the "
+                            "replay (simulated results are unchanged)")
+    fleet.add_argument("--slo-availability", type=float, default=0.999,
+                       metavar="FRAC",
+                       help="availability SLO target for --telemetry "
+                            "(default: 0.999)")
+    fleet.add_argument("--slo-p99-ms", type=float, default=None,
+                       help="p99 latency SLO in milliseconds; adds the "
+                            "p99 monitor (--telemetry)")
+    fleet.add_argument("--slo-cold-rate", type=float, default=None,
+                       metavar="FRAC",
+                       help="cold-serve rate SLO; adds the cold-rate "
+                            "monitor (--telemetry)")
+    fleet.add_argument("--slo-window", type=float, default=5.0,
+                       help="sliding monitor window in simulated seconds "
+                            "(default: 5)")
+    fleet.add_argument("--slo-burn", type=float, default=1.0,
+                       help="availability burn-rate firing threshold "
+                            "(default: 1.0 = burning exactly the budget)")
+    fleet.add_argument("--metrics", default=None,
+                       choices=["prom", "json"],
+                       help="collect labeled fleet metrics and dump the "
+                            "registry in this format")
+    fleet.add_argument("--metrics-output", default=None, metavar="FILE",
+                       help="write the --metrics dump here instead of "
+                            "stdout")
     fleet.add_argument("--device", default="MI100",
                        choices=["MI100", "A100", "6900XT"],
                        help="device for the --frontier sweep")
@@ -281,6 +309,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="add the fleet dimension: multi-region "
                             "scale-to-zero cells over a bursty arrival "
                             "process ('fleet/' cells)")
+    bench.add_argument("--slo", action="store_true",
+                       help="attach SLO burn-rate monitors to the fleet "
+                            "cells (needs --fleet) and add a 'monitors' "
+                            "section to the report")
 
     profile = sub.add_parser(
         "profile", help="measure simulator throughput: wall-clock per "
@@ -312,7 +344,8 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--telemetry-requests", type=int, default=3,
                          help="cold serves per leg of the telemetry "
                               "off-vs-on overhead comparison "
-                              "(default: 3; 0 skips it)")
+                              "(default: 3; 0 skips it); with --fleet: "
+                              "fleet arrivals per leg (floor 2000)")
     profile.add_argument("--fleet", action="store_true",
                          help="profile the sharded fleet replay instead "
                               "of the single-cluster path")
@@ -337,7 +370,8 @@ def build_parser() -> argparse.ArgumentParser:
     export = trace_sub.add_parser(
         "export", help="run one instrumented cold start and write a "
                        "Chrome/Perfetto trace.json")
-    export.add_argument("model", help="model abbreviation (e.g. res)")
+    export.add_argument("model", nargs="?", default="res",
+                        help="model abbreviation (default: res)")
     export.add_argument("--scheme", default="pask",
                         choices=sorted(_SCHEMES))
     export.add_argument("--batch", type=int, default=1)
@@ -351,6 +385,20 @@ def build_parser() -> argparse.ArgumentParser:
     export.add_argument("--attribution", action="store_true",
                         help="print the cold-start attribution report "
                              "(per-phase critical path, load bytes)")
+    export.add_argument("--fleet", action="store_true",
+                        help="export the time-warp flight-recorder view "
+                             "of a sharded two-region fleet replay "
+                             "instead of a cold start (one Perfetto "
+                             "track per shard: optimistic / rolled-back "
+                             "/ committed windows)")
+    export.add_argument("--rate", type=float, default=120.0,
+                        help="fleet arrival rate for --fleet "
+                             "(default: 120)")
+    export.add_argument("--duration", type=float, default=4.0,
+                        help="fleet trace duration for --fleet "
+                             "(default: 4)")
+    export.add_argument("--seed", type=int, default=0,
+                        help="arrival stream seed for --fleet")
 
     metrics = sub.add_parser(
         "metrics", help="run an instrumented serve + cluster replay and "
@@ -463,6 +511,16 @@ def _cmd_bench(args, out) -> int:
     if args.resilience:
         from repro.serving.resilience import ResiliencePolicy
         resilience = ResiliencePolicy()
+    slo = None
+    if args.slo:
+        if not args.fleet:
+            out("--slo needs --fleet (monitors attach to the fleet cells)")
+            return 2
+        from repro.obs.monitors import SLOPolicy
+        # Tight enough that a Baseline fleet cell's cold starts show up
+        # as burn-rate alerts while PASK stays quiet.
+        slo = SLOPolicy(p99_target_s=1.0, cold_rate_target=0.5,
+                        window_s=2.0)
     report = run_bench(
         grid="quick" if args.quick else "full",
         jobs=args.jobs,
@@ -477,6 +535,7 @@ def _cmd_bench(args, out) -> int:
         collect_metrics=args.metrics,
         resilience=resilience,
         fleet=args.fleet,
+        slo=slo,
         echo=out,
     )
     return 0 if report.ok else 1
@@ -544,6 +603,11 @@ def _cmd_profile_fleet(args, out) -> int:
     out(f"  fast-forwarded: {fleet.fast_forwarded} requests "
         f"({fleet.fast_forward_fraction:.1%}); "
         f"rounds {fleet.rounds}, rollbacks {fleet.rollbacks}")
+    if fleet.mode == "time-warp":
+        rounds = ", ".join(f"{wall * 1e3:.1f}" for wall in fleet.round_wall_s)
+        out(f"  flight recorder: max rollback depth "
+            f"{fleet.max_rollback_depth}, resimulated "
+            f"{fleet.resimulated} requests, round wall [{rounds}] ms")
     if fleet.region_wall_s:
         shards = ", ".join(f"{name} {wall:.3f}s"
                            for name, wall in fleet.region_wall_s.items())
@@ -552,11 +616,77 @@ def _cmd_profile_fleet(args, out) -> int:
     if args.compare_serial:
         out(f"  serial replay: {fleet.serial_wall_s:.3f}s "
             f"({fleet.speedup:.1f}x speedup sharded)")
+    if args.telemetry_requests > 0:
+        from repro.runner import profile_fleet_telemetry
+        requests = max(2000, args.telemetry_requests)
+        telemetry = profile_fleet_telemetry(
+            device=args.device, model=args.model,
+            scheme=_SCHEMES[args.scheme], requests=requests,
+            rate_hz=args.rate, regions=args.regions,
+            instances=args.instances,
+            keep_alive_s=args.keep_alive, routing=args.routing,
+            seed=args.seed, jobs=args.jobs)
+        out(f"fleet telemetry overhead ({telemetry.requests} requests "
+            f"per leg, {telemetry.mode} mode):")
+        out(f"  off: {telemetry.per_request_off_s * 1e6:.2f} us/request  "
+            f"on: {telemetry.per_request_on_s * 1e6:.2f} us/request "
+            f"({telemetry.overhead_fraction:+.1%}; {telemetry.spans} "
+            f"spans, {telemetry.alerts} alerts)")
+    return 0
+
+
+def _cmd_trace_fleet(args, out) -> int:
+    """``trace export --fleet``: the flight-recorder Perfetto view of a
+    sharded two-region time-warp replay."""
+    from repro.fleet import (FleetConfig, RegionConfig, RoutingPolicy,
+                             run_fleet_sharded)
+    from repro.obs import FlightRecorder, validate_trace, write_trace
+
+    scheme = _SCHEMES[args.scheme]
+    config = FleetConfig(
+        regions=(RegionConfig(name="us-east", device=args.device,
+                              scheme=scheme, max_instances=4),
+                 RegionConfig(name="eu-west", device="MI100",
+                              scheme=scheme, max_instances=2)),
+        routing=RoutingPolicy("warm-first"))
+    trace = poisson_trace(args.model, args.rate, args.duration,
+                          seed=args.seed)
+    flight = FlightRecorder()
+    stats, report = run_fleet_sharded(config, trace, flight=flight)
+    payload = write_trace(
+        args.output, flight.to_spans(), device="fleet",
+        metadata={"model": args.model, "scheme": scheme.label,
+                  "mode": report.mode, "rounds": report.rounds,
+                  "rollbacks": report.rollbacks,
+                  "resimulated": report.resimulated,
+                  "requests": stats.offered})
+    summary = flight.summary()
+    out(f"fleet flight recorder: {stats.offered} requests across "
+        f"{len(config.regions)} regions ({report.mode} mode)")
+    out(f"  rounds {summary['rounds']}, rollbacks {summary['rollbacks']}, "
+        f"max rollback depth {summary['max_rollback_depth']}, "
+        f"resimulated {summary['resimulated']}; "
+        f"verified prefix per round {summary['verified_prefix']}")
+    out(f"  wrote {args.output}: {len(payload['traceEvents'])} events "
+        f"(one track per shard: optimistic / rolled-back / committed)")
+    out("  open in https://ui.perfetto.dev or chrome://tracing")
+    if args.validate:
+        problems = validate_trace(payload)
+        if problems:
+            out("")
+            out("  INVALID trace:")
+            for problem in problems:
+                out(f"    {problem}")
+            return 1
+        out("  trace validated: required keys, monotonic ts per tid, "
+            "matched flow pairs")
     return 0
 
 
 def _cmd_trace(args, out) -> int:
     # Only subcommand so far: export.
+    if args.fleet:
+        return _cmd_trace_fleet(args, out)
     from repro.obs import (SpanRecorder, attribute_request, spans_summary,
                            validate_trace, write_trace)
     scheme = _SCHEMES[args.scheme]
@@ -763,12 +893,33 @@ def _cmd_fleet(args, out) -> int:
     config = FleetConfig(regions=regions,
                          routing=RoutingPolicy(kind=args.routing),
                          autoscale=autoscale, shed_wait_s=args.shed_wait)
+    metrics = spans = slo = None
+    if args.telemetry or args.metrics is not None:
+        from repro.obs import MetricsRegistry, SLOPolicy, SpanRecorder
+        metrics = MetricsRegistry()
+        if args.telemetry:
+            spans = SpanRecorder()
+            try:
+                slo = SLOPolicy(
+                    availability_target=args.slo_availability,
+                    p99_target_s=(args.slo_p99_ms / 1e3
+                                  if args.slo_p99_ms is not None
+                                  else None),
+                    cold_rate_target=args.slo_cold_rate,
+                    window_s=args.slo_window,
+                    burn_threshold=args.slo_burn)
+            except ValueError as exc:
+                out(f"error: {exc}")
+                return 2
     report = None
     if args.jobs > 1 or args.verify_serial:
         from repro.fleet import equivalence_problems, run_fleet_sharded
-        stats, report = run_fleet_sharded(config, trace, jobs=args.jobs)
+        stats, report = run_fleet_sharded(config, trace, jobs=args.jobs,
+                                          metrics=metrics, spans=spans,
+                                          slo=slo)
     else:
-        stats = FleetSimulator(config).run(trace)
+        stats = FleetSimulator(config, metrics=metrics, spans=spans,
+                               slo=slo).run(trace)
 
     out(f"{stats.offered} requests of {args.model!r} under {scheme.label} "
         f"across {len(regions)} region(s) "
@@ -805,14 +956,46 @@ def _cmd_fleet(args, out) -> int:
         out(f"  sharded replay: {report.mode} mode, {report.shards} "
             f"shard(s) x {report.jobs} job(s), {report.rounds} round(s), "
             f"{report.rollbacks} rollback(s)")
+    if args.telemetry:
+        from repro.obs import spans_summary
+        counts = spans_summary(spans)
+        summary = ", ".join(f"{v} {k}" for k, v in counts.items())
+        out(f"  telemetry: {len(spans)} decision span(s)"
+            + (f" ({summary})" if summary else ""))
+        monitors = stats.monitors or {}
+        for name, entry in monitors.get("monitors", {}).items():
+            state = "FIRING" if entry["firing"] else "ok"
+            out(f"  slo {name}: {state} — worst {entry['worst']:.4g} vs "
+                f"threshold {entry['threshold']:.4g}, "
+                f"fired {entry['fired']}x")
+        alerts = monitors.get("alerts", [])
+        for alert in alerts[:5]:
+            out(f"    [{alert['state']}] {alert['monitor']} at "
+                f"t={alert['t']:.3f}s (value {alert['value']:.4g})")
+        if len(alerts) > 5:
+            out(f"    ... {len(alerts) - 5} more alert(s)")
+    if args.metrics is not None:
+        if args.metrics == "json":
+            import json
+            dump = json.dumps(metrics.to_json(), indent=2, sort_keys=True)
+        else:
+            dump = metrics.to_prometheus()
+        if args.metrics_output is not None:
+            with open(args.metrics_output, "w", encoding="utf-8") as handle:
+                handle.write(dump)
+                if not dump.endswith("\n"):
+                    handle.write("\n")
+            out(f"  wrote {args.metrics_output} ({args.metrics})")
+        else:
+            out(dump)
     if not stats.conserved:
         out(f"error: conservation violated — offered {stats.offered} != "
             f"completed {stats.completed} + failed {stats.failed} + "
             f"shed {stats.shed}")
         return 1
     if args.verify_serial:
-        problems = equivalence_problems(FleetSimulator(config).run(trace),
-                                        stats)
+        problems = equivalence_problems(
+            FleetSimulator(config, slo=slo).run(trace), stats)
         if problems:
             out(f"  serial equivalence: FAIL ({len(problems)} mismatched "
                 f"field(s))")

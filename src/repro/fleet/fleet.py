@@ -38,11 +38,13 @@ spawns, restore-on-crash belongs to the resilience layer.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from heapq import heappop, heappush
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.schemes import Scheme
 from repro.fleet.autoscale import AutoscalePolicy, AutoscalerState
 from repro.fleet.routing import RouterState, RoutingPolicy
+from repro.obs.monitors import SLOMonitorSet, SLOPolicy, emit_alert_spans
 from repro.serving.cluster import ClusterConfig, ClusterSimulator, \
     ClusterStats, _Instance
 from repro.serving.metrics import percentile as nearest_rank_percentile
@@ -321,6 +323,10 @@ class FleetStats:
     shed_unroutable: int = 0
     # Whether the replay took the single-cluster delegation path.
     delegated: bool = False
+    # SLO monitor digest (SLOMonitorSet.summary()) when a policy was
+    # attached; None otherwise.  Sharded replays reproduce this
+    # byte-identically (equivalence-pinned).
+    monitors: Optional[Dict[str, Any]] = None
 
     @property
     def completed(self) -> int:
@@ -400,6 +406,160 @@ class FleetStats:
 
 
 # ----------------------------------------------------------------------
+# Control-plane telemetry
+# ----------------------------------------------------------------------
+#
+# Decision spans and fleet metrics are emitted through the module-level
+# helpers below so the serial loop and the sharded coordinator replay
+# (repro.fleet.parallel) call the *same* code with the same arguments —
+# that is what makes telemetry-on sharded span/metrics dumps
+# byte-identical to telemetry-on serial.
+
+class _QueueDepthTracker:
+    """Peak number of concurrently queued requests in one region.
+
+    Fed the ``(arrival, start)`` pair of every first scheduling attempt
+    (the same stream that produces ``queue_waits``, which the sharded
+    equivalence audit pins — so stepping and analytic replays agree).
+    Only allocated when metrics are on.
+    """
+
+    __slots__ = ("_starts", "peak")
+
+    def __init__(self) -> None:
+        self._starts: List[float] = []   # min-heap of pending start times
+        self.peak = 0
+
+    def observe(self, arrival: float, start: float) -> None:
+        starts = self._starts
+        while starts and starts[0] <= arrival:
+            heappop(starts)
+        if start > arrival:
+            heappush(starts, start)
+            if len(starts) > self.peak:
+                self.peak = len(starts)
+
+
+def _emit_scale_down(spans, name: str, t: float, count: int,
+                     cap: int) -> None:
+    spans.event("fleet:scale-down", t, actor=f"region:{name}",
+                count=count, cap=cap)
+
+
+def _emit_scale_up(spans, name: str, t: float, count: int,
+                   cap: int) -> None:
+    spans.event("fleet:scale-up", t, actor=f"region:{name}",
+                count=count, cap=cap)
+
+
+def _emit_prewarm(spans, name: str, t: float, spawned: int,
+                  restores: int) -> None:
+    spans.event("fleet:prewarm", t, actor=f"region:{name}",
+                spawned=spawned, restores=restores)
+
+
+def _emit_shed(spans, name: str, t: float, wait: float) -> None:
+    spans.event("fleet:shed", t, actor=f"region:{name}", wait=wait)
+
+
+def _emit_unroutable(spans, t: float, tenant: str) -> None:
+    spans.event("fleet:shed", t, actor="fleet", reason="unroutable",
+                tenant=tenant)
+
+
+def _emit_route(spans, name: str, t: float, policy: str,
+                tenant: str) -> None:
+    spans.event("fleet:route", t, actor=f"region:{name}", policy=policy,
+                tenant=tenant)
+
+
+_REQUESTS_HELP = "Fleet requests by outcome and region"
+_SCALE_HELP = "Autoscaler actions by kind and region"
+_LATENCY_HELP = "Fleet end-to-end request latency"
+_ROUTED_HELP = "Requests routed to a region, labelled by routing policy"
+_AUTOSCALE_HELP = "Autoscale transitions by action and region"
+_QUEUE_DEPTH_HELP = "Peak concurrently queued requests per region"
+_TENANT_HELP = "Per-tenant fleet requests by outcome"
+
+
+def _feed_region_metrics(registry, region: "RegionStats",
+                         routing_kind: str,
+                         queue_peak: Optional[int]) -> None:
+    """Feed one region's slice of the fleet metrics into ``registry``.
+
+    Shared by the serial fed-at-the-end path and the sharded workers
+    (each worker feeds a fresh registry for its own region; the
+    coordinator merges the dumps).  Per-region label sets are disjoint
+    and ``to_json`` sorts, so merged output is byte-identical to
+    serial.
+    """
+    name = region.name
+    requests = registry.counter("fleet_requests_total", _REQUESTS_HELP)
+    scale = registry.counter("fleet_scale_events_total", _SCALE_HELP)
+    latency = registry.histogram("fleet_latency_seconds", _LATENCY_HELP)
+    routed = registry.counter("fleet_routed_total", _ROUTED_HELP)
+    autoscale = registry.counter("fleet_autoscale_total", _AUTOSCALE_HELP)
+    depth = registry.gauge("fleet_queue_depth", _QUEUE_DEPTH_HELP)
+    for outcome, value in (("warm", region.warm_hits),
+                           ("cold", region.cold_starts),
+                           ("restore", region.restores),
+                           ("failed", region.failed),
+                           ("shed", region.shed)):
+        if value:
+            requests.inc(value, outcome=outcome, region=name)
+    for kind, value in (("up", region.scale_ups),
+                        ("down", region.scale_downs),
+                        ("prewarm", region.prewarm_spawns)):
+        if value:
+            scale.inc(value, kind=kind, region=name)
+    series = latency.labels(region=name)
+    for value in region.latencies:
+        series.observe(value)
+    if region.requests:
+        routed.inc(region.requests, policy=routing_kind, region=name)
+    # Restore-vs-cold billing of capacity transitions.  Live keep-alive
+    # reclaims are intentionally absent: stepping and analytic replays
+    # may coalesce them differently, and only *billed* transitions are
+    # equivalence-pinned.
+    for action, value in (("scale-up", region.scale_ups),
+                          ("scale-down", region.scale_downs),
+                          ("prewarm", region.prewarm_spawns),
+                          ("prewarm-restore", region.prewarm_restores),
+                          ("restore", region.restores),
+                          ("cold-spawn", region.cold_starts)):
+        if value:
+            autoscale.inc(value, action=action, region=name)
+    if queue_peak is not None:
+        depth.set(queue_peak, region=name)
+
+
+def _feed_tenant_metrics(registry, stats: "FleetStats") -> None:
+    """Feed the fleet-level (non-region) metrics: per-tenant outcomes
+    plus the unroutable-shed counter.  The sharded coordinator calls
+    this after merging the per-region worker dumps."""
+    tenant_counter = registry.counter("fleet_tenant_requests_total",
+                                      _TENANT_HELP)
+    for name, tenant in stats.tenants.items():
+        for outcome, value in (("completed", tenant.completed),
+                               ("failed", tenant.failed),
+                               ("shed", tenant.shed)):
+            if value:
+                tenant_counter.inc(value, outcome=outcome, tenant=name)
+    if stats.shed_unroutable:
+        registry.counter("fleet_requests_total", _REQUESTS_HELP).inc(
+            stats.shed_unroutable, outcome="unroutable", region="-")
+
+
+def _feed_fleet_metrics(registry, stats: "FleetStats", routing_kind: str,
+                        queue_peaks: Optional[Dict[str, int]]) -> None:
+    """Feed a whole fleet replay's metrics (regions + tenants)."""
+    for name, region in stats.regions.items():
+        peak = queue_peaks.get(name) if queue_peaks is not None else None
+        _feed_region_metrics(registry, region, routing_kind, peak)
+    _feed_tenant_metrics(registry, stats)
+
+
+# ----------------------------------------------------------------------
 # Region runtime state
 # ----------------------------------------------------------------------
 
@@ -443,6 +603,9 @@ class _RegionState:
             self.recorder = TraceRecorder(retention=retention,
                                           ring_size=ring)
             self.stats.trace = self.recorder
+        # Attached by the fleet loop (or a sharded worker) when metrics
+        # are on; None keeps the serve hot path allocation-free.
+        self.queue_depth: Optional[_QueueDepthTracker] = None
 
     # -- deterministic query surface (used by routing + autoscaling) ---
 
@@ -548,6 +711,8 @@ class _RegionState:
             start = max(now, instance.busy_until)
             if attempts == 0:
                 stats.queue_waits.append(start - arrival)
+                if self.queue_depth is not None:
+                    self.queue_depth.observe(arrival, start)
             warm_attempt = instance.warm
             if warm_attempt:
                 service = self.warm
@@ -638,11 +803,13 @@ class FleetSimulator:
     """Replays a (multi-tenant) trace against a multi-region fleet."""
 
     def __init__(self, config: FleetConfig, metrics=None, spans=None,
+                 slo: Optional[SLOPolicy] = None,
                  servers: Optional[Dict[str, InferenceServer]] = None
                  ) -> None:
         self.config = config
         self.metrics = metrics
         self.spans = spans
+        self.slo = slo
         self._servers = servers
         if (config.resilience is not None
                 and not config.resilience.is_inert
@@ -667,6 +834,12 @@ class FleetSimulator:
 
     def _run_delegated(self, trace: FleetTrace) -> FleetStats:
         region = self.config.regions[0]
+        # SLO monitors need the per-request stepping stream; disabling
+        # fast-forward changes only ``stats.fast_forwarded`` — the
+        # ff==stepping byte-identity contract guarantees every other
+        # stat is unchanged (golden-pinned).
+        monitors = SLOMonitorSet(self.slo) if self.slo is not None \
+            else None
         cluster_config = ClusterConfig(
             scheme=region.scheme,
             max_instances=region.max_instances,
@@ -674,11 +847,12 @@ class FleetSimulator:
             faults=region.faults,
             trace_retention=self.config.trace_retention,
             trace_ring=self.config.trace_ring,
-            fast_forward=self.config.fast_forward,
+            fast_forward=(self.config.fast_forward
+                          and monitors is None),
             resilience=self.config.resilience)
         sim = ClusterSimulator(_server_for(region.device, self._servers),
                                cluster_config, metrics=None,
-                               spans=self.spans)
+                               spans=self.spans, monitors=monitors)
         cluster_stats = sim.run(trace.to_request_trace())
         stats = FleetStats(offered=len(trace), delegated=True)
         stats.regions[region.name] = RegionStats.from_cluster(
@@ -689,15 +863,21 @@ class FleetSimulator:
                              shed=cluster_stats.shed,
                              latencies=cluster_stats.latencies)
         stats.tenants[tenant.name] = tenant
-        self._feed_metrics(stats)
+        if monitors is not None:
+            stats.monitors = monitors.summary()
+        self._feed_metrics(stats, queue_peaks=None)
         return stats
 
     # -- general path --------------------------------------------------
 
     def _run_general(self, trace: FleetTrace) -> FleetStats:
         config = self.config
+        spans = self.spans
+        monitors = SLOMonitorSet(self.slo) if self.slo is not None \
+            else None
         policy = config.autoscale if config.autoscale is not None \
             else AutoscalePolicy()
+        routing_kind = config.routing.kind
         regions: List[_RegionState] = []
         for region_config in config.regions:
             sim = ClusterSimulator(
@@ -708,8 +888,10 @@ class FleetSimulator:
             state = _RegionState(region_config, sim, policy,
                                  trace.model, trace.batch,
                                  config.trace_retention, config.trace_ring)
-            if self.spans is not None and state.recorder is not None:
-                self.spans.bind(state.recorder)
+            if spans is not None and state.recorder is not None:
+                spans.bind(state.recorder)
+            if self.metrics is not None:
+                state.queue_depth = _QueueDepthTracker()
             regions.append(state)
         stats = FleetStats(offered=len(trace))
         tenants = [TenantStats(name=name) for name in trace.tenant_names]
@@ -717,64 +899,96 @@ class FleetSimulator:
         for arrival, tenant_index in zip(trace.arrivals, trace.tenants):
             tenant = tenants[tenant_index]
             tenant.offered += 1
-            for region in regions:
-                region.scaler.idle_tick(region, arrival)
+            if spans is None:
+                for region in regions:
+                    region.scaler.idle_tick(region, arrival)
+            else:
+                for region in regions:
+                    downs = region.stats.scale_downs
+                    region.scaler.idle_tick(region, arrival)
+                    delta = region.stats.scale_downs - downs
+                    if delta:
+                        _emit_scale_down(spans, region.config.name,
+                                         arrival, delta,
+                                         region.scaler.cap)
             choice = router.choose(regions, arrival)
             if choice is None:
                 stats.shed_unroutable += 1
                 tenant.shed += 1
+                if spans is not None:
+                    _emit_unroutable(spans, arrival, tenant.name)
                 continue
             region = regions[choice]
-            if (config.shed_wait_s is not None
-                    and region.predicted_wait(arrival) > config.shed_wait_s):
-                region.stats.shed += 1
-                tenant.shed += 1
-                continue
-            extra = region.scaler.observe_arrival(region, arrival)
-            if extra:
-                region.prewarm(extra, arrival)
-            if region.serve(arrival):
-                tenant.latencies.append(region.stats.latencies[-1])
+            if config.shed_wait_s is not None:
+                wait = region.predicted_wait(arrival)
+                if wait > config.shed_wait_s:
+                    region.stats.shed += 1
+                    tenant.shed += 1
+                    if spans is not None:
+                        _emit_shed(spans, region.config.name, arrival,
+                                   wait)
+                    continue
+            if spans is None:
+                extra = region.scaler.observe_arrival(region, arrival)
+                if extra:
+                    region.prewarm(extra, arrival)
             else:
-                tenant.failed += 1
+                _emit_route(spans, region.config.name, arrival,
+                            routing_kind, tenant.name)
+                ups = region.stats.scale_ups
+                extra = region.scaler.observe_arrival(region, arrival)
+                if region.stats.scale_ups > ups:
+                    _emit_scale_up(spans, region.config.name, arrival,
+                                   region.stats.scale_ups - ups,
+                                   region.scaler.cap)
+                if extra:
+                    spawned = region.stats.prewarm_spawns
+                    restored = region.stats.prewarm_restores
+                    region.prewarm(extra, arrival)
+                    spawned = region.stats.prewarm_spawns - spawned
+                    if spawned:
+                        _emit_prewarm(
+                            spans, region.config.name, arrival, spawned,
+                            region.stats.prewarm_restores - restored)
+            if monitors is None:
+                if region.serve(arrival):
+                    tenant.latencies.append(region.stats.latencies[-1])
+                else:
+                    tenant.failed += 1
+            else:
+                colds = region.stats.cold_starts
+                if region.serve(arrival):
+                    latency = region.stats.latencies[-1]
+                    tenant.latencies.append(latency)
+                    fresh = monitors.observe_completed(
+                        arrival, latency,
+                        region.stats.cold_starts > colds)
+                else:
+                    tenant.failed += 1
+                    fresh = monitors.observe_failed(arrival)
+                if spans is not None and fresh:
+                    emit_alert_spans(spans, fresh)
         for region in regions:
             stats.regions[region.config.name] = region.stats
         for tenant in tenants:
             stats.tenants[tenant.name] = tenant
-        self._feed_metrics(stats)
+        if monitors is not None:
+            stats.monitors = monitors.summary()
+        queue_peaks = None
+        if self.metrics is not None:
+            queue_peaks = {region.config.name: region.queue_depth.peak
+                           for region in regions}
+        self._feed_metrics(stats, queue_peaks)
         return stats
 
     # -- telemetry -----------------------------------------------------
 
-    def _feed_metrics(self, stats: FleetStats) -> None:
+    def _feed_metrics(self, stats: FleetStats,
+                      queue_peaks: Optional[Dict[str, int]]) -> None:
         """Feed the metrics registry once from the collected stats (the
         same fed-at-the-end pattern the cluster uses, so the scheduling
         loops stay untouched)."""
         if self.metrics is None:
             return
-        requests = self.metrics.counter(
-            "fleet_requests_total", "Fleet requests by outcome and region")
-        scale = self.metrics.counter(
-            "fleet_scale_events_total",
-            "Autoscaler actions by kind and region")
-        latency = self.metrics.histogram(
-            "fleet_latency_seconds", "Fleet end-to-end request latency")
-        for name, region in stats.regions.items():
-            for outcome, value in (("warm", region.warm_hits),
-                                   ("cold", region.cold_starts),
-                                   ("restore", region.restores),
-                                   ("failed", region.failed),
-                                   ("shed", region.shed)):
-                if value:
-                    requests.inc(value, outcome=outcome, region=name)
-            for kind, value in (("up", region.scale_ups),
-                                ("down", region.scale_downs),
-                                ("prewarm", region.prewarm_spawns)):
-                if value:
-                    scale.inc(value, kind=kind, region=name)
-            series = latency.labels(region=name)
-            for value in region.latencies:
-                series.observe(value)
-        if stats.shed_unroutable:
-            requests.inc(stats.shed_unroutable,
-                         outcome="unroutable", region="-")
+        _feed_fleet_metrics(self.metrics, stats, self.config.routing.kind,
+                            queue_peaks)

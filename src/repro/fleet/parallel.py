@@ -52,8 +52,15 @@ from typing import Dict, List, Optional, Tuple, Union
 from repro.fleet.autoscale import AutoscalePolicy
 from repro.fleet.fleet import (FleetConfig, FleetSimulator, FleetStats,
                                FleetTrace, RegionConfig, RegionStats,
-                               TenantStats, _RegionState, _server_for)
+                               TenantStats, _QueueDepthTracker,
+                               _RegionState, _emit_prewarm, _emit_route,
+                               _emit_scale_down, _emit_scale_up,
+                               _emit_shed, _emit_unroutable,
+                               _feed_region_metrics, _feed_tenant_metrics,
+                               _server_for)
 from repro.fleet.routing import RouterState, RoutingPolicy
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.monitors import SLOMonitorSet, emit_alert_spans
 from repro.serving.cluster import ClusterConfig, ClusterSimulator, _Instance
 from repro.serving.requests import RequestTrace, poisson_trace
 from repro.sim.trace import TraceRecorder
@@ -64,7 +71,16 @@ __all__ = ["TraceSpec", "ShardReport", "run_fleet_sharded",
 DEFAULT_CHECKPOINT_EVERY = 2048
 
 # Per-arrival outcome codes a shard reports back for tenant accounting.
+# The detailed completed codes (cold / restore) let the coordinator
+# replay SLO monitor observations without re-deriving billing; plain
+# _COMPLETED remains what the undetailed stepping path emits.
 _COMPLETED, _FAILED, _SHED = 0, 1, 2
+_COMPLETED_COLD, _COMPLETED_RESTORE = 3, 4
+
+# Control-plane event codes a shard logs (as ``(k, code, a, b)`` tuples)
+# when the coordinator needs to replay decision spans.  Only logged when
+# spans are on — the off path appends nothing.
+_EV_SCALE_DOWN, _EV_SCALE_UP, _EV_PREWARM, _EV_SHED = 0, 1, 2, 3
 
 
 @dataclass(frozen=True)
@@ -107,6 +123,11 @@ class ShardReport:
     analytic_served: Dict[str, int] = field(default_factory=dict)
     region_wall_s: Dict[str, float] = field(default_factory=dict)
     wall_s: float = 0.0
+    # --- flight telemetry (zeroed outside time-warp mode, so profile
+    # output stays stable to parse) --------------------------------
+    max_rollback_depth: int = 0   # deepest per-shard re-simulation
+    resimulated: int = 0          # arrivals re-simulated across rollbacks
+    round_wall_s: List[float] = field(default_factory=list)
 
     @property
     def analytic_total(self) -> int:
@@ -241,6 +262,11 @@ class _RegionJob:
     assignment: tuple
     checkpoint_every: int = 0        # 0: no checkpoints (final pass)
     restart: Optional[_Checkpoint] = None
+    # --- telemetry knobs (final pass only) ----------------------------
+    collect_metrics: bool = False    # feed a fresh registry, ship a dump
+    want_events: bool = False        # log control-plane event tuples
+    detail: bool = False             # detailed completed codes (SLO)
+    routing_kind: str = "single"     # the fleet_routed_total policy label
 
 
 @dataclass
@@ -252,6 +278,8 @@ class _RegionResult:
     outcomes: bytes
     analytic: int
     wall_s: float
+    metrics: Optional[dict] = None   # per-shard MetricsRegistry dump
+    events: Optional[list] = None    # (k, code, a, b) control-plane log
 
 
 def _job_trace(job: _RegionJob) -> FleetTrace:
@@ -355,27 +383,92 @@ def _serve_one(state: _RegionState, t: float, shed_wait: Optional[float],
     append(_COMPLETED if state.serve(t) else _FAILED)
 
 
+def _serve_one_obs(state: _RegionState, t: float,
+                   shed_wait: Optional[float], append, k: int,
+                   events: Optional[list]) -> None:
+    """:func:`_serve_one` with telemetry: detailed completed codes and
+    (when ``events`` is a list) the control-plane deltas the
+    coordinator replays into decision spans.  Deltas are detected
+    exactly the way the serial loop detects them, and the values keep
+    their Python types so replayed span attrs compare byte-equal."""
+    stats = state.stats
+    if shed_wait is not None:
+        wait = state.predicted_wait(t)
+        if wait > shed_wait:
+            stats.shed += 1
+            append(_SHED)
+            if events is not None:
+                events.append((k, _EV_SHED, wait, 0))
+            return
+    if events is None:
+        extra = state.scaler.observe_arrival(state, t)
+        if extra:
+            state.prewarm(extra, t)
+    else:
+        ups = stats.scale_ups
+        extra = state.scaler.observe_arrival(state, t)
+        if stats.scale_ups > ups:
+            events.append((k, _EV_SCALE_UP, stats.scale_ups - ups,
+                           state.scaler.cap))
+        if extra:
+            spawned = stats.prewarm_spawns
+            restored = stats.prewarm_restores
+            state.prewarm(extra, t)
+            spawned = stats.prewarm_spawns - spawned
+            if spawned:
+                events.append((k, _EV_PREWARM, spawned,
+                               stats.prewarm_restores - restored))
+    colds = stats.cold_starts
+    restores = stats.restores
+    if state.serve(t):
+        if stats.cold_starts > colds:
+            append(_COMPLETED_COLD)
+        elif stats.restores > restores:
+            append(_COMPLETED_RESTORE)
+        else:
+            append(_COMPLETED)
+    else:
+        append(_FAILED)
+
+
 def _serve_stepping(state: _RegionState, arrivals, job: _RegionJob,
-                    outcomes) -> None:
+                    outcomes, events: Optional[list] = None) -> None:
     mine = job.region_index
     shed_wait = job.shed_wait_s
     append = outcomes.append
+    obs = events is not None or job.detail
     if state.policy.kind == "reactive":
         # Reactive capacity breathes on *global* quiet time: the scaler
         # ticks at every fleet arrival, routed here or not.
         member = _membership(job.assignment)
         scaler = state.scaler
+        stats = state.stats
         for k, t in enumerate(arrivals):
-            scaler.idle_tick(state, t)
+            if events is None:
+                scaler.idle_tick(state, t)
+            else:
+                downs = stats.scale_downs
+                scaler.idle_tick(state, t)
+                if stats.scale_downs > downs:
+                    events.append((k, _EV_SCALE_DOWN,
+                                   stats.scale_downs - downs, scaler.cap))
             if member(k) == mine:
-                _serve_one(state, t, shed_wait, append)
+                if obs:
+                    _serve_one_obs(state, t, shed_wait, append, k, events)
+                else:
+                    _serve_one(state, t, shed_wait, append)
+    elif obs:
+        for k in _assigned(job.assignment, mine, len(arrivals)):
+            _serve_one_obs(state, arrivals[k], shed_wait, append, k,
+                           events)
     else:
         for k in _assigned(job.assignment, mine, len(arrivals)):
             _serve_one(state, arrivals[k], shed_wait, append)
 
 
 def _serve_analytic(state: _RegionState, arrivals, indices,
-                    shed_wait: Optional[float], outcomes) -> int:
+                    shed_wait: Optional[float], outcomes,
+                    events: Optional[list] = None) -> int:
     """Heap-analytic sub-stream replay: the fleet twin of the cluster
     fast-forward.
 
@@ -405,6 +498,7 @@ def _serve_analytic(state: _RegionState, arrivals, indices,
     stats = state.stats
     latencies = stats.latencies
     queue_waits = stats.queue_waits
+    tracker = state.queue_depth
     append = outcomes.append
     served = 0
     for k in indices:
@@ -421,6 +515,8 @@ def _serve_analytic(state: _RegionState, arrivals, indices,
             if wait > shed_wait:
                 stats.shed += 1
                 append(_SHED)
+                if events is not None:
+                    events.append((k, _EV_SHED, wait, 0))
                 continue
         if size and pool[0] <= t:
             # Warm hit on the longest-idle free instance (the root).
@@ -428,6 +524,7 @@ def _serve_analytic(state: _RegionState, arrivals, indices,
             finish = t + warm_time
             heapreplace(pool, finish)
             stats.warm_hits += 1
+            code = _COMPLETED
         elif size < cap:
             # Spawn: a fresh instance (busy since 0.0) serves cold, or
             # from a checkpoint once the region has ever been warm.
@@ -436,9 +533,11 @@ def _serve_analytic(state: _RegionState, arrivals, indices,
                 finish = start + restore_service
                 stats.restores += 1
                 stats.restore_s += restore_cost
+                code = _COMPLETED_RESTORE
             else:
                 finish = start + cold_time
                 stats.cold_starts += 1
+                code = _COMPLETED_COLD
             heappush(pool, finish)
             size += 1
         else:
@@ -448,10 +547,13 @@ def _serve_analytic(state: _RegionState, arrivals, indices,
             finish = start + warm_time
             heapreplace(pool, finish)
             stats.warm_hits += 1
+            code = _COMPLETED
         ever_warm = True
         queue_waits.append(start - t)
+        if tracker is not None:
+            tracker.observe(t, start)
         latencies.append(finish - t)
-        append(_COMPLETED)
+        append(code)
         served += 1
     state.ever_warm = ever_warm
     return served
@@ -462,8 +564,11 @@ def _finalize_region(job: _RegionJob) -> _RegionResult:
     verified assignment, producing the exact serial RegionStats."""
     trace = _job_trace(job)
     state = _build_state(job, trace)
+    if job.collect_metrics:
+        state.queue_depth = _QueueDepthTracker()
     arrivals = trace.arrivals
     outcomes = array("b")
+    events: Optional[list] = [] if job.want_events else None
     analytic = 0
     began = perf_counter()
     if (job.retention is None and state.injector is None
@@ -471,17 +576,23 @@ def _finalize_region(job: _RegionJob) -> _RegionResult:
         analytic = _serve_analytic(
             state, arrivals,
             _assigned(job.assignment, job.region_index, len(arrivals)),
-            job.shed_wait_s, outcomes)
+            job.shed_wait_s, outcomes, events)
     else:
-        _serve_stepping(state, arrivals, job, outcomes)
+        _serve_stepping(state, arrivals, job, outcomes, events)
     wall = perf_counter() - began
     trace_state = (state.recorder.state_dict()
                    if state.recorder is not None else None)
     stats = state.stats
     stats.trace = None  # recorders travel as state dicts
+    metrics_dump = None
+    if job.collect_metrics:
+        registry = MetricsRegistry()
+        _feed_region_metrics(registry, stats, job.routing_kind,
+                             state.queue_depth.peak)
+        metrics_dump = registry.to_json()
     return _RegionResult(stats=stats, trace_state=trace_state,
                          outcomes=outcomes.tobytes(), analytic=analytic,
-                         wall_s=wall)
+                         wall_s=wall, metrics=metrics_dump, events=events)
 
 
 # ----------------------------------------------------------------------
@@ -491,7 +602,8 @@ def _finalize_region(job: _RegionJob) -> _RegionResult:
 def _converge_assignment(config: FleetConfig, trace: FleetTrace,
                          spec: Optional[TraceSpec],
                          policy: AutoscalePolicy, checkpoint_every: int,
-                         pool, report: ShardReport, run_shards):
+                         pool, report: ShardReport, run_shards,
+                         flight=None):
     """Time-warp rounds: iterate optimistic simulation + router replay
     until the guessed assignment is verified end to end."""
     n = len(trace)
@@ -514,7 +626,12 @@ def _converge_assignment(config: FleetConfig, trace: FleetTrace,
     router = RouterState(config.routing)
     verified = 0
     while True:
+        round_index = report.rounds
         report.rounds += 1
+        round_began = perf_counter()
+        starts = [restarts[i].index if restarts[i] is not None else 0
+                  for i in range(n_regions)]
+        verified_before = verified
         jobs = [_RegionJob(region_index=i, config=region, policy=policy,
                            shed_wait_s=config.shed_wait_s, retention=None,
                            ring=config.trace_ring,
@@ -546,6 +663,10 @@ def _converge_assignment(config: FleetConfig, trace: FleetTrace,
                 guess[k] = code
                 break
         if mismatch is None:
+            report.round_wall_s.append(perf_counter() - round_began)
+            if flight is not None:
+                flight.record_round(round_index, starts, n, None,
+                                    verified_before)
             return ("explicit", guess.tobytes())
         verified = mismatch + 1
         # Re-guess the tail from the (stale but informed) observations.
@@ -562,12 +683,34 @@ def _converge_assignment(config: FleetConfig, trace: FleetTrace,
             checkpoints[i] = keep
             restarts[i] = keep[-1] if keep else None
         report.rollbacks += n_regions
+        restart_indices = [restarts[i].index if restarts[i] is not None
+                           else 0 for i in range(n_regions)]
+        for restart in restart_indices:
+            depth = n - restart
+            if depth > report.max_rollback_depth:
+                report.max_rollback_depth = depth
+            report.resimulated += depth
+        report.round_wall_s.append(perf_counter() - round_began)
+        if flight is not None:
+            flight.record_round(round_index, starts, n, mismatch,
+                                verified_before,
+                                restarts=restart_indices)
 
 
 def _merge(config: FleetConfig, trace: FleetTrace, assignment,
-           results: List[_RegionResult], report: ShardReport) -> FleetStats:
+           results: List[_RegionResult], report: ShardReport,
+           spans=None,
+           monitors: Optional[SLOMonitorSet] = None) -> FleetStats:
     """Deterministic merge: rebuild the serial FleetStats from shard
-    outputs, walking tenants in global arrival order."""
+    outputs, walking tenants in global arrival order.
+
+    With ``spans`` the walk also replays the shards' recorded
+    control-plane event tuples — interleaved with the route /
+    unroutable decisions only the coordinator sees — in the exact
+    order the serial loop emits them, so the sharded span list is
+    byte-identical to the serial one.  With ``monitors`` it feeds the
+    SLO monitor set from the detailed outcome codes and the merged
+    latency stream (again the serial observation order)."""
     stats = FleetStats(offered=len(trace))
     for region, result in zip(config.regions, results):
         region_stats = result.stats
@@ -579,7 +722,8 @@ def _merge(config: FleetConfig, trace: FleetTrace, assignment,
     tenants = [TenantStats(name=name) for name in trace.tenant_names]
     kind, value = assignment
     n = len(trace)
-    if (len(tenants) == 1 and kind in ("constant", "modulo")
+    if (spans is None and monitors is None
+            and len(tenants) == 1 and kind in ("constant", "modulo")
             and all(r.stats.failed == 0 and r.stats.shed == 0
                     for r in results)):
         # Fast merge: one tenant, nothing shed or failed, no unroutable
@@ -597,21 +741,68 @@ def _merge(config: FleetConfig, trace: FleetTrace, assignment,
         member = _membership(assignment)
         outcome_iters = [iter(r.outcomes) for r in results]
         latency_iters = [iter(r.stats.latencies) for r in results]
+        arrivals = trace.arrivals
+        names = [region.name for region in config.regions]
+        routing_kind = config.routing.kind
+        events = [r.events if r.events is not None else []
+                  for r in results]
+        positions = [0] * len(results)
         for k, tenant_index in enumerate(trace.tenants):
             tenant = tenants[tenant_index]
             tenant.offered += 1
+            t = arrivals[k]
+            if spans is not None:
+                # Serial order: every region's idle tick fires before
+                # the routing decision, in region order.
+                for i, name in enumerate(names):
+                    log, p = events[i], positions[i]
+                    if (p < len(log) and log[p][0] == k
+                            and log[p][1] == _EV_SCALE_DOWN):
+                        _emit_scale_down(spans, name, t, log[p][2],
+                                         log[p][3])
+                        positions[i] = p + 1
             code = member(k)
             if code < 0:
                 stats.shed_unroutable += 1
                 tenant.shed += 1
+                if spans is not None:
+                    _emit_unroutable(spans, t, tenant.name)
                 continue
             outcome = next(outcome_iters[code])
-            if outcome == _COMPLETED:
-                tenant.latencies.append(next(latency_iters[code]))
-            elif outcome == _FAILED:
-                tenant.failed += 1
-            else:
+            if outcome == _SHED:
                 tenant.shed += 1
+                if spans is not None:
+                    log, p = events[code], positions[code]
+                    _emit_shed(spans, names[code], t, log[p][2])
+                    positions[code] = p + 1
+                continue
+            if spans is not None:
+                _emit_route(spans, names[code], t, routing_kind,
+                            tenant.name)
+                log, p = events[code], positions[code]
+                if (p < len(log) and log[p][0] == k
+                        and log[p][1] == _EV_SCALE_UP):
+                    _emit_scale_up(spans, names[code], t, log[p][2],
+                                   log[p][3])
+                    p += 1
+                if (p < len(log) and log[p][0] == k
+                        and log[p][1] == _EV_PREWARM):
+                    _emit_prewarm(spans, names[code], t, log[p][2],
+                                  log[p][3])
+                    p += 1
+                positions[code] = p
+            if outcome == _FAILED:
+                tenant.failed += 1
+                fresh = (monitors.observe_failed(t)
+                         if monitors is not None else None)
+            else:
+                latency = next(latency_iters[code])
+                tenant.latencies.append(latency)
+                fresh = (monitors.observe_completed(
+                    t, latency, outcome == _COMPLETED_COLD)
+                    if monitors is not None else None)
+            if spans is not None and fresh:
+                emit_alert_spans(spans, fresh)
     for tenant in tenants:
         stats.tenants[tenant.name] = tenant
     return stats
@@ -621,7 +812,9 @@ def run_fleet_sharded(config: FleetConfig,
                       trace: Union[RequestTrace, FleetTrace, None] = None,
                       jobs: int = 1, *,
                       trace_spec: Optional[TraceSpec] = None,
-                      checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY
+                      checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
+                      metrics: Optional[MetricsRegistry] = None,
+                      spans=None, slo=None, flight=None
                       ) -> Tuple[FleetStats, ShardReport]:
     """Replay ``trace`` sharded by region; byte-identical to serial.
 
@@ -634,11 +827,21 @@ def run_fleet_sharded(config: FleetConfig,
     ``checkpoint_every`` bounds time-warp rollback cost: shards
     snapshot their full evolution (instances, autoscaler cursors, fault
     draws) every that-many arrivals.
+
+    Telemetry mirrors :class:`FleetSimulator`: ``metrics`` /
+    ``spans`` / ``slo`` produce dumps, span lists and monitor
+    summaries byte-identical to a serial run with the same sinks
+    (workers feed fresh per-shard registries whose dumps merge
+    associatively; control-plane spans replay on the coordinator).
+    ``flight`` — a :class:`~repro.obs.flight.FlightRecorder` — captures
+    the optimistic rounds / rollbacks for the Perfetto flight view.
     """
     if checkpoint_every < 0:
         raise ValueError("checkpoint_every must be non-negative")
     began = perf_counter()
-    simulator = FleetSimulator(config)  # validates config combinations
+    # Validates config combinations; also the delegated-path runner.
+    simulator = FleetSimulator(config, metrics=metrics, spans=spans,
+                               slo=slo)
     if trace is None:
         if trace_spec is None:
             raise ValueError("need a trace or a trace_spec")
@@ -646,13 +849,23 @@ def run_fleet_sharded(config: FleetConfig,
     if isinstance(trace, RequestTrace):
         trace = FleetTrace.from_request_trace(trace)
     jobs = max(1, jobs)
+    region_names = [region.name for region in config.regions]
     if config.is_single_cluster and len(trace.tenant_names) == 1:
+        if flight is not None:
+            flight.begin("delegated", region_names, trace.arrivals)
+            flight.record_final(len(trace))
         stats = simulator.run(trace)
         return stats, ShardReport(mode="delegated", jobs=jobs, shards=0,
                                   wall_s=perf_counter() - began)
+    if spans is not None and config.trace_retention is not None:
+        raise ValueError(
+            "sharded span capture does not compose with trace retention "
+            "(request-level recorders bind to the span recorder "
+            "in-region); run the serial FleetSimulator for that combo")
     n_regions = len(config.regions)
     policy = (config.autoscale if config.autoscale is not None
               else AutoscalePolicy())
+    monitors = SLOMonitorSet(slo) if slo is not None else None
     report = ShardReport(mode="static", jobs=jobs, shards=n_regions)
     assignment = _static_assignment(config, trace)
     from repro.runner.engine import run_shards  # local: avoids a cycle
@@ -666,19 +879,37 @@ def run_fleet_sharded(config: FleetConfig,
         ship_spec = trace_spec if pool is not None else None
         if assignment is None:
             report.mode = "time-warp"
+            if flight is not None:
+                flight.begin("time-warp", region_names, trace.arrivals)
             assignment = _converge_assignment(
                 config, trace, ship_spec, policy, checkpoint_every,
-                pool, report, run_shards)
+                pool, report, run_shards, flight)
+        elif flight is not None:
+            flight.begin("static", region_names, trace.arrivals)
         final_jobs = [
             _RegionJob(region_index=i, config=region, policy=policy,
                        shed_wait_s=config.shed_wait_s,
                        retention=config.trace_retention,
                        ring=config.trace_ring,
                        trace=None if ship_spec is not None else trace,
-                       spec=ship_spec, assignment=assignment)
+                       spec=ship_spec, assignment=assignment,
+                       collect_metrics=metrics is not None,
+                       want_events=spans is not None,
+                       detail=monitors is not None,
+                       routing_kind=config.routing.kind)
             for i, region in enumerate(config.regions)]
         results = run_shards(_finalize_region, final_jobs, pool=pool)
-        stats = _merge(config, trace, assignment, results, report)
+        stats = _merge(config, trace, assignment, results, report,
+                       spans=spans, monitors=monitors)
+        if flight is not None:
+            flight.record_final(len(trace))
+        if monitors is not None:
+            stats.monitors = monitors.summary()
+        if metrics is not None:
+            for result in results:
+                if result.metrics:
+                    metrics.merge(result.metrics)
+            _feed_tenant_metrics(metrics, stats)
     finally:
         if pool is not None:
             pool.shutdown()
@@ -731,6 +962,7 @@ def equivalence_problems(serial: FleetStats,
         if region.trace is not None and other.trace is not None:
             check(f"{name}.trace.record_count",
                   region.trace.record_count, other.trace.record_count)
+    check("monitors", serial.monitors, sharded.monitors)
     check("tenants", list(serial.tenants), list(sharded.tenants))
     for name, tenant in serial.tenants.items():
         other = sharded.tenants.get(name)

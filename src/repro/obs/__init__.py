@@ -14,9 +14,12 @@ exporter formats.
 from repro.obs.attribution import (Attribution, attribute_request,
                                    attribute_result, attribute_spans,
                                    spans_breakdown, spans_from_trace)
+from repro.obs.flight import FlightRecorder
 from repro.obs.metrics import (Counter, Gauge, Histogram, MetricsRegistry,
                                exponential_buckets, merge_dumps,
                                validate_dump)
+from repro.obs.monitors import (Alert, SLOMonitorSet, SLOPolicy,
+                                emit_alert_spans, validate_monitors)
 from repro.obs.perfetto import (spans_summary, to_perfetto, trace_events,
                                 validate_trace, write_trace)
 from repro.obs.spans import NULL_RECORDER, NullRecorder, Span, SpanRecorder
@@ -29,4 +32,6 @@ __all__ = [
     "exponential_buckets", "merge_dumps", "validate_dump",
     "trace_events", "to_perfetto", "write_trace", "validate_trace",
     "spans_summary",
+    "SLOPolicy", "Alert", "SLOMonitorSet", "validate_monitors",
+    "emit_alert_spans", "FlightRecorder",
 ]

@@ -1,0 +1,174 @@
+"""Time-warp flight recorder: replay telemetry for sharded fleets.
+
+:func:`repro.fleet.parallel.run_fleet_sharded` resolves state-coupled
+routing through optimistic rounds with checkpoint rollback.  The
+:class:`FlightRecorder` captures that execution as structured events —
+per round: which arrival window every shard simulated, where the router
+diverged, how far each shard rolled back — and renders them as
+:class:`~repro.obs.spans.Span` lists on the *simulated* time axis, one
+track per shard, with ``optimistic`` / ``committed`` / ``rolled-back``
+windows.  The spans feed the existing Perfetto pipeline
+(:func:`repro.obs.perfetto.write_trace` /
+:func:`~repro.obs.perfetto.validate_trace`) unchanged, which is what
+``repro trace export --fleet`` ships.
+
+Wall-clock readings deliberately stay *out* of the recorded events (they
+live in :class:`~repro.fleet.parallel.ShardReport.round_wall_s`), so a
+seeded replay always produces a byte-identical flight trace — the
+golden ``tests/data/golden_fleet_trace.json`` pins exactly that.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.spans import Span
+
+__all__ = ["FlightRecorder"]
+
+
+class FlightRecorder:
+    """Collects the structured replay events of one sharded fleet run.
+
+    :func:`~repro.fleet.parallel.run_fleet_sharded` drives the recorder
+    when one is passed; afterwards :meth:`to_spans` renders the Perfetto
+    view and :meth:`summary` / :meth:`to_payload` the JSON digests.
+    All recorded quantities are arrival *indices* — pure functions of
+    the seeded replay — never wall-clock readings.
+    """
+
+    def __init__(self) -> None:
+        self.mode: Optional[str] = None
+        self.region_names: Tuple[str, ...] = ()
+        self.arrivals: Tuple[float, ...] = ()
+        # One record per optimistic round:
+        #   {"round", "starts", "end", "mismatch", "verified", "restarts"}
+        self.rounds: List[Dict[str, Any]] = []
+        self.final_recorded = False
+
+    # -- recording hooks (driven by run_fleet_sharded) -----------------
+
+    def begin(self, mode: str, region_names: Sequence[str],
+              arrivals: Sequence[float]) -> None:
+        self.mode = mode
+        self.region_names = tuple(region_names)
+        self.arrivals = tuple(arrivals)
+
+    def record_round(self, index: int, starts: Sequence[int], end: int,
+                     mismatch: Optional[int], verified: int,
+                     restarts: Optional[Sequence[int]] = None) -> None:
+        """One optimistic round: every shard simulated
+        ``[starts[i], end)``; the router replay diverged at ``mismatch``
+        (``None`` on the verifying round) with ``verified`` arrivals
+        already proven before the round; ``restarts`` are the rollback
+        indices the next round resumes from."""
+        self.rounds.append({
+            "round": index,
+            "starts": list(starts),
+            "end": end,
+            "mismatch": mismatch,
+            "verified": verified,
+            "restarts": list(restarts) if restarts is not None else None,
+        })
+
+    def record_final(self, end: int) -> None:
+        """The full-stats pass committed ``[0, end)`` on every shard."""
+        self.final_recorded = True
+        self._final_end = end
+
+    # -- digests -------------------------------------------------------
+
+    @property
+    def rollbacks(self) -> int:
+        """Rounds that ended in a divergence (each rolls every shard
+        back)."""
+        return sum(1 for r in self.rounds if r["mismatch"] is not None)
+
+    @property
+    def max_rollback_depth(self) -> int:
+        """Largest per-shard re-simulation a rollback forced."""
+        depth = 0
+        for rec in self.rounds:
+            if rec["restarts"] is None:
+                continue
+            for restart in rec["restarts"]:
+                depth = max(depth, rec["end"] - restart)
+        return depth
+
+    @property
+    def resimulated(self) -> int:
+        """Total arrivals re-simulated across all rollbacks."""
+        total = 0
+        for rec in self.rounds:
+            if rec["restarts"] is None:
+                continue
+            total += sum(rec["end"] - restart
+                         for restart in rec["restarts"])
+        return total
+
+    def summary(self) -> Dict[str, Any]:
+        verified = [r["verified"] for r in self.rounds]
+        return {
+            "mode": self.mode,
+            "shards": len(self.region_names),
+            "rounds": len(self.rounds),
+            "rollbacks": self.rollbacks,
+            "max_rollback_depth": self.max_rollback_depth,
+            "resimulated": self.resimulated,
+            "verified_prefix": verified,
+        }
+
+    def to_payload(self) -> Dict[str, Any]:
+        """JSON-safe structured-event dump (rounds + summary)."""
+        out = self.summary()
+        out["events"] = [dict(rec) for rec in self.rounds]
+        return out
+
+    def to_spans(self) -> List[Span]:
+        """Render the flight data as deterministic spans.
+
+        One actor (= Perfetto track) per shard plus a ``coordinator``
+        track for divergence markers.  Windows map arrival indices to
+        the simulated arrival times, so the flight view lines up with
+        any request-level trace of the same replay.
+        """
+        arrivals = self.arrivals
+        names = self.region_names
+        spans: List[Span] = []
+        next_id = 1
+
+        def window(name: str, category: str, actor: str, lo: int,
+                   hi: int, **attrs: Any) -> None:
+            nonlocal next_id
+            if lo >= hi:
+                return
+            spans.append(Span(
+                next_id, name, category, actor,
+                arrivals[lo], arrivals[hi - 1], None, (),
+                tuple(sorted(attrs.items()))))
+            next_id += 1
+
+        for rec in self.rounds:
+            index, end = rec["round"], rec["end"]
+            for i, start in enumerate(rec["starts"]):
+                window(f"round-{index}", "optimistic", f"shard:{names[i]}",
+                       start, end, round=index, start_index=start,
+                       end_index=end)
+            mismatch = rec["mismatch"]
+            if mismatch is None:
+                continue
+            spans.append(Span(
+                next_id, "divergence", "divergence", "coordinator",
+                arrivals[mismatch], arrivals[mismatch], None, (),
+                tuple(sorted({"round": index, "index": mismatch,
+                              "verified": rec["verified"]}.items()))))
+            next_id += 1
+            for i, restart in enumerate(rec["restarts"]):
+                window(f"rollback-{index}", "rolled-back",
+                       f"shard:{names[i]}", restart, end, round=index,
+                       from_index=restart, depth=end - restart)
+        if self.final_recorded:
+            for i, name in enumerate(names):
+                window("final", "committed", f"shard:{names[i]}",
+                       0, self._final_end, end_index=self._final_end)
+        return spans

@@ -31,9 +31,11 @@ from repro.runner.engine import (RunStats, TaskOutcome, prewarm_suite,
 from repro.runner.fleetbench import fleet_frontier_report, frontier_tasks
 from repro.runner.grid import bench_grid, experiment_grid
 from repro.runner.profile import (ClusterProfile, EventKernelProfile,
-                                  FleetProfile, TelemetryProfile,
-                                  profile_cluster, profile_event_kernel,
-                                  profile_fleet, profile_telemetry)
+                                  FleetProfile, FleetTelemetryProfile,
+                                  TelemetryProfile, profile_cluster,
+                                  profile_event_kernel, profile_fleet,
+                                  profile_fleet_telemetry,
+                                  profile_telemetry)
 from repro.runner.schema import BENCH_SCHEMA, validate_report
 from repro.runner.tasks import (ExperimentTask, cluster_stats_from_payload,
                                 cluster_stats_to_payload, execute_task,
@@ -74,9 +76,11 @@ __all__ = [
     "ClusterProfile",
     "EventKernelProfile",
     "FleetProfile",
+    "FleetTelemetryProfile",
     "TelemetryProfile",
     "profile_cluster",
     "profile_event_kernel",
     "profile_fleet",
+    "profile_fleet_telemetry",
     "profile_telemetry",
 ]

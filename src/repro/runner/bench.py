@@ -151,11 +151,16 @@ def build_report(grid: str, outcomes: Dict[ExperimentTask, TaskOutcome],
         created_unix = time.time()
     cells: List[Dict[str, Any]] = []
     metric_dumps: List[Dict[str, Any]] = []
+    monitors_by_cell: Dict[str, Any] = {}
     for task, outcome in outcomes.items():
         cells.append(_CELL_BUILDERS[task.kind](task, outcome))
         dump = outcome.payload.get("metrics")
         if dump:
             metric_dumps.append(dump)
+        if task.kind == "fleet":
+            summary = outcome.payload.get("monitors")
+            if summary:
+                monitors_by_cell[task.cell_id] = summary
     simulated = sum(cell["total_time_s"] for cell in cells
                     if cell["kind"] in ("cold", "hot"))
     report: Dict[str, Any] = {
@@ -181,6 +186,10 @@ def build_report(grid: str, outcomes: Dict[ExperimentTask, TaskOutcome],
         # keep their exact shape.
         from repro.obs.metrics import merge_dumps
         report["metrics"] = merge_dumps(metric_dumps)
+    if monitors_by_cell:
+        # SLO monitor summaries keyed by fleet cell id; same
+        # omit-when-empty rule keeps monitor-free reports byte-stable.
+        report["monitors"] = monitors_by_cell
     return report
 
 
@@ -260,6 +269,7 @@ def run_bench(grid: str = "quick", jobs: int = 1,
               collect_metrics: bool = False,
               resilience=None,
               fleet: bool = False,
+              slo=None,
               echo: Optional[Callable[[str], None]] = None) -> BenchReport:
     """Run one full bench cycle: grid → engine → report (→ gate).
 
@@ -274,7 +284,9 @@ def run_bench(grid: str = "quick", jobs: int = 1,
     resilience dimension to the cluster cells.  ``fleet`` adds the
     fleet dimension (``fleet/...`` cells): multi-region replays with
     warm-first routing and scale-to-zero autoscaling per headline
-    scheme.
+    scheme.  ``slo`` (a :class:`~repro.obs.monitors.SLOPolicy`) attaches
+    burn-rate monitors to the fleet cells and adds a ``monitors``
+    section to the report.
     """
     def say(text: str = "") -> None:
         if echo is not None:
@@ -283,7 +295,7 @@ def run_bench(grid: str = "quick", jobs: int = 1,
     tasks = bench_grid(grid, trace_retention=trace_retention,
                        cluster_scale=cluster_scale,
                        collect_metrics=collect_metrics,
-                       resilience=resilience, fleet=fleet)
+                       resilience=resilience, fleet=fleet, slo=slo)
     cache = ResultCache(cache_dir, read=use_cache, write=True)
     say(f"repro bench: grid {grid!r}, {len(tasks)} cells, jobs={jobs}, "
         f"cache {'on' if use_cache else 'bypassed (writes only)'} "
@@ -300,6 +312,13 @@ def run_bench(grid: str = "quick", jobs: int = 1,
         f"{stats.cache.writes} writes ({stats.executed} cold executions)")
     for scheme, speedup in report_payload["summary"]["speedups"].items():
         say(f"  avg cold-start speedup {scheme}: {speedup:.2f}x")
+    monitors = report_payload.get("monitors")
+    if monitors:
+        fired = sum(1 for summary in monitors.values()
+                    for state in summary["monitors"].values()
+                    if state["fired"])
+        say(f"  slo monitors: {len(monitors)} fleet cells watched, "
+            f"{fired} monitor(s) fired")
     report = BenchReport(report_payload)
     if write:
         report.path = write_report(report_payload, out_dir)

@@ -18,6 +18,7 @@ from typing import List, Optional, Sequence
 from repro.core.schemes import Scheme
 from repro.fleet.autoscale import AutoscalePolicy
 from repro.models import list_models
+from repro.obs.monitors import SLOPolicy
 from repro.runner.tasks import ExperimentTask
 from repro.serving.resilience import ResiliencePolicy
 from repro.sim.faults import FaultPlan
@@ -93,7 +94,8 @@ def _cluster_cells(models: Sequence[str], schemes: Sequence[Scheme],
 
 
 def _fleet_cells(schemes: Sequence[Scheme], duration_s: float,
-                 collect_metrics: bool = False) -> List[ExperimentTask]:
+                 collect_metrics: bool = False,
+                 slo: Optional[SLOPolicy] = None) -> List[ExperimentTask]:
     """The fleet bench dimension: one heterogeneous two-region replay
     per scheme, under bursty traffic with warm-first routing and
     scale-to-zero autoscaling — the configuration where a cheap cold
@@ -105,7 +107,7 @@ def _fleet_cells(schemes: Sequence[Scheme], duration_s: float,
                            keep_alive_s=0.5,
                            fleet_devices=("MI100", "A100"),
                            routing="warm-first", autoscale=autoscale,
-                           collect_metrics=collect_metrics)
+                           collect_metrics=collect_metrics, slo=slo)
             for scheme in schemes]
 
 
@@ -114,7 +116,8 @@ def bench_grid(name: str = "quick",
                cluster_scale: float = 1.0,
                collect_metrics: bool = False,
                resilience: Optional[ResiliencePolicy] = None,
-               fleet: bool = False
+               fleet: bool = False,
+               slo: Optional[SLOPolicy] = None
                ) -> List[ExperimentTask]:
     """The curated ``repro bench`` grid called ``name``.
 
@@ -127,8 +130,13 @@ def bench_grid(name: str = "quick",
     ``metrics`` section.  ``resilience`` adds the resilience dimension:
     every cluster cell is duplicated with the policy attached.
     ``fleet`` adds the fleet dimension: a multi-region fleet replay per
-    headline scheme (see :func:`_fleet_cells`).
+    headline scheme (see :func:`_fleet_cells`).  ``slo`` attaches SLO
+    burn-rate monitors to every fleet cell; their summaries land in the
+    report's ``monitors`` section.
     """
+    if slo is not None and not fleet:
+        raise ValueError("slo monitors need the fleet dimension "
+                         "(pass fleet=True)")
     if name not in BENCH_GRIDS:
         raise ValueError(f"unknown bench grid {name!r}; "
                          f"expected one of {BENCH_GRIDS}")
@@ -151,7 +159,8 @@ def bench_grid(name: str = "quick",
                                 collect_metrics=cm, resilience=resilience)
         if fleet:
             tasks += _fleet_cells((Scheme.BASELINE, Scheme.PASK),
-                                  duration_s=8.0, collect_metrics=cm)
+                                  duration_s=8.0, collect_metrics=cm,
+                                  slo=slo)
         return tasks
     models = list_models()
     for model in models:
@@ -180,5 +189,5 @@ def bench_grid(name: str = "quick",
                             collect_metrics=cm, resilience=resilience)
     if fleet:
         tasks += _fleet_cells(_HEADLINE_SCHEMES, duration_s=16.0,
-                              collect_metrics=cm)
+                              collect_metrics=cm, slo=slo)
     return tasks

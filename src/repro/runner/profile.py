@@ -27,8 +27,9 @@ from repro.serving.server import InferenceServer
 from repro.sim.core import Environment
 
 __all__ = ["ClusterProfile", "EventKernelProfile", "FleetProfile",
-           "TelemetryProfile", "profile_cluster", "profile_event_kernel",
-           "profile_fleet", "profile_telemetry"]
+           "FleetTelemetryProfile", "TelemetryProfile",
+           "profile_cluster", "profile_event_kernel", "profile_fleet",
+           "profile_fleet_telemetry", "profile_telemetry"]
 
 
 @dataclass(frozen=True)
@@ -132,6 +133,11 @@ class FleetProfile:
     fast_forwarded: int            # requests served by the analytic path
     region_wall_s: dict
     mean_latency_s: float
+    # Flight-recorder stats — zeroed outside time-warp mode, so the
+    # ``repro profile --fleet`` output stays stable to parse.
+    max_rollback_depth: int = 0
+    resimulated: int = 0
+    round_wall_s: tuple = ()
 
     @property
     def wall_per_request_s(self) -> float:
@@ -221,6 +227,107 @@ def profile_fleet(device: str = "MI100", model: str = "res",
         fast_forwarded=report.analytic_total,
         region_wall_s=dict(report.region_wall_s),
         mean_latency_s=mean_latency,
+        max_rollback_depth=report.max_rollback_depth,
+        resimulated=report.resimulated,
+        round_wall_s=tuple(report.round_wall_s),
+    )
+
+
+@dataclass(frozen=True)
+class FleetTelemetryProfile:
+    """Wall-clock cost of fleet telemetry on a sharded replay.
+
+    Two measured replays of the identical fleet trace: telemetry off
+    (no sinks passed — the zero-allocation path) and telemetry on
+    (metrics + decision spans + SLO monitors all enabled).  The
+    simulated stats are byte-identical either way; only wall-clock
+    differs.
+    """
+
+    requests: int
+    mode: str
+    wall_off_s: float
+    wall_on_s: float
+    spans: int                     # decision spans the on-run captured
+    alerts: int                    # SLO alerts the monitors emitted
+
+    @property
+    def per_request_off_s(self) -> float:
+        """Wall-clock per request with telemetry disabled."""
+        return self.wall_off_s / self.requests if self.requests else 0.0
+
+    @property
+    def per_request_on_s(self) -> float:
+        """Wall-clock per request with telemetry enabled."""
+        return self.wall_on_s / self.requests if self.requests else 0.0
+
+    @property
+    def overhead_fraction(self) -> float:
+        """Relative slowdown of the telemetry-on path (0.1 = +10%)."""
+        if self.wall_off_s <= 0:
+            return 0.0
+        return self.wall_on_s / self.wall_off_s - 1.0
+
+
+def profile_fleet_telemetry(device: str = "MI100", model: str = "res",
+                            scheme: Scheme = Scheme.PASK,
+                            requests: int = 10_000,
+                            rate_hz: float = 200.0,
+                            regions: int = 2, instances: int = 4,
+                            keep_alive_s: float = 0.5,
+                            routing: str = "warm-first", seed: int = 0,
+                            jobs: int = 1) -> FleetTelemetryProfile:
+    """Time the identical sharded fleet replay with telemetry off vs on.
+
+    The on-run enables every sink at once — a
+    :class:`~repro.obs.metrics.MetricsRegistry`, a
+    :class:`~repro.obs.spans.SpanRecorder` for the control-plane
+    decision spans, and :class:`~repro.obs.monitors.SLOMonitorSet`
+    burn-rate monitors under a default
+    :class:`~repro.obs.monitors.SLOPolicy` — so the overhead reading is
+    the worst case a ``repro fleet --telemetry`` run pays.
+    """
+    if requests <= 0:
+        raise ValueError("requests must be positive")
+    if rate_hz <= 0:
+        raise ValueError("rate_hz must be positive")
+    if regions <= 0:
+        raise ValueError("regions must be positive")
+    from repro.fleet.fleet import FleetConfig, RegionConfig
+    from repro.fleet.parallel import TraceSpec, run_fleet_sharded
+    from repro.fleet.routing import RoutingPolicy
+    from repro.obs import MetricsRegistry, SLOPolicy, SpanRecorder
+    config = FleetConfig(
+        regions=tuple(
+            RegionConfig(name=f"r{i}", device=device, scheme=scheme,
+                         max_instances=instances,
+                         keep_alive_s=keep_alive_s)
+            for i in range(regions)),
+        routing=RoutingPolicy(routing))
+    spec = TraceSpec(model=model, rate_hz=rate_hz,
+                     duration_s=requests / rate_hz, seed=seed)
+    trace = spec.materialize()
+    began = perf_counter()
+    stats_off, report = run_fleet_sharded(config, trace, jobs=jobs,
+                                          trace_spec=spec)
+    wall_off = perf_counter() - began
+    spans = SpanRecorder()
+    began = perf_counter()
+    stats_on, _ = run_fleet_sharded(config, trace, jobs=jobs,
+                                    trace_spec=spec,
+                                    metrics=MetricsRegistry(),
+                                    spans=spans,
+                                    slo=SLOPolicy(p99_target_s=1.0,
+                                                  cold_rate_target=0.5))
+    wall_on = perf_counter() - began
+    monitors = stats_on.monitors or {}
+    return FleetTelemetryProfile(
+        requests=stats_off.offered,
+        mode=report.mode,
+        wall_off_s=wall_off,
+        wall_on_s=wall_on,
+        spans=len(spans),
+        alerts=len(monitors.get("alerts", ())),
     )
 
 

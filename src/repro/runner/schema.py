@@ -158,6 +158,10 @@ BENCH_SCHEMA: Dict[str, Any] = {
         # present when the run collected metrics.  Structure validated
         # by repro.obs.metrics.validate_dump.
         "metrics": {"type": "object"},
+        # Optional: SLO monitor summaries keyed by fleet cell id,
+        # present when the run attached burn-rate monitors.  Each value
+        # is validated by repro.obs.monitors.validate_monitors.
+        "monitors": {"type": "object"},
     },
 }
 
@@ -286,4 +290,21 @@ def validate_report(payload: Any) -> List[str]:
         from repro.obs.metrics import validate_dump
         errors.extend(f"metrics: {problem}"
                       for problem in validate_dump(payload["metrics"]))
+    if "monitors" in payload:
+        # Optional SLO section; every entry must be a structurally
+        # valid monitor summary for a fleet cell in this report.
+        from repro.obs.monitors import validate_monitors
+        block = payload["monitors"]
+        if not isinstance(block, dict):
+            errors.append("monitors: not an object")
+        else:
+            fleet_ids = {cell.get("id") for cell in payload.get("cells", [])
+                         if isinstance(cell, dict)
+                         and cell.get("kind") == "fleet"}
+            for cell_id, summary in block.items():
+                if cell_id not in fleet_ids:
+                    errors.append(f"monitors[{cell_id}]: no fleet cell "
+                                  f"with this id")
+                errors.extend(f"monitors[{cell_id}]: {problem}"
+                              for problem in validate_monitors(summary))
     return errors

@@ -26,6 +26,7 @@ from repro.fleet.autoscale import AutoscalePolicy
 from repro.fleet.fleet import (FleetConfig, FleetSimulator, FleetStats,
                                RegionConfig, RegionStats, TenantStats)
 from repro.fleet.routing import ROUTING_POLICIES, RoutingPolicy
+from repro.obs.monitors import SLOPolicy
 from repro.serving.cluster import ClusterConfig, ClusterSimulator, ClusterStats
 from repro.serving.requests import (RequestTrace, bursty_trace, diurnal_trace,
                                     poisson_trace)
@@ -107,6 +108,10 @@ class ExperimentTask:
     routing: str = "single"
     autoscale: Optional[AutoscalePolicy] = None
     shed_wait_s: Optional[float] = None
+    # SLO burn-rate monitors evaluated during a fleet replay; the
+    # summary lands in the payload's "monitors" key and the report's
+    # "monitors" section.  None keeps existing cache keys stable.
+    slo: Optional[SLOPolicy] = None
 
     def __post_init__(self) -> None:
         if self.kind not in ("cold", "hot", "cluster", "fleet"):
@@ -137,6 +142,9 @@ class ExperimentTask:
         if self.kind == "fleet" and self.resilience is not None:
             raise ValueError("fleet tasks do not take a resilience policy "
                              "(it is a cluster-level knob)")
+        if self.slo is not None and self.kind != "fleet":
+            raise ValueError("SLO monitors are a fleet-level knob; "
+                             f"{self.kind!r} tasks do not take one")
 
     @property
     def region_devices(self) -> Tuple[str, ...]:
@@ -177,6 +185,12 @@ class ExperimentTask:
                     cell += "-cr"
             if self.shed_wait_s is not None:
                 cell += f"/w{self.shed_wait_s:g}"
+            if self.slo is not None:
+                cell += f"/slo{self.slo.availability_target:g}"
+                if self.slo.p99_target_s is not None:
+                    cell += f"-p{self.slo.p99_target_s:g}"
+                if self.slo.cold_rate_target is not None:
+                    cell += f"-c{self.slo.cold_rate_target:g}"
             return cell
         return f"{self.kind}/{self.device}/{self.model}/{self.scheme}/b{self.batch}"
 
@@ -214,6 +228,9 @@ class ExperimentTask:
                          "fleet_devices", "routing", "autoscale",
                          "shed_wait_s"):
                 del out[knob]
+        if self.slo is None:
+            # Same stability rule for the SLO-monitor knob.
+            del out["slo"]
         if self.kind == "hot":
             # Hot serves always run the baseline-lowered program.
             del out["scheme"]
@@ -345,7 +362,7 @@ def cluster_stats_from_payload(payload: Dict[str, Any]) -> ClusterStats:
 
 def fleet_stats_to_payload(stats: FleetStats) -> Dict[str, Any]:
     """A JSON-safe payload that reconstructs ``stats`` exactly."""
-    return {
+    payload: Dict[str, Any] = {
         "type": "fleet",
         "offered": stats.offered,
         "shed_unroutable": stats.shed_unroutable,
@@ -371,6 +388,10 @@ def fleet_stats_to_payload(stats: FleetStats) -> Dict[str, Any]:
              "shed": t.shed, "latencies": list(t.latencies)}
             for t in stats.tenants.values()],
     }
+    if stats.monitors is not None:
+        # Absent rather than null so pre-SLO payloads stay byte-stable.
+        payload["monitors"] = stats.monitors
+    return payload
 
 
 def fleet_stats_from_payload(payload: Dict[str, Any]) -> FleetStats:
@@ -404,6 +425,7 @@ def fleet_stats_from_payload(payload: Dict[str, Any]) -> FleetStats:
             name=entry["name"], offered=entry["offered"],
             failed=entry["failed"], shed=entry["shed"],
             latencies=list(entry["latencies"]))
+    stats.monitors = payload.get("monitors")
     return stats
 
 
@@ -500,7 +522,7 @@ def execute_task(task: ExperimentTask) -> Dict[str, Any]:
                              trace_ring=task.trace_ring)
         servers = {device: _server(device)
                    for device in task.region_devices}
-        stats = FleetSimulator(config, metrics=metrics,
+        stats = FleetSimulator(config, metrics=metrics, slo=task.slo,
                                servers=servers).run(arrival_trace(task))
         return _with_metrics(fleet_stats_to_payload(stats))
     trace = poisson_trace(task.model, task.rate_hz, task.duration_s,

@@ -21,6 +21,7 @@ from typing import Dict, List, Optional, Tuple
 from weakref import WeakKeyDictionary
 
 from repro.core.schemes import Scheme
+from repro.obs.monitors import emit_alert_spans
 from repro.serving.metrics import percentile as nearest_rank_percentile
 from repro.serving.requests import RequestTrace
 from repro.serving.resilience import ResiliencePolicy, ResilienceState
@@ -185,14 +186,22 @@ class ClusterSimulator:
     """Replays a request trace against an autoscaled instance pool."""
 
     def __init__(self, server: InferenceServer, config: ClusterConfig,
-                 metrics=None, spans=None) -> None:
+                 metrics=None, spans=None, monitors=None) -> None:
         self.server = server
         self.config = config
-        # Telemetry (repro.obs), both optional.  ``spans`` requires a
+        # Telemetry (repro.obs), all optional.  ``spans`` requires a
         # trace retention policy — spans mirror the cluster's trace
         # records, including the ones the fast-forward path synthesizes.
+        # ``monitors`` (an SLOMonitorSet) observes every completed /
+        # failed request from the stepping loop; it needs the
+        # per-request stream, so fast-forward must be off.
         self.metrics = metrics
         self.spans = spans
+        self.monitors = monitors
+        if monitors is not None and config.fast_forward:
+            raise ValueError(
+                "SLO monitors evaluate the per-request stepping stream; "
+                "build the ClusterConfig with fast_forward=False")
         if metrics is not None:
             self._m_requests = metrics.counter(
                 "cluster_requests_total", "Requests served by outcome")
@@ -383,6 +392,11 @@ class ClusterSimulator:
                         counters.completed_requests += 1
                     if resilience is not None:
                         resilience.on_complete(instance, finish)
+                    if self.monitors is not None:
+                        fresh = self.monitors.observe_completed(
+                            arrival, finish - arrival, not warm_attempt)
+                        if fresh and self.spans is not None:
+                            emit_alert_spans(self.spans, fresh)
                     break
                 # The instance dies crash_at seconds into the request;
                 # the supervisor restarts it (cold by default, from the
@@ -404,6 +418,10 @@ class ClusterSimulator:
                 if attempts > config.faults.max_reroutes:
                     stats.failed += 1
                     counters.failed_requests += 1
+                    if self.monitors is not None:
+                        fresh = self.monitors.observe_failed(arrival)
+                        if fresh and self.spans is not None:
+                            emit_alert_spans(self.spans, fresh)
                     break
                 # Reroute: the request re-enters scheduling at the time
                 # the crash was detected.

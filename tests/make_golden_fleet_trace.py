@@ -1,0 +1,30 @@
+#!/usr/bin/env python3
+"""Regenerate ``tests/data/golden_fleet_trace.json``.
+
+The golden flight-recorder Perfetto export of a sharded two-region
+time-warp fleet replay (see ``tests/test_fleet_obs.py``) — the exact
+artifact ``repro trace export --fleet`` ships with its default knobs.
+Rerun after an intentional change to the flight recorder, the sharded
+replay protocol or the simulator's calibrated timings::
+
+    PYTHONPATH=src python tests/make_golden_fleet_trace.py
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from test_fleet_obs import GOLDEN_PATH, _export_fleet  # noqa: E402
+
+
+def main():
+    os.makedirs(os.path.dirname(GOLDEN_PATH), exist_ok=True)
+    payload = _export_fleet(GOLDEN_PATH)
+    print(f"wrote {GOLDEN_PATH}: {len(payload['traceEvents'])} events "
+          f"({payload['metadata']['mode']} mode, "
+          f"{payload['metadata']['rollbacks']} rollbacks)")
+
+
+if __name__ == "__main__":
+    sys.exit(main())
