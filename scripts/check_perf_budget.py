@@ -5,17 +5,23 @@ Usage::
 
     python scripts/check_perf_budget.py benchmarks/trace_scaling_budget.json
     python scripts/check_perf_budget.py benchmarks/replay_scaling_budget.json
+    python scripts/check_perf_budget.py benchmarks/pack_transfer_budget.json
 
 Runs the replay profile for every entry in the budget file — a cluster
-replay (``repro.runner.profile_cluster``) by default, or a sharded fleet
+replay (``repro.runner.profile_cluster``) by default, a sharded fleet
 replay (``repro.runner.profile_fleet``) when the entry says ``"kind":
-"fleet"`` — taking the best of ``repeats`` runs, and fails if any
-measurement exceeds ``regression_factor`` times its ``budget_s``.
-Budgets are deliberately loose (~4x a warm local run), so the gate only
-trips on a genuine hot-path regression — not on a noisy shared runner.
-Used by the CI perf-smoke job; run it locally after touching
-``repro/sim/trace.py``, ``repro/serving/cluster.py`` or
-``repro/fleet/parallel.py``.
+"fleet"``, or the kernel-pack spin-up comparison
+(``repro.runner.profile_packs``, gated on its pack-restore leg) when it
+says ``"kind": "packs"`` — taking the best of ``repeats`` runs, and
+fails if any measurement exceeds ``regression_factor`` times its
+``budget_s``.  An entry with an unrecognized ``kind`` is a hard error
+(exit 2) before anything is measured, so a typo can't silently fall
+back to the cluster profile.  Budgets are deliberately loose (~4x a
+warm local run), so the gate only trips on a genuine hot-path
+regression — not on a noisy shared runner.  Used by the CI perf-smoke
+job; run it locally after touching ``repro/sim/trace.py``,
+``repro/serving/cluster.py``, ``repro/fleet/parallel.py`` or
+``repro/packs/store.py``.
 """
 
 import json
@@ -24,27 +30,48 @@ import sys
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
-from repro.runner import profile_cluster, profile_fleet  # noqa: E402
+from repro.runner import (profile_cluster, profile_fleet,  # noqa: E402
+                          profile_packs)
+
+KNOWN_KINDS = ("cluster", "fleet", "packs")
 
 
 def _measure(entry, rate_hz):
-    if entry.get("kind", "cluster") == "fleet":
+    kind = entry.get("kind", "cluster")
+    if kind == "fleet":
         return profile_fleet(
             requests=entry["requests"],
             rate_hz=entry.get("rate_hz", rate_hz),
             regions=entry.get("regions", 4),
             jobs=entry.get("jobs", 1),
             routing=entry.get("routing", "round-robin"))
+    if kind == "packs":
+        return profile_packs(
+            requests=entry["requests"],
+            rate_hz=entry.get("rate_hz", rate_hz),
+            instances=entry.get("instances", 2),
+            idle_timeout_s=entry.get("idle_timeout_s", 0.05))
     return profile_cluster(
         requests=entry["requests"], rate_hz=rate_hz,
         trace_retention=entry["trace_retention"],
         fast_forward=entry["fast_forward"])
 
 
+def _wall(entry, profile):
+    """The wall-clock reading the entry's budget gates."""
+    if entry.get("kind", "cluster") == "packs":
+        return profile.wall_pack_s
+    return profile.wall_s
+
+
 def _detail(entry, profile):
-    if entry.get("kind", "cluster") == "fleet":
+    kind = entry.get("kind", "cluster")
+    if kind == "fleet":
         return (f"mode={profile.mode}  jobs={profile.jobs}  "
                 f"rollbacks={profile.rollbacks}")
+    if kind == "packs":
+        return (f"restores={profile.pack_restores}  "
+                f"speedup={profile.modeled_speedup_vs_cold:.2f}x-cold")
     return f"retained={profile.peak_retained_records}"
 
 
@@ -54,22 +81,29 @@ def main(argv):
         return 2
     with open(argv[0], encoding="utf-8") as handle:
         budget = json.load(handle)
+    bad = sorted({entry.get("kind", "cluster") for entry in budget["entries"]}
+                 - set(KNOWN_KINDS))
+    if bad:
+        print(f"unknown budget entry kind(s) {bad}; expected one of "
+              f"{list(KNOWN_KINDS)}", file=sys.stderr)
+        return 2
     factor = budget.get("regression_factor", 2.0)
     repeats = budget.get("repeats", 3)
     rate_hz = budget.get("rate_hz", 200.0)
     failures = 0
     width = max(len(entry["name"]) for entry in budget["entries"])
     for entry in budget["entries"]:
-        best = None
+        best = best_wall = None
         for _ in range(repeats):
             profile = _measure(entry, rate_hz)
-            if best is None or profile.wall_s < best.wall_s:
-                best = profile
+            wall = _wall(entry, profile)
+            if best is None or wall < best_wall:
+                best, best_wall = profile, wall
         ceiling = factor * entry["budget_s"]
-        verdict = "ok" if best.wall_s <= ceiling else "REGRESSION"
+        verdict = "ok" if best_wall <= ceiling else "REGRESSION"
         if verdict != "ok":
             failures += 1
-        print(f"{entry['name']:<{width}}  wall={best.wall_s:7.3f}s  "
+        print(f"{entry['name']:<{width}}  wall={best_wall:7.3f}s  "
               f"budget={entry['budget_s']:.3f}s  ceiling={ceiling:.3f}s  "
               f"requests={best.requests}  "
               f"{_detail(entry, best)}  {verdict}")

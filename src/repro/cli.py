@@ -252,18 +252,23 @@ def build_parser() -> argparse.ArgumentParser:
                             "crash-heavy and overload scenarios without/"
                             "with the resilience policy, gated on "
                             "availability and p99")
+    chaos.add_argument("--packs", action="store_true",
+                       help="run the kernel-pack degradation ladder "
+                            "instead: no-packs/healthy/registry-outage/"
+                            "fully-degraded legs, gated on cold-start "
+                            "reduction, lossless degradation and byte "
+                            "conservation")
     chaos.add_argument("--jobs", type=int, default=1,
-                       help="worker processes for --resilience "
+                       help="worker processes for --resilience/--packs "
                             "(default: 1, serial)")
     chaos.add_argument("--min-availability", type=float, default=None,
                        metavar="FRAC",
-                       help="override the per-scenario availability gate "
-                            "for --resilience (default: each scenario's "
-                            "own threshold, 0.999)")
+                       help="override the availability gate for "
+                            "--resilience/--packs (default: 0.999)")
     chaos.add_argument("--output", default=None, metavar="FILE",
-                       help="write the --resilience comparison report "
-                            "(BENCH-shaped JSON with a 'chaos' section) "
-                            "to this path")
+                       help="write the --resilience/--packs comparison "
+                            "report (BENCH-shaped JSON with a 'chaos'/"
+                            "'packs' section) to this path")
 
     bench = sub.add_parser(
         "bench", help="run the benchmark grid through the parallel engine "
@@ -349,6 +354,10 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--fleet", action="store_true",
                          help="profile the sharded fleet replay instead "
                               "of the single-cluster path")
+    profile.add_argument("--packs", action="store_true",
+                         help="profile spin-up strategies instead: "
+                              "pack restore vs checkpoint restore vs "
+                              "cold load on a scale-to-zero replay")
     profile.add_argument("--scale", type=int, default=1_000_000,
                          help="target request count for --fleet "
                               "(default: 1000000)")
@@ -541,10 +550,38 @@ def _cmd_bench(args, out) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_profile_packs(args, out) -> int:
+    from repro.runner import profile_packs
+    profile = profile_packs(
+        device=args.device, model=args.model,
+        scheme=_SCHEMES[args.scheme],
+        requests=min(args.requests, 50_000), rate_hz=args.rate,
+        instances=args.instances, seed=args.seed)
+    out(f"spin-up profile: {profile.requests} requests of "
+        f"{args.model!r} under {_SCHEMES[args.scheme].label} on "
+        f"{args.device}, scale-to-zero pool")
+    out(f"  cold load:          wall {profile.wall_cold_s:.3f}s, "
+        f"{profile.cold_starts} cold starts, mean latency "
+        f"{profile.mean_latency_cold_s * 1e3:.3f} ms")
+    out(f"  checkpoint restore: wall {profile.wall_checkpoint_s:.3f}s, "
+        f"{profile.checkpoint_restores} restores, mean latency "
+        f"{profile.mean_latency_checkpoint_s * 1e3:.3f} ms")
+    out(f"  pack restore:       wall {profile.wall_pack_s:.3f}s, "
+        f"{profile.pack_restores} restores "
+        f"({profile.pack_bytes:,} bytes verified), mean latency "
+        f"{profile.mean_latency_pack_s * 1e3:.3f} ms")
+    out(f"  modeled speedup: {profile.modeled_speedup_vs_cold:.2f}x vs "
+        f"cold, {profile.modeled_speedup_vs_checkpoint:.2f}x vs "
+        f"checkpoint")
+    return 0
+
+
 def _cmd_profile(args, out) -> int:
     from repro.runner import profile_cluster, profile_event_kernel
     if args.fleet:
         return _cmd_profile_fleet(args, out)
+    if args.packs:
+        return _cmd_profile_packs(args, out)
     retention = (None if args.trace_retention == "none"
                  else args.trace_retention)
     cluster = profile_cluster(
@@ -1044,11 +1081,47 @@ def _cmd_chaos_resilience(args, out) -> int:
     return 1 if failures else 0
 
 
+def _cmd_chaos_packs(args, out) -> int:
+    import json
+
+    from repro.runner import packs_report
+
+    kwargs = dict(device=args.device, model=args.model, jobs=args.jobs)
+    if args.min_availability is not None:
+        kwargs["min_availability"] = args.min_availability
+    report = packs_report(**kwargs)
+    for leg in report["packs"]["legs"]:
+        out(f"{leg['name']}: {leg['description']}")
+        out(f"  cold starts {leg['cold_starts']}, pack restores "
+            f"{leg['pack_restores']} (degraded-to-cold "
+            f"{leg['degraded_cold']}, failover hits "
+            f"{leg['failover_hits']})")
+        out(f"  p99 {leg['p99_s'] * 1e3:.2f} ms, availability "
+            f"{leg['availability']:.4%}, lost {leg['lost_requests']}, "
+            f"{leg['bytes_fetched']:,} bytes fetched "
+            f"(conserved: {leg['bytes_conserved']})")
+        out("")
+    gates = report["packs"]["gates"]
+    for name in ("healthy_reduces_cold_starts",
+                 "degraded_falls_back_to_cold", "bytes_conserved",
+                 "no_lost_requests"):
+        out(f"[{'PASS' if gates[name] else 'FAIL'}] {name}")
+    if args.output is not None:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        out(f"wrote {args.output}")
+    out("packs ladder: " + ("PASS" if gates["pass"] else "FAIL"))
+    return 0 if gates["pass"] else 1
+
+
 def _cmd_chaos(args, out) -> int:
     from repro.sim.faults import FaultPlan
 
     if args.resilience:
         return _cmd_chaos_resilience(args, out)
+    if args.packs:
+        return _cmd_chaos_packs(args, out)
 
     plan = FaultPlan(
         seed=args.seed,

@@ -45,6 +45,10 @@ from repro.core.schemes import Scheme
 from repro.fleet.autoscale import AutoscalePolicy, AutoscalerState
 from repro.fleet.routing import RouterState, RoutingPolicy
 from repro.obs.monitors import SLOMonitorSet, SLOPolicy, emit_alert_spans
+from repro.packs.artifact import KernelPack, pack_for
+from repro.packs.store import (PackPolicy, PackStoreState,
+                               PackTransferCounters, RegistryFabric,
+                               feed_pack_metrics)
 from repro.serving.cluster import ClusterConfig, ClusterSimulator, \
     ClusterStats, _Instance
 from repro.serving.metrics import percentile as nearest_rank_percentile
@@ -107,6 +111,12 @@ class FleetConfig:
     fast_forward: bool = True
     # Honoured on the delegation path only (see module docstring).
     resilience: Optional[ResiliencePolicy] = None
+    # Kernel-pack fetch hierarchy (repro.packs), fleet-wide: each region
+    # runs its own ladder against its *own* registry (dark during that
+    # region's ``registry_outage_windows``) and fails over to the first
+    # lit remote registry at a cross-region penalty before degrading to
+    # cold load.  ``None`` (default) is byte-inert.
+    packs: Optional[PackPolicy] = None
 
     def __post_init__(self) -> None:
         if not self.regions:
@@ -235,6 +245,10 @@ class RegionStats:
     faults: FaultCounters = field(default_factory=FaultCounters)
     trace: Optional[TraceRecorder] = None
     fast_forwarded: int = 0
+    # Cold spawns restored from a kernel pack (request path), and the
+    # fetch-hierarchy ledger (None unless FleetConfig.packs is set).
+    pack_restores: int = 0
+    packs: Optional[PackTransferCounters] = None
 
     @classmethod
     def from_cluster(cls, name: str, device: str,
@@ -245,7 +259,9 @@ class RegionStats:
                    queue_waits=stats.queue_waits, failed=stats.failed,
                    shed=stats.shed, faults=stats.faults,
                    trace=stats.trace,
-                   fast_forwarded=stats.fast_forwarded)
+                   fast_forwarded=stats.fast_forwarded,
+                   pack_restores=stats.pack_restores,
+                   packs=stats.packs)
 
     @property
     def completed(self) -> int:
@@ -352,6 +368,10 @@ class FleetStats:
     @property
     def restores(self) -> int:
         return sum(r.restores for r in self.regions.values())
+
+    @property
+    def pack_restores(self) -> int:
+        return sum(r.pack_restores for r in self.regions.values())
 
     @property
     def prewarm_spawns(self) -> int:
@@ -503,6 +523,7 @@ def _feed_region_metrics(registry, region: "RegionStats",
     for outcome, value in (("warm", region.warm_hits),
                            ("cold", region.cold_starts),
                            ("restore", region.restores),
+                           ("pack", region.pack_restores),
                            ("failed", region.failed),
                            ("shed", region.shed)):
         if value:
@@ -526,11 +547,14 @@ def _feed_region_metrics(registry, region: "RegionStats",
                           ("prewarm", region.prewarm_spawns),
                           ("prewarm-restore", region.prewarm_restores),
                           ("restore", region.restores),
+                          ("pack-restore", region.pack_restores),
                           ("cold-spawn", region.cold_starts)):
         if value:
             autoscale.inc(value, action=action, region=name)
     if queue_peak is not None:
         depth.set(queue_peak, region=name)
+    if region.packs is not None:
+        feed_pack_metrics(registry, region.packs, region=name)
 
 
 def _feed_tenant_metrics(registry, stats: "FleetStats") -> None:
@@ -579,7 +603,11 @@ class _RegionState:
 
     def __init__(self, config: RegionConfig, sim: ClusterSimulator,
                  policy: AutoscalePolicy, model: str, batch: int,
-                 retention: Optional[str], ring: int) -> None:
+                 retention: Optional[str], ring: int,
+                 pack_policy: Optional[PackPolicy] = None,
+                 pack: Optional[KernelPack] = None,
+                 region_index: int = 0,
+                 fabric: Optional[RegistryFabric] = None) -> None:
         self.config = config
         self.actor = f"region:{config.name}"
         self.cold = sim._cold_time(model, batch)
@@ -603,6 +631,16 @@ class _RegionState:
             self.recorder = TraceRecorder(retention=retention,
                                           ring_size=ring)
             self.stats.trace = self.recorder
+        # Kernel-pack fetch ladder: this region's store, running against
+        # its own registry (dark during its outage windows) with
+        # cross-region failover through ``fabric``.
+        self.pack_state: Optional[PackStoreState] = None
+        if pack_policy is not None:
+            self.pack_state = PackStoreState(
+                pack_policy, pack, self.injector, self.recorder,
+                actor=self.actor, region_index=region_index,
+                fabric=fabric)
+            self.stats.packs = self.pack_state.counters
         # Attached by the fleet loop (or a sharded worker) when metrics
         # are on; None keeps the serve hot path allocation-free.
         self.queue_depth: Optional[_QueueDepthTracker] = None
@@ -667,7 +705,20 @@ class _RegionState:
                 break
             from_checkpoint = (self.policy.checkpoint_restore
                                and self.ever_warm)
-            cost = self.restore_cost if from_checkpoint else self.cold_extra
+            if from_checkpoint:
+                cost = self.restore_cost
+            elif self.pack_state is not None:
+                # Off-path spawns walk the same pack ladder; the fleet
+                # pays the fetch (or the bounded ladder walk plus the
+                # cold spin-up when the hierarchy is dark).
+                peer = any(i.warm for i in self.instances)
+                fetch = self.pack_state.fetch(now, peer)
+                if fetch.hit:
+                    cost = fetch.elapsed_s + self.pack_state.apply_s
+                else:
+                    cost = fetch.elapsed_s + self.cold_extra
+            else:
+                cost = self.cold_extra
             instance = _Instance(busy_until=now + cost,
                                  last_used=now + cost, warm=True)
             self.instances.append(instance)
@@ -714,10 +765,23 @@ class _RegionState:
                 if self.queue_depth is not None:
                     self.queue_depth.observe(arrival, start)
             warm_attempt = instance.warm
+            pack_tier: Optional[str] = None
             if warm_attempt:
                 service = self.warm
             elif restored:
+                # A checkpoint restore already ships this instance's
+                # warm state; it takes precedence over the pack ladder.
                 service = self.restore_cost + self.warm
+            elif self.pack_state is not None:
+                peer = any(other.warm for other in self.instances
+                           if other is not instance)
+                fetch = self.pack_state.fetch(start, peer)
+                if fetch.hit:
+                    pack_tier = fetch.tier
+                    service = (fetch.elapsed_s
+                               + self.pack_state.apply_s + self.warm)
+                else:
+                    service = fetch.elapsed_s + self.cold
             else:
                 service = self.cold
             crash_at = (injector.crash_point(service)
@@ -728,6 +792,8 @@ class _RegionState:
                 elif restored:
                     stats.restores += 1
                     stats.restore_s += self.restore_cost
+                elif pack_tier is not None:
+                    stats.pack_restores += 1
                 else:
                     stats.cold_starts += 1
                 finish = start + service
@@ -743,10 +809,14 @@ class _RegionState:
                     else:
                         boundary = start + (service - self.warm
                                             if service > self.warm else 0.0)
+                        if restored:
+                            load_name = "restore"
+                        elif pack_tier is not None:
+                            load_name = f"pack-restore/{pack_tier}"
+                        else:
+                            load_name = "cold-start"
                         recorder.record(start, boundary, self.actor,
-                                        Phase.LOAD,
-                                        "restore" if restored
-                                        else "cold-start")
+                                        Phase.LOAD, load_name)
                         recorder.record(boundary, finish, self.actor,
                                         Phase.EXEC, "serve")
                 if injector is not None:
@@ -849,7 +919,8 @@ class FleetSimulator:
             trace_ring=self.config.trace_ring,
             fast_forward=(self.config.fast_forward
                           and monitors is None),
-            resilience=self.config.resilience)
+            resilience=self.config.resilience,
+            packs=self.config.packs)
         sim = ClusterSimulator(_server_for(region.device, self._servers),
                                cluster_config, metrics=None,
                                spans=self.spans, monitors=monitors)
@@ -878,16 +949,32 @@ class FleetSimulator:
         policy = config.autoscale if config.autoscale is not None \
             else AutoscalePolicy()
         routing_kind = config.routing.kind
+        # Region registries for the pack hierarchy: each region's own
+        # outage windows, shared so every store can find the first lit
+        # remote registry for cross-region failover.
+        fabric: Optional[RegistryFabric] = None
+        if config.packs is not None:
+            fabric = RegistryFabric([
+                rc.faults.registry_outage_windows
+                if rc.faults is not None else ()
+                for rc in config.regions])
         regions: List[_RegionState] = []
-        for region_config in config.regions:
+        for region_index, region_config in enumerate(config.regions):
+            server = _server_for(region_config.device, self._servers)
             sim = ClusterSimulator(
-                _server_for(region_config.device, self._servers),
+                server,
                 ClusterConfig(scheme=region_config.scheme,
                               max_instances=region_config.max_instances,
                               keep_alive_s=region_config.keep_alive_s))
+            pack: Optional[KernelPack] = None
+            if config.packs is not None:
+                pack = pack_for(server, trace.model, region_config.scheme,
+                                trace.batch)
             state = _RegionState(region_config, sim, policy,
                                  trace.model, trace.batch,
-                                 config.trace_retention, config.trace_ring)
+                                 config.trace_retention, config.trace_ring,
+                                 pack_policy=config.packs, pack=pack,
+                                 region_index=region_index, fabric=fabric)
             if spans is not None and state.recorder is not None:
                 spans.bind(state.recorder)
             if self.metrics is not None:

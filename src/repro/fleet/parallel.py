@@ -115,7 +115,7 @@ class TraceSpec:
 class ShardReport:
     """How a sharded replay executed (the results are in the stats)."""
 
-    mode: str                  # "delegated" | "static" | "time-warp"
+    mode: str    # "delegated" | "static" | "time-warp" | "serial" (packs)
     jobs: int
     shards: int                # regions replayed as parallel shards
     rounds: int = 0            # optimistic rounds (time-warp only)
@@ -857,6 +857,14 @@ def run_fleet_sharded(config: FleetConfig,
         stats = simulator.run(trace)
         return stats, ShardReport(mode="delegated", jobs=jobs, shards=0,
                                   wall_s=perf_counter() - began)
+    if config.packs is not None:
+        # The pack hierarchy couples regions through the registry
+        # fabric (cross-region failover reads every region's outage
+        # windows), so the general path runs the serial simulator.
+        # ``packs=None`` fleets shard exactly as before.
+        stats = simulator.run(trace)
+        return stats, ShardReport(mode="serial", jobs=jobs, shards=0,
+                                  wall_s=perf_counter() - began)
     if spans is not None and config.trace_retention is not None:
         raise ValueError(
             "sharded span capture does not compose with trace retention "
@@ -924,7 +932,7 @@ def run_fleet_sharded(config: FleetConfig,
 _REGION_FIELDS = ("cold_starts", "warm_hits", "restores", "restore_s",
                   "failed", "shed", "prewarm_spawns", "prewarm_restores",
                   "prewarm_s", "scale_ups", "scale_downs",
-                  "fast_forwarded")
+                  "fast_forwarded", "pack_restores")
 _TENANT_FIELDS = ("offered", "failed", "shed", "latencies")
 
 
@@ -956,6 +964,9 @@ def equivalence_problems(serial: FleetStats,
               other.queue_waits)
         check(f"{name}.faults", region.faults.as_dict(),
               other.faults.as_dict())
+        check(f"{name}.packs",
+              None if region.packs is None else region.packs.as_dict(),
+              None if other.packs is None else other.packs.as_dict())
         mine = None if region.trace is None else list(region.trace.records)
         theirs = None if other.trace is None else list(other.trace.records)
         check(f"{name}.trace", mine, theirs)

@@ -1,0 +1,19 @@
+"""Content-addressed kernel packs and their fetch hierarchy.
+
+:mod:`repro.packs.artifact` derives the distributable artifact from a
+runtime snapshot; :mod:`repro.packs.store` models fetching it through
+the local-disk -> peer -> origin hierarchy with seeded faults and a
+cold-load degradation floor.  See ``docs/PACKS.md``.
+"""
+
+from repro.packs.artifact import (KernelPack, pack_digest,
+                                  pack_from_snapshot, pack_for)
+from repro.packs.store import (PACK_TIERS, PackFetchResult, PackPolicy,
+                               PackStoreState, PackTransferCounters,
+                               RegistryFabric, TierPolicy,
+                               feed_pack_metrics)
+
+__all__ = ["KernelPack", "pack_digest", "pack_from_snapshot", "pack_for",
+           "TierPolicy", "PackPolicy", "PackTransferCounters",
+           "PackFetchResult", "PackStoreState", "RegistryFabric",
+           "PACK_TIERS", "feed_pack_metrics"]

@@ -30,12 +30,14 @@ from repro.runner.engine import (RunStats, TaskOutcome, prewarm_suite,
                                  run_shards, run_tasks)
 from repro.runner.fleetbench import fleet_frontier_report, frontier_tasks
 from repro.runner.grid import bench_grid, experiment_grid
+from repro.runner.packbench import (PackScenario, packs_report,
+                                    packs_scenarios)
 from repro.runner.profile import (ClusterProfile, EventKernelProfile,
                                   FleetProfile, FleetTelemetryProfile,
-                                  TelemetryProfile, profile_cluster,
-                                  profile_event_kernel, profile_fleet,
-                                  profile_fleet_telemetry,
-                                  profile_telemetry)
+                                  PackProfile, TelemetryProfile,
+                                  profile_cluster, profile_event_kernel,
+                                  profile_fleet, profile_fleet_telemetry,
+                                  profile_packs, profile_telemetry)
 from repro.runner.schema import BENCH_SCHEMA, validate_report
 from repro.runner.tasks import (ExperimentTask, cluster_stats_from_payload,
                                 cluster_stats_to_payload, execute_task,
@@ -73,14 +75,19 @@ __all__ = [
     "ChaosScenario",
     "chaos_report",
     "chaos_scenarios",
+    "PackScenario",
+    "packs_report",
+    "packs_scenarios",
     "ClusterProfile",
     "EventKernelProfile",
     "FleetProfile",
     "FleetTelemetryProfile",
+    "PackProfile",
     "TelemetryProfile",
     "profile_cluster",
     "profile_event_kernel",
     "profile_fleet",
     "profile_fleet_telemetry",
+    "profile_packs",
     "profile_telemetry",
 ]

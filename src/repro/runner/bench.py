@@ -25,6 +25,7 @@ from typing import Any, Callable, Dict, List, Optional
 
 from repro._version import __version__
 from repro.core.schemes import Scheme
+from repro.packs.store import PackTransferCounters
 from repro.runner.cache import ResultCache
 from repro.runner.engine import RunStats, TaskOutcome, run_tasks
 from repro.runner.grid import bench_grid
@@ -88,13 +89,19 @@ def _cluster_cell(task: ExperimentTask, outcome: TaskOutcome
         cell["availability"] = stats.availability
         cell["faults"] = stats.faults.as_dict()
         cell["resilience"] = task.resilience is not None
+    if task.packs is not None:
+        # Pack-hierarchy columns, same gating rule: pack-free grids
+        # keep their exact report shape.
+        cell["pack_restores"] = stats.pack_restores
+        cell["packs"] = (stats.packs.as_dict()
+                         if stats.packs is not None else None)
     return cell
 
 
 def _fleet_cell(task: ExperimentTask, outcome: TaskOutcome
                 ) -> Dict[str, Any]:
     stats = fleet_stats_from_payload(outcome.payload)
-    return {
+    cell = {
         "id": task.cell_id, "kind": "fleet",
         "device": ",".join(task.region_devices),
         "model": task.model, "scheme": task.scheme, "batch": task.batch,
@@ -115,6 +122,14 @@ def _fleet_cell(task: ExperimentTask, outcome: TaskOutcome
         "fast_forwarded": stats.fast_forwarded,
         "delegated": stats.delegated,
     }
+    if task.packs is not None:
+        merged = PackTransferCounters()
+        for region in stats.regions.values():
+            if region.packs is not None:
+                merged.merge(region.packs)
+        cell["pack_restores"] = stats.pack_restores
+        cell["packs"] = merged.as_dict()
+    return cell
 
 
 _CELL_BUILDERS = {"cold": _serve_cell, "hot": _serve_cell,

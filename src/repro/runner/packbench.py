@@ -1,0 +1,202 @@
+"""The ``repro chaos --packs`` comparison harness.
+
+Four curated legs of the same short-keep-alive cluster replay, run
+through the same engine/cache/report machinery as ``repro bench``:
+
+- **no-packs** — the baseline: every expired instance pays the full
+  cold start.  Carries an all-zero :class:`~repro.sim.faults.FaultPlan`
+  so the report cell gains the robustness columns the gates read.
+- **healthy** — the same replay with the pack fetch hierarchy enabled
+  and every tier up.  Expired instances restore a content-addressed
+  kernel pack instead of cold-loading.
+- **registry-outage** — the origin registry is dark for the whole
+  replay.  The ladder degrades to local/peer fetches; serves that
+  reach a dead end fall back to cold load, never fail.
+- **fully-degraded** — registry outage plus peer churn plus a local
+  cache that always faults: every tier is down.  The ladder walks to
+  the bottom rung (cold load) on each miss — the gate checks zero
+  pack restores, zero lost requests, and byte conservation.
+
+:func:`packs_report` returns a ``BENCH_*.json``-shaped payload
+(schema-valid under :func:`~repro.runner.schema.validate_report`)
+extended with a ``packs`` section carrying the per-leg comparison and
+a ``pass`` verdict.  With a pinned ``created_unix`` the payload is
+byte-stable, which is how the checked-in
+``benchmarks/pack_degradation_report.json`` is pinned by CI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from repro.core.schemes import Scheme
+from repro.packs import PackPolicy
+from repro.runner.bench import build_report
+from repro.runner.engine import run_tasks
+from repro.runner.schema import validate_report
+from repro.runner.tasks import ExperimentTask
+from repro.sim.faults import FaultPlan
+
+__all__ = ["PackScenario", "packs_scenarios", "packs_report"]
+
+
+@dataclass(frozen=True)
+class PackScenario:
+    """One leg of the pack degradation ladder comparison."""
+
+    name: str
+    description: str
+    task: ExperimentTask
+
+
+def packs_scenarios(device: str = "MI100", model: str = "res",
+                    collect_metrics: bool = False) -> List[PackScenario]:
+    """The curated four-leg ladder behind ``repro chaos --packs``.
+
+    Every leg replays the same seeded Poisson trace against the same
+    short-keep-alive pool, so cold churn recurs and the legs differ
+    only in pack availability.  Each fault plan shares one seed so the
+    stochastic draws that *are* taken stay comparable across legs.
+    """
+    duration = 8.0
+    common = dict(kind="cluster", device=device, model=model,
+                  scheme=Scheme.PASK.value, rate_hz=25.0,
+                  duration_s=duration, seed=3, instances=2,
+                  keep_alive_s=0.05, collect_metrics=collect_metrics)
+    policy = PackPolicy()
+    outage = ((0.0, duration),)
+    return [
+        PackScenario(
+            name="no-packs",
+            description="Baseline: keep-alive 0.05 s pool with no pack "
+                        "hierarchy; every expiry pays a full cold start.",
+            # An all-zero plan: no faults fire, but the report cell
+            # gains the robustness columns (availability) the gate
+            # reads.
+            task=ExperimentTask(faults=FaultPlan(seed=5), **common)),
+        PackScenario(
+            name="healthy",
+            description="Pack hierarchy enabled, every tier up: "
+                        "expiries restore packs instead of cold-"
+                        "loading.",
+            task=ExperimentTask(faults=FaultPlan(seed=5), packs=policy,
+                                **common)),
+        PackScenario(
+            name="registry-outage",
+            description="Origin registry dark for the whole replay; "
+                        "the ladder degrades to local/peer fetches "
+                        "with cold load as the final rung.",
+            task=ExperimentTask(
+                faults=FaultPlan(seed=5, registry_outage_windows=outage),
+                packs=policy, **common)),
+        PackScenario(
+            name="fully-degraded",
+            description="Registry outage + peer churn + local cache "
+                        "always faulting: every tier down, every miss "
+                        "walks the ladder to cold load.",
+            task=ExperimentTask(
+                faults=FaultPlan(seed=5, registry_outage_windows=outage,
+                                 peer_churn_windows=outage,
+                                 pack_local_failure_rate=1.0),
+                packs=policy, **common)),
+    ]
+
+
+def _cell_by_id(cells: List[Dict[str, Any]], cell_id: str) -> Dict[str, Any]:
+    for cell in cells:
+        if cell["id"] == cell_id:
+            return cell
+    raise KeyError(f"cell {cell_id!r} missing from packs report")
+
+
+def _leg_summary(scenario: PackScenario,
+                 cells: List[Dict[str, Any]]) -> Dict[str, Any]:
+    cell = _cell_by_id(cells, scenario.task.cell_id)
+    packs = cell.get("packs") or {}
+    fetched = sum(packs.get(key, 0) for key in
+                  ("local_bytes", "peer_bytes", "origin_bytes"))
+    accounted = sum(packs.get(key, 0) for key in
+                    ("bytes_verified", "bytes_discarded", "bytes_abandoned"))
+    lost = cell.get("failed", 0) + cell.get("shed", 0)
+    return {
+        "name": scenario.name,
+        "description": scenario.description,
+        "cell": cell["id"],
+        "availability": cell.get("availability", 1.0),
+        "p99_s": cell["p99_s"],
+        "cold_starts": cell["cold_starts"],
+        "pack_restores": cell.get("pack_restores", 0),
+        "degraded_cold": packs.get("degraded_cold", 0),
+        "failover_hits": packs.get("failover_hits", 0),
+        "lost_requests": lost,
+        "bytes_fetched": fetched,
+        "bytes_conserved": fetched == accounted,
+    }
+
+
+def _gates(legs: Dict[str, Dict[str, Any]],
+           min_availability: float) -> Dict[str, Any]:
+    base = legs["no-packs"]
+    healthy = legs["healthy"]
+    outage = legs["registry-outage"]
+    degraded = legs["fully-degraded"]
+    pack_legs = (healthy, outage, degraded)
+    # Healthy hierarchy must strictly reduce cold serves at equal (or
+    # better) availability than the no-packs baseline.
+    healthy_pass = (healthy["cold_starts"] < base["cold_starts"]
+                    and healthy["availability"] >= base["availability"]
+                    and healthy["availability"] >= min_availability)
+    # Under a full outage the ladder must degrade to cold load — zero
+    # pack restores — while losing zero requests and conserving every
+    # fetched byte.  Cold-start counts are NOT compared against the
+    # baseline: the ladder walk's latency legitimately shifts pool
+    # keep-alive timing.
+    degraded_pass = (degraded["pack_restores"] == 0
+                     and degraded["lost_requests"] == 0
+                     and degraded["availability"] >= min_availability)
+    conservation_pass = all(leg["bytes_conserved"] for leg in pack_legs)
+    lossless_pass = all(leg["lost_requests"] == 0 for leg in pack_legs)
+    return {
+        "min_availability": min_availability,
+        "healthy_reduces_cold_starts": healthy_pass,
+        "degraded_falls_back_to_cold": degraded_pass,
+        "bytes_conserved": conservation_pass,
+        "no_lost_requests": lossless_pass,
+        "pass": (healthy_pass and degraded_pass and conservation_pass
+                 and lossless_pass),
+    }
+
+
+def packs_report(device: str = "MI100", model: str = "res",
+                 jobs: int = 1, collect_metrics: bool = True,
+                 min_availability: float = 0.999,
+                 created_unix: Optional[float] = None) -> Dict[str, Any]:
+    """Run the pack degradation legs and build the comparison report.
+
+    Returns a BENCH-shaped payload with an extra ``packs`` section: one
+    summary per leg plus the gate verdicts.  When ``created_unix`` is
+    given, the volatile ``run`` section is pinned (``wall_clock_s``
+    zeroed) so the payload is byte-stable across runs — the form the
+    checked-in report uses.
+    """
+    scenarios = packs_scenarios(device, model,
+                                collect_metrics=collect_metrics)
+    tasks = [scenario.task for scenario in scenarios]
+    outcomes, stats = run_tasks(tasks, jobs=jobs, cache=None)
+    report = build_report("packs", outcomes, stats, cache=None,
+                          created_unix=created_unix)
+    if created_unix is not None:
+        report["run"]["wall_clock_s"] = 0.0
+    legs = {scenario.name: _leg_summary(scenario, report["cells"])
+            for scenario in scenarios}
+    report["packs"] = {
+        "device": device, "model": model,
+        "legs": [legs[scenario.name] for scenario in scenarios],
+        "gates": _gates(legs, min_availability),
+    }
+    problems = validate_report(report)
+    if problems:  # defensive: the builder always emits schema-valid JSON
+        raise RuntimeError(f"packs emitted schema-invalid report: "
+                           f"{problems}")
+    return report

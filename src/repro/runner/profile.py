@@ -27,9 +27,10 @@ from repro.serving.server import InferenceServer
 from repro.sim.core import Environment
 
 __all__ = ["ClusterProfile", "EventKernelProfile", "FleetProfile",
-           "FleetTelemetryProfile", "TelemetryProfile",
+           "FleetTelemetryProfile", "PackProfile", "TelemetryProfile",
            "profile_cluster", "profile_event_kernel", "profile_fleet",
-           "profile_fleet_telemetry", "profile_telemetry"]
+           "profile_fleet_telemetry", "profile_packs",
+           "profile_telemetry"]
 
 
 @dataclass(frozen=True)
@@ -392,6 +393,114 @@ def profile_telemetry(device: str = "MI100", model: str = "res",
     return TelemetryProfile(requests=requests, wall_off_s=wall_off,
                             wall_on_s=wall_on,
                             spans_per_request=span_count)
+
+
+@dataclass(frozen=True)
+class PackProfile:
+    """Wall-clock and modeled cost of the three spin-up strategies.
+
+    Three measured replays of the identical scale-to-zero fleet trace,
+    differing only in how a reclaimed instance comes back: full cold
+    load, checkpoint restore (the autoscaler's ``checkpoint_restore``
+    billing), or a kernel-pack fetch through the
+    :class:`~repro.packs.PackStoreState` hierarchy.  The modeled
+    latencies are deterministic simulation outputs; only the wall-clock
+    readings vary between machines.
+    """
+
+    requests: int
+    wall_cold_s: float
+    wall_checkpoint_s: float
+    wall_pack_s: float
+    cold_starts: int               # cold leg: spin-ups billed cold
+    checkpoint_restores: int       # checkpoint leg: restored spin-ups
+    pack_restores: int             # pack leg: pack-restored serves
+    pack_bytes: int                # pack leg: verified bytes fetched
+    mean_latency_cold_s: float
+    mean_latency_checkpoint_s: float
+    mean_latency_pack_s: float
+
+    @property
+    def wall_per_request_pack_s(self) -> float:
+        """Wall-clock seconds per simulated request on the pack leg."""
+        return self.wall_pack_s / self.requests if self.requests else 0.0
+
+    @property
+    def modeled_speedup_vs_cold(self) -> float:
+        """Modeled mean-latency speedup of pack restore over cold load."""
+        if self.mean_latency_pack_s <= 0:
+            return 0.0
+        return self.mean_latency_cold_s / self.mean_latency_pack_s
+
+    @property
+    def modeled_speedup_vs_checkpoint(self) -> float:
+        """Modeled mean-latency speedup over checkpoint restore."""
+        if self.mean_latency_pack_s <= 0:
+            return 0.0
+        return self.mean_latency_checkpoint_s / self.mean_latency_pack_s
+
+
+def profile_packs(device: str = "MI100", model: str = "res",
+                  scheme: Scheme = Scheme.PASK,
+                  requests: int = 5_000, rate_hz: float = 50.0,
+                  instances: int = 2, idle_timeout_s: float = 0.05,
+                  seed: int = 0) -> PackProfile:
+    """Time pack restore against checkpoint restore and cold load.
+
+    One single-region scale-to-zero fleet replays the identical Poisson
+    trace three times; the aggressive ``idle_timeout_s`` keeps the pool
+    collapsing between bursts so spin-ups recur throughout the trace.
+    The serial :class:`~repro.fleet.fleet.FleetSimulator` runs all
+    three legs, so the wall-clock comparison isolates the spin-up
+    accounting paths rather than sharding differences.
+    """
+    if requests <= 0:
+        raise ValueError("requests must be positive")
+    if rate_hz <= 0:
+        raise ValueError("rate_hz must be positive")
+    from repro.fleet.autoscale import AutoscalePolicy
+    from repro.fleet.fleet import FleetConfig, FleetSimulator, RegionConfig
+    from repro.packs import PackPolicy
+    from repro.serving.requests import poisson_trace
+
+    def leg(checkpoint_restore: bool, packs):
+        config = FleetConfig(
+            regions=(RegionConfig(name="r0", device=device, scheme=scheme,
+                                  max_instances=instances,
+                                  keep_alive_s=idle_timeout_s),),
+            autoscale=AutoscalePolicy(kind="scale-to-zero",
+                                      idle_timeout_s=idle_timeout_s,
+                                      checkpoint_restore=checkpoint_restore),
+            packs=packs)
+        trace = poisson_trace(model, rate_hz, requests / rate_hz,
+                              seed=seed)
+        simulator = FleetSimulator(config)
+        began = perf_counter()
+        stats = simulator.run(trace)
+        wall = perf_counter() - began
+        region = stats.regions["r0"]
+        latencies = region.latencies
+        mean = sum(latencies) / len(latencies) if latencies else 0.0
+        return stats, region, wall, mean
+
+    cold_stats, cold_region, wall_cold, mean_cold = leg(False, None)
+    _, ckpt_region, wall_ckpt, mean_ckpt = leg(True, None)
+    _, pack_region, wall_pack, mean_pack = leg(False, PackPolicy())
+    pack_counters = pack_region.packs
+    return PackProfile(
+        requests=cold_stats.offered,
+        wall_cold_s=wall_cold,
+        wall_checkpoint_s=wall_ckpt,
+        wall_pack_s=wall_pack,
+        cold_starts=cold_region.cold_starts,
+        checkpoint_restores=ckpt_region.restores,
+        pack_restores=pack_region.pack_restores,
+        pack_bytes=(pack_counters.bytes_verified
+                    if pack_counters is not None else 0),
+        mean_latency_cold_s=mean_cold,
+        mean_latency_checkpoint_s=mean_ckpt,
+        mean_latency_pack_s=mean_pack,
+    )
 
 
 def profile_event_kernel(events: int = 100_000) -> EventKernelProfile:

@@ -53,12 +53,17 @@ _CLUSTER_CELL_PROPS = {
     "availability": {"type": "number", "minimum": 0, "maximum": 1},
     "faults": {"type": "object"},
     "resilience": {"type": "boolean"},
+    # Pack-hierarchy columns, present only on cells that ran with a
+    # kernel-pack policy (``repro chaos --packs`` cells).
+    "pack_restores": {"type": "integer", "minimum": 0},
+    "packs": {"type": "object"},
 }
 
 # Cluster-cell keys that may be absent (fault-free, policy-free replays
 # keep the historic report shape byte-for-byte).
 _OPTIONAL_CLUSTER_KEYS = frozenset(
-    {"shed", "availability", "faults", "resilience"})
+    {"shed", "availability", "faults", "resilience",
+     "pack_restores", "packs"})
 
 _FLEET_CELL_PROPS = {
     "id": {"type": "string"},
@@ -87,7 +92,14 @@ _FLEET_CELL_PROPS = {
     "p99_s": {"type": "number", "minimum": 0},
     "fast_forwarded": {"type": "integer", "minimum": 0},
     "delegated": {"type": "boolean"},
+    # Pack-hierarchy columns, same presence rule as the cluster cell's.
+    "pack_restores": {"type": "integer", "minimum": 0},
+    "packs": {"type": "object"},
 }
+
+# Fleet-cell keys that may be absent (pack-free replays keep the
+# historic report shape byte-for-byte).
+_OPTIONAL_FLEET_KEYS = frozenset({"pack_restores", "packs"})
 
 BENCH_SCHEMA: Dict[str, Any] = {
     "$schema": "http://json-schema.org/draft-07/schema#",
@@ -214,6 +226,8 @@ def _check_cell(cell: Any, index: int, errors: List[str]) -> None:
         if key not in cell:
             if kind == "cluster" and key in _OPTIONAL_CLUSTER_KEYS:
                 continue
+            if kind == "fleet" and key in _OPTIONAL_FLEET_KEYS:
+                continue
             errors.append(f"{prefix}.{key}: missing")
             continue
         value = cell[key]
@@ -232,6 +246,20 @@ def _check_cell(cell: Any, index: int, errors: List[str]) -> None:
             if not _TYPE_CHECKS["integer"](count) or count < 0:
                 errors.append(f"{prefix}.faults.{name}: expected a "
                               f"non-negative integer, got {count!r}")
+    packs = cell.get("packs")
+    if isinstance(packs, dict):
+        # Pack byte conservation is part of the report contract: every
+        # fetched byte is exactly one of verified, discarded-corrupt,
+        # or abandoned-on-timeout.
+        fetched = sum(packs.get(key, 0) for key in
+                      ("local_bytes", "peer_bytes", "origin_bytes"))
+        accounted = sum(packs.get(key, 0) for key in
+                        ("bytes_verified", "bytes_discarded",
+                         "bytes_abandoned"))
+        if fetched != accounted:
+            errors.append(
+                f"{prefix}.packs: byte conservation violated — fetched "
+                f"{fetched} != verified+discarded+abandoned {accounted}")
     if kind == "fleet":
         # Fleet conservation is part of the report contract: every
         # offered request is exactly one of completed, failed, or shed.

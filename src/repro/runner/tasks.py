@@ -27,6 +27,7 @@ from repro.fleet.fleet import (FleetConfig, FleetSimulator, FleetStats,
                                RegionConfig, RegionStats, TenantStats)
 from repro.fleet.routing import ROUTING_POLICIES, RoutingPolicy
 from repro.obs.monitors import SLOPolicy
+from repro.packs.store import PackPolicy, PackTransferCounters
 from repro.serving.cluster import ClusterConfig, ClusterSimulator, ClusterStats
 from repro.serving.requests import (RequestTrace, bursty_trace, diurnal_trace,
                                     poisson_trace)
@@ -112,6 +113,9 @@ class ExperimentTask:
     # summary lands in the payload's "monitors" key and the report's
     # "monitors" section.  None keeps existing cache keys stable.
     slo: Optional[SLOPolicy] = None
+    # Kernel-pack fetch hierarchy (repro.packs) for cluster and fleet
+    # replays; None keeps existing cache keys stable.
+    packs: Optional[PackPolicy] = None
 
     def __post_init__(self) -> None:
         if self.kind not in ("cold", "hot", "cluster", "fleet"):
@@ -145,6 +149,9 @@ class ExperimentTask:
         if self.slo is not None and self.kind != "fleet":
             raise ValueError("SLO monitors are a fleet-level knob; "
                              f"{self.kind!r} tasks do not take one")
+        if self.packs is not None and self.kind not in ("cluster", "fleet"):
+            raise ValueError("kernel packs apply to cluster/fleet replays; "
+                             f"{self.kind!r} tasks do not take them")
 
     @property
     def region_devices(self) -> Tuple[str, ...]:
@@ -169,6 +176,12 @@ class ExperimentTask:
                 cell += f"/t{self.trace_retention}"
             if self.resilience is not None:
                 cell += "/rz"
+            if self.packs is not None:
+                cell += "/pk"
+            if self.faults is not None and not self.faults.is_zero:
+                # Tasks differing only in their fault plans must land
+                # in distinct report cells.
+                cell += f"/f{self.faults.digest()}"
             return cell
         if self.kind == "fleet":
             devices = ",".join(self.region_devices)
@@ -191,6 +204,10 @@ class ExperimentTask:
                     cell += f"-p{self.slo.p99_target_s:g}"
                 if self.slo.cold_rate_target is not None:
                     cell += f"-c{self.slo.cold_rate_target:g}"
+            if self.packs is not None:
+                cell += "/pk"
+            if self.faults is not None and not self.faults.is_zero:
+                cell += f"/f{self.faults.digest()}"
             return cell
         return f"{self.kind}/{self.device}/{self.model}/{self.scheme}/b{self.batch}"
 
@@ -231,6 +248,9 @@ class ExperimentTask:
         if self.slo is None:
             # Same stability rule for the SLO-monitor knob.
             del out["slo"]
+        if self.packs is None:
+            # Same stability rule for the pack-hierarchy knob.
+            out.pop("packs", None)
         if self.kind == "hot":
             # Hot serves always run the baseline-lowered program.
             del out["scheme"]
@@ -326,7 +346,7 @@ def result_from_payload(payload: Dict[str, Any]) -> ExecutionResult:
 
 def cluster_stats_to_payload(stats: ClusterStats) -> Dict[str, Any]:
     """A JSON-safe payload that reconstructs ``stats`` exactly."""
-    return {
+    payload = {
         "type": "cluster",
         "latencies": list(stats.latencies),
         "cold_starts": stats.cold_starts,
@@ -339,6 +359,11 @@ def cluster_stats_to_payload(stats: ClusterStats) -> Dict[str, Any]:
         "trace": (_trace_to_payload(stats.trace)
                   if stats.trace is not None else None),
     }
+    if stats.packs is not None:
+        # Absent rather than null so pre-packs payloads stay byte-stable.
+        payload["pack_restores"] = stats.pack_restores
+        payload["packs"] = stats.packs.as_dict()
+    return payload
 
 
 def cluster_stats_from_payload(payload: Dict[str, Any]) -> ClusterStats:
@@ -357,7 +382,33 @@ def cluster_stats_from_payload(payload: Dict[str, Any]) -> ClusterStats:
         fast_forwarded=payload.get("fast_forwarded", 0),
         trace=(_trace_from_payload(trace_payload)
                if trace_payload is not None else None),
+        pack_restores=payload.get("pack_restores", 0),
+        packs=(PackTransferCounters(**payload["packs"])
+               if payload.get("packs") is not None else None),
     )
+
+
+def _region_to_payload(r: RegionStats) -> Dict[str, Any]:
+    entry: Dict[str, Any] = {
+        "name": r.name, "device": r.device,
+        "latencies": list(r.latencies),
+        "cold_starts": r.cold_starts, "warm_hits": r.warm_hits,
+        "restores": r.restores, "restore_s": r.restore_s,
+        "queue_waits": list(r.queue_waits),
+        "failed": r.failed, "shed": r.shed,
+        "prewarm_spawns": r.prewarm_spawns,
+        "prewarm_restores": r.prewarm_restores,
+        "prewarm_s": r.prewarm_s,
+        "scale_ups": r.scale_ups, "scale_downs": r.scale_downs,
+        "faults": r.faults.as_dict(),
+        "fast_forwarded": r.fast_forwarded,
+        "trace": (_trace_to_payload(r.trace)
+                  if r.trace is not None else None)}
+    if r.packs is not None:
+        # Absent rather than null so pre-packs payloads stay byte-stable.
+        entry["pack_restores"] = r.pack_restores
+        entry["packs"] = r.packs.as_dict()
+    return entry
 
 
 def fleet_stats_to_payload(stats: FleetStats) -> Dict[str, Any]:
@@ -367,22 +418,7 @@ def fleet_stats_to_payload(stats: FleetStats) -> Dict[str, Any]:
         "offered": stats.offered,
         "shed_unroutable": stats.shed_unroutable,
         "delegated": stats.delegated,
-        "regions": [
-            {"name": r.name, "device": r.device,
-             "latencies": list(r.latencies),
-             "cold_starts": r.cold_starts, "warm_hits": r.warm_hits,
-             "restores": r.restores, "restore_s": r.restore_s,
-             "queue_waits": list(r.queue_waits),
-             "failed": r.failed, "shed": r.shed,
-             "prewarm_spawns": r.prewarm_spawns,
-             "prewarm_restores": r.prewarm_restores,
-             "prewarm_s": r.prewarm_s,
-             "scale_ups": r.scale_ups, "scale_downs": r.scale_downs,
-             "faults": r.faults.as_dict(),
-             "fast_forwarded": r.fast_forwarded,
-             "trace": (_trace_to_payload(r.trace)
-                       if r.trace is not None else None)}
-            for r in stats.regions.values()],
+        "regions": [_region_to_payload(r) for r in stats.regions.values()],
         "tenants": [
             {"name": t.name, "offered": t.offered, "failed": t.failed,
              "shed": t.shed, "latencies": list(t.latencies)}
@@ -419,7 +455,10 @@ def fleet_stats_from_payload(payload: Dict[str, Any]) -> FleetStats:
             faults=FaultCounters(**entry["faults"]),
             fast_forwarded=entry["fast_forwarded"],
             trace=(_trace_from_payload(trace_payload)
-                   if trace_payload is not None else None))
+                   if trace_payload is not None else None),
+            pack_restores=entry.get("pack_restores", 0),
+            packs=(PackTransferCounters(**entry["packs"])
+                   if entry.get("packs") is not None else None))
     for entry in payload["tenants"]:
         stats.tenants[entry["name"]] = TenantStats(
             name=entry["name"], offered=entry["offered"],
@@ -519,7 +558,8 @@ def execute_task(task: ExperimentTask) -> Dict[str, Any]:
                              autoscale=task.autoscale,
                              shed_wait_s=task.shed_wait_s,
                              trace_retention=task.trace_retention,
-                             trace_ring=task.trace_ring)
+                             trace_ring=task.trace_ring,
+                             packs=task.packs)
         servers = {device: _server(device)
                    for device in task.region_devices}
         stats = FleetSimulator(config, metrics=metrics, slo=task.slo,
@@ -533,6 +573,7 @@ def execute_task(task: ExperimentTask) -> Dict[str, Any]:
                            faults=task.faults,
                            trace_retention=task.trace_retention,
                            trace_ring=task.trace_ring,
-                           resilience=task.resilience)
+                           resilience=task.resilience,
+                           packs=task.packs)
     stats = ClusterSimulator(server, config, metrics=metrics).run(trace)
     return _with_metrics(cluster_stats_to_payload(stats))

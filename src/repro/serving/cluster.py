@@ -22,6 +22,9 @@ from weakref import WeakKeyDictionary
 
 from repro.core.schemes import Scheme
 from repro.obs.monitors import emit_alert_spans
+from repro.packs.artifact import pack_for
+from repro.packs.store import (PackPolicy, PackStoreState,
+                               PackTransferCounters, feed_pack_metrics)
 from repro.serving.metrics import percentile as nearest_rank_percentile
 from repro.serving.requests import RequestTrace
 from repro.serving.resilience import ResiliencePolicy, ResilienceState
@@ -63,10 +66,24 @@ class ClusterConfig:
     # graceful drain.  ``None`` (default) -- and any *inert* policy --
     # leaves the replay byte-identical to the pre-resilience simulator.
     resilience: Optional[ResiliencePolicy] = None
+    # Kernel-pack fetch hierarchy (repro.packs): cold spawns try to
+    # restore warm state from a content-addressed pack — local disk,
+    # then a warm peer, then the origin registry — before degrading to
+    # the full cold load.  ``None`` (default) is byte-inert; the pack
+    # fault sites are never consulted even if the fault plan carries
+    # pack rates or outage windows.
+    packs: Optional[PackPolicy] = None
 
     def __post_init__(self) -> None:
         if self.max_instances <= 0:
             raise ValueError("need at least one instance")
+        if (self.packs is not None and self.resilience is not None
+                and not self.resilience.is_inert):
+            raise ValueError(
+                "kernel packs and a non-inert resilience policy both "
+                "redefine the cold-spawn path; configure one of them "
+                "(checkpoint/restore already ships warm state per "
+                "instance — packs generalize it across instances)")
         if self.keep_alive_s < 0:
             raise ValueError("keep-alive must be non-negative")
         if (self.trace_retention is not None
@@ -111,6 +128,13 @@ class ClusterStats:
     trace: Optional[TraceRecorder] = None
     # Requests replayed through the steady-state fast path.
     fast_forwarded: int = 0
+    # Cold spawns restored from a kernel pack instead of a full cold
+    # load (counted separately from cold_starts so the hierarchy's
+    # savings are directly measurable).
+    pack_restores: int = 0
+    # Pack fetch-hierarchy accounting (None unless ClusterConfig.packs
+    # is set), including the byte-conservation ledger.
+    packs: Optional[PackTransferCounters] = None
 
     @property
     def completed(self) -> int:
@@ -283,6 +307,17 @@ class ClusterSimulator:
             resilience = ResilienceState(policy, counters, recorder,
                                          warm, cold_extra, degraded_cold,
                                          restart_delay)
+        # Kernel-pack hierarchy: derive the content-addressed pack for
+        # this (scheme, model, batch) and stand up the per-replay fetch
+        # ladder.  ``packs=None`` builds nothing — the replay below is
+        # byte-identical to the pre-packs simulator.
+        pack_state: Optional[PackStoreState] = None
+        if config.packs is not None:
+            pack = pack_for(self.server, trace.model, config.scheme,
+                            trace.batch)
+            pack_state = PackStoreState(config.packs, pack, injector,
+                                        recorder)
+            stats.packs = pack_state.counters
         arrivals = trace.arrivals
         # Fast-forward covers the fault-free dynamics in full — warm
         # steady state, partial-warm pools (cold spawns fold into the
@@ -294,7 +329,8 @@ class ClusterSimulator:
         # sequence is byte-identical to stepping.  Only a non-inert
         # resilience policy (stateful per-instance machinery) forces
         # full event stepping.
-        can_fast_forward = config.fast_forward and resilience is None
+        can_fast_forward = (config.fast_forward and resilience is None
+                            and pack_state is None)
         crash_rate = (config.faults.crash_rate
                       if config.faults is not None else 0.0)
         index, n = 0, len(arrivals)
@@ -357,8 +393,26 @@ class ClusterSimulator:
                 if attempts == 0:
                     stats.queue_waits.append(start - arrival)
                 warm_attempt = instance.warm
+                pack_tier: Optional[str] = None
                 if resilience is None:
-                    service = warm if warm_attempt else cold
+                    if warm_attempt or pack_state is None:
+                        service = warm if warm_attempt else cold
+                    else:
+                        # Cold spawn with a pack hierarchy: walk the
+                        # fetch ladder first.  A hit bills the fetch,
+                        # the apply, and the warm serve; degradation
+                        # bills the (bounded) ladder walk plus the full
+                        # cold load — no request is ever lost to a dark
+                        # hierarchy.
+                        peer = any(other.warm for other in instances
+                                   if other is not instance)
+                        fetch = pack_state.fetch(start, peer)
+                        if fetch.hit:
+                            pack_tier = fetch.tier
+                            service = (fetch.elapsed_s
+                                       + pack_state.apply_s + warm)
+                        else:
+                            service = fetch.elapsed_s + cold
                 else:
                     service = (warm if warm_attempt
                                else resilience.cold_service(
@@ -370,6 +424,8 @@ class ClusterSimulator:
                 if crash_at is None:
                     if warm_attempt:
                         stats.warm_hits += 1
+                    elif pack_tier is not None:
+                        stats.pack_restores += 1
                     else:
                         stats.cold_starts += 1
                     finish = start + service
@@ -384,8 +440,10 @@ class ClusterSimulator:
                         else:
                             boundary = start + (service - warm
                                                 if service > warm else 0.0)
+                            load_name = ("cold-start" if pack_tier is None
+                                         else f"pack-restore/{pack_tier}")
                             recorder.record(start, boundary, "cluster",
-                                            Phase.LOAD, "cold-start")
+                                            Phase.LOAD, load_name)
                             recorder.record(boundary, finish, "cluster",
                                             Phase.EXEC, "serve")
                     if injector is not None or resilience is not None:
@@ -444,6 +502,12 @@ class ClusterSimulator:
             if stats.shed:
                 self._m_requests.inc(stats.shed,
                                      outcome="shed", scheme=label)
+            if stats.pack_restores:
+                self._m_requests.inc(stats.pack_restores,
+                                     outcome="pack", scheme=label)
+            if pack_state is not None:
+                feed_pack_metrics(self.metrics, pack_state.counters,
+                                  scheme=label)
             if resilience is not None:
                 actions = self.metrics.counter(
                     "cluster_resilience_total",

@@ -27,8 +27,8 @@ fallback, request rerouting) is exhausted.
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass, field, fields
-from typing import Dict, Optional
+from dataclasses import asdict, dataclass, field, fields
+from typing import Dict, Optional, Tuple
 
 __all__ = [
     "FaultError",
@@ -37,6 +37,8 @@ __all__ = [
     "InstanceCrash",
     "CheckpointFault",
     "RestoreFault",
+    "PackFetchFault",
+    "PackVerifyFault",
     "FaultPlan",
     "FaultInjector",
     "FaultCounters",
@@ -67,6 +69,22 @@ class CheckpointFault(FaultError):
 class RestoreFault(FaultError):
     """Restoring a warm-state checkpoint failed; the instance must fall
     back to a full cold start."""
+
+
+class PackFetchFault(FaultError):
+    """A kernel-pack fetch failed at every tier of the hierarchy; the
+    instance must fall back to a full cold load."""
+
+
+class PackVerifyFault(FaultError):
+    """A fetched kernel pack failed its integrity check (digest
+    mismatch); the transferred bytes are discarded."""
+
+
+def _in_windows(windows: Tuple[Tuple[float, float], ...],
+                t: float) -> bool:
+    """Whether ``t`` falls inside any half-open ``[start, end)`` window."""
+    return any(start <= t < end for start, end in windows)
 
 
 @dataclass(frozen=True)
@@ -111,12 +129,32 @@ class FaultPlan:
     checkpoint_corruption_rate: float = 0.0
     # --- restore.load: warm-state restore failures --------------------
     restore_failure_rate: float = 0.0
+    # --- pack.fetch.*: kernel-pack transfer failures (repro.packs) ----
+    # One rate per hierarchy tier, evaluated per fetch attempt at the
+    # ``pack.fetch.{local,peer,origin}`` injection points.
+    pack_local_failure_rate: float = 0.0
+    pack_peer_failure_rate: float = 0.0
+    pack_origin_failure_rate: float = 0.0
+    # --- pack.verify: integrity-check failures on fetched packs -------
+    # A corrupted transfer is detected by the digest check after the
+    # bytes moved; the pack is discarded and the tier retried.
+    pack_corruption_rate: float = 0.0
+    # Interval-scoped half-open ``[start, end)`` windows.  While a
+    # registry-outage window is open every origin fetch is forced to
+    # fail (the registry is dark); while a peer-churn window is open
+    # every peer fetch fails (the peers are being recycled).  Forced
+    # failures consume no draws, so the seeded sequences at the pack
+    # sites are independent of the windows.
+    registry_outage_windows: Tuple[Tuple[float, float], ...] = ()
+    peer_churn_windows: Tuple[Tuple[float, float], ...] = ()
 
     def __post_init__(self) -> None:
         for name in ("load_failure_rate", "launch_failure_rate",
                      "exec_stall_rate", "loader_stall_rate", "crash_rate",
                      "load_failure_progress", "checkpoint_corruption_rate",
-                     "restore_failure_rate"):
+                     "restore_failure_rate", "pack_local_failure_rate",
+                     "pack_peer_failure_rate", "pack_origin_failure_rate",
+                     "pack_corruption_rate"):
             value = getattr(self, name)
             if not 0.0 <= value <= 1.0:
                 raise ValueError(f"{name} must be in [0, 1], got {value!r}")
@@ -131,6 +169,12 @@ class FaultPlan:
             raise ValueError("load_timeout_s must be non-negative")
         if self.max_reroutes < 0:
             raise ValueError("max_reroutes must be non-negative")
+        for name in ("registry_outage_windows", "peer_churn_windows"):
+            for window in getattr(self, name):
+                if (len(window) != 2 or window[0] < 0
+                        or window[1] <= window[0]):
+                    raise ValueError(f"bad {name} window {window!r}; "
+                                     "need 0 <= start < end")
 
     @property
     def is_zero(self) -> bool:
@@ -141,7 +185,23 @@ class FaultPlan:
                 and self.loader_stall_rate == 0.0
                 and self.crash_rate == 0.0
                 and self.checkpoint_corruption_rate == 0.0
-                and self.restore_failure_rate == 0.0)
+                and self.restore_failure_rate == 0.0
+                and self.pack_local_failure_rate == 0.0
+                and self.pack_peer_failure_rate == 0.0
+                and self.pack_origin_failure_rate == 0.0
+                and self.pack_corruption_rate == 0.0
+                and not self.registry_outage_windows
+                and not self.peer_churn_windows)
+
+    def digest(self, size: int = 4) -> str:
+        """Short stable hex digest of the plan.
+
+        Used to disambiguate report cell ids when two tasks differ only
+        in their fault plans (e.g. the legs of ``repro chaos --packs``).
+        """
+        payload = repr(sorted(asdict(self).items()))
+        return hashlib.blake2b(payload.encode("utf-8"),
+                               digest_size=size).hexdigest()
 
     def injector(self) -> "FaultInjector":
         """A fresh per-run cursor over this plan."""
@@ -330,6 +390,45 @@ class FaultInjector:
         """``restore.load``: does this warm-state restore fail?"""
         return self.should_fail("restore.load",
                                 self.plan.restore_failure_rate)
+
+    _PACK_RATES = {"local": "pack_local_failure_rate",
+                   "peer": "pack_peer_failure_rate",
+                   "origin": "pack_origin_failure_rate"}
+
+    def pack_fetch_fails(self, tier: str, now: float,
+                         windowed: bool = True) -> bool:
+        """``pack.fetch.{tier}``: does this pack fetch attempt fail?
+
+        A fetch inside an interval-scoped window (registry outage for
+        the origin tier, peer churn for the peer tier) is *forced* to
+        fail without consuming a draw, so the seeded failure sequence
+        at each site is independent of the windows — replays with and
+        without windows see identical draws at every other visit.
+        ``windowed=False`` skips the forced-failure check: a
+        cross-region failover fetch targets a *remote* registry the
+        fabric already checked is lit, so only the seeded origin rate
+        applies.
+        """
+        plan = self.plan
+        if windowed:
+            if tier == "origin" and _in_windows(
+                    plan.registry_outage_windows, now):
+                return True
+            if tier == "peer" and _in_windows(plan.peer_churn_windows,
+                                              now):
+                return True
+        return self.should_fail(f"pack.fetch.{tier}",
+                                getattr(plan, self._PACK_RATES[tier]))
+
+    def pack_verify_fails(self) -> bool:
+        """``pack.verify``: does the fetched pack fail its digest check?"""
+        return self.should_fail("pack.verify",
+                                self.plan.pack_corruption_rate)
+
+    def registry_dark(self, now: float) -> bool:
+        """Whether this plan's origin registry is inside an outage
+        window at ``now`` (used for cross-region failover decisions)."""
+        return _in_windows(self.plan.registry_outage_windows, now)
 
     def load_backoff(self, attempt: int) -> float:
         """Exponential backoff before load retry ``attempt`` (1-based)."""

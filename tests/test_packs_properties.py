@@ -1,0 +1,106 @@
+"""Property tests (hypothesis) for the kernel-pack fetch hierarchy.
+
+The two invariants the PR's robustness claims rest on:
+
+* **Byte conservation** — under any seeded fault plan (arbitrary fetch
+  failure rates, corruption, outage and churn windows), every byte the
+  hierarchy fetched is exactly one of verified, discarded-corrupt, or
+  abandoned-on-timeout; and the replay's request accounting still
+  conserves (offered == completed + failed + shed).
+* **Seed determinism** — the full fetch/fallback sequence is a pure
+  function of the plan seed: identical plans produce byte-identical
+  replay payloads and identical transfer ledgers, which is what makes
+  pack chaos runs reproducible and bisectable.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.schemes import Scheme
+from repro.packs import KernelPack, PackPolicy, PackStoreState
+from repro.runner import cluster_stats_to_payload
+from repro.serving.cluster import ClusterConfig, ClusterSimulator
+from repro.serving.requests import poisson_trace
+from repro.serving.server import InferenceServer
+from repro.sim.faults import FaultPlan
+
+_SERVER = InferenceServer()
+_TRACE = poisson_trace("res", rate_hz=25.0, duration_s=2.0, seed=11)
+
+
+def _windows(max_end):
+    bounds = st.tuples(st.floats(0.0, max_end / 2),
+                       st.floats(0.1, max_end / 2))
+    return st.lists(bounds.map(lambda b: (b[0], b[0] + b[1])),
+                    max_size=2).map(tuple)
+
+
+pack_plans = st.builds(
+    FaultPlan,
+    seed=st.integers(0, 2**32 - 1),
+    pack_local_failure_rate=st.floats(0.0, 1.0),
+    pack_peer_failure_rate=st.floats(0.0, 1.0),
+    pack_origin_failure_rate=st.floats(0.0, 1.0),
+    pack_corruption_rate=st.floats(0.0, 0.8),
+    registry_outage_windows=_windows(2.0),
+    peer_churn_windows=_windows(2.0),
+)
+
+
+def _run(plan):
+    config = ClusterConfig(scheme=Scheme.PASK, max_instances=2,
+                           keep_alive_s=0.05, faults=plan,
+                           packs=PackPolicy())
+    return ClusterSimulator(_SERVER, config).run(_TRACE)
+
+
+@settings(max_examples=20, deadline=None)
+@given(pack_plans)
+def test_bytes_conserve_under_any_plan(plan):
+    stats = _run(plan)
+    counters = stats.packs
+    assert counters is not None
+    assert counters.conserved, counters.as_dict()
+    assert counters.bytes_fetched == (counters.bytes_verified
+                                      + counters.bytes_discarded
+                                      + counters.bytes_abandoned)
+
+
+@settings(max_examples=20, deadline=None)
+@given(pack_plans)
+def test_no_lost_requests_under_any_plan(plan):
+    stats = _run(plan)
+    assert stats.requests == len(_TRACE)
+    assert stats.completed + stats.failed + stats.shed == stats.requests
+    # Degradation is lossless: a dead ladder means cold load, never a
+    # failed request.
+    assert stats.failed == 0 and stats.shed == 0
+    assert (stats.cold_starts + stats.pack_restores + stats.warm_hits
+            >= stats.completed - stats.fast_forwarded)
+
+
+@settings(max_examples=10, deadline=None)
+@given(pack_plans)
+def test_seed_determinism_of_fetch_sequence(plan):
+    first, second = _run(plan), _run(plan)
+    assert first.packs.as_dict() == second.packs.as_dict()
+    assert (cluster_stats_to_payload(first)
+            == cluster_stats_to_payload(second))
+
+
+@settings(max_examples=25, deadline=None)
+@given(pack_plans,
+       st.lists(st.tuples(st.floats(0.0, 2.0), st.booleans()),
+                min_size=1, max_size=8))
+def test_store_ladder_is_a_pure_function_of_the_plan(plan, visits):
+    pack = KernelPack(digest="d" * 32, size_bytes=1_000_000,
+                      modules=(("m.hsaco", 1_000_000, 4),), constants=())
+
+    def walk():
+        store = PackStoreState(PackPolicy(), pack, plan.injector())
+        results = [store.fetch(now, peer) for now, peer in visits]
+        return results, store.counters
+    first_results, first_counters = walk()
+    second_results, second_counters = walk()
+    assert first_results == second_results
+    assert first_counters == second_counters
+    assert first_counters.conserved

@@ -1,0 +1,105 @@
+"""Regression tests for ``scripts/check_perf_budget.py``.
+
+The script dispatches each budget entry on its ``kind``; a typo used to
+fall back silently to the cluster profile, timing the wrong thing while
+still printing ``ok``.  These tests pin the loud-failure contract: an
+unrecognized kind exits 2 before anything is measured, and the per-kind
+wall-clock extraction reads the field the budget actually gates.
+"""
+
+import importlib.util
+import json
+import os
+
+import pytest
+
+_SCRIPT = os.path.join(os.path.dirname(__file__), os.pardir,
+                       "scripts", "check_perf_budget.py")
+
+
+@pytest.fixture(scope="module")
+def budget_script():
+    spec = importlib.util.spec_from_file_location("check_perf_budget",
+                                                  _SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _write_budget(tmp_path, entries, **top):
+    payload = {"entries": entries, **top}
+    path = tmp_path / "budget.json"
+    path.write_text(json.dumps(payload), encoding="utf-8")
+    return str(path)
+
+
+class TestKindDispatch:
+    def test_known_kinds_cover_every_profile(self, budget_script):
+        assert budget_script.KNOWN_KINDS == ("cluster", "fleet", "packs")
+
+    def test_unknown_kind_exits_2_without_measuring(self, budget_script,
+                                                    tmp_path, capsys,
+                                                    monkeypatch):
+        def boom(*args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError("measured an entry with a bad kind")
+        monkeypatch.setattr(budget_script, "_measure", boom)
+        path = _write_budget(tmp_path, [
+            {"name": "typo", "kind": "flet", "requests": 10,
+             "budget_s": 1.0}])
+        assert budget_script.main([path]) == 2
+        err = capsys.readouterr().err
+        assert "flet" in err and "cluster" in err
+
+    def test_missing_kind_defaults_to_cluster(self, budget_script):
+        entry = {"name": "x", "requests": 10, "budget_s": 1.0}
+
+        class Profile:
+            wall_s = 0.5
+            wall_pack_s = 99.0
+        assert budget_script._wall(entry, Profile()) == 0.5
+
+    def test_packs_kind_gates_the_pack_leg(self, budget_script):
+        entry = {"name": "x", "kind": "packs", "requests": 10,
+                 "budget_s": 1.0}
+
+        class Profile:
+            wall_s = 99.0
+            wall_pack_s = 0.25
+        assert budget_script._wall(entry, Profile()) == 0.25
+
+    def test_usage_error_exits_2(self, budget_script):
+        assert budget_script.main([]) == 2
+        assert budget_script.main(["a", "b"]) == 2
+
+
+class TestEndToEnd:
+    def test_tiny_cluster_budget_passes(self, budget_script, tmp_path,
+                                        capsys):
+        path = _write_budget(
+            tmp_path,
+            [{"name": "tiny", "requests": 50, "trace_retention": None,
+              "fast_forward": True, "budget_s": 30.0}],
+            repeats=1, rate_hz=50.0)
+        assert budget_script.main([path]) == 0
+        assert "all measurements within budget" in capsys.readouterr().out
+
+    def test_tiny_packs_budget_passes(self, budget_script, tmp_path,
+                                      capsys):
+        path = _write_budget(
+            tmp_path,
+            [{"name": "tiny-packs", "kind": "packs", "requests": 50,
+              "budget_s": 30.0}],
+            repeats=1, rate_hz=50.0)
+        assert budget_script.main([path]) == 0
+        out = capsys.readouterr().out
+        assert "restores=" in out
+
+    def test_regression_exits_1(self, budget_script, tmp_path, capsys):
+        path = _write_budget(
+            tmp_path,
+            [{"name": "impossible", "requests": 50,
+              "trace_retention": None, "fast_forward": True,
+              "budget_s": 0.0}],
+            repeats=1, rate_hz=50.0)
+        assert budget_script.main([path]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
